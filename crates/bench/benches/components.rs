@@ -1,0 +1,135 @@
+//! Criterion microbenchmarks of the substrates: event queue, LRU cache,
+//! Zipf sampling, model solving, and policy decision latency. These
+//! guard the hot paths the trace-driven simulator leans on (30M+ events
+//! per full-fidelity figure run).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use l2s::{Distributor, L2s, L2sConfig, Lard, LardConfig, Traditional};
+use l2s_cluster::LruCache;
+use l2s_devs::{EventQueue, FifoResource};
+use l2s_model::{ModelParams, QueueModel, ServerKind};
+use l2s_util::{DetRng, SimDuration, SimTime};
+use l2s_zipf::ZipfSampler;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..1_000u32 {
+                q.schedule(SimTime::from_nanos(rng.below(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e as u64;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_fifo_resource(c: &mut Criterion) {
+    c.bench_function("fifo_resource_schedule", |b| {
+        let mut r = FifoResource::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(r.schedule(
+                SimTime::from_nanos(t),
+                SimDuration::from_nanos(150),
+            ))
+        })
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_touch_hit", |b| {
+        let mut cache = LruCache::new(100_000.0);
+        for f in 0..1_000u32 {
+            cache.insert(f, 10.0);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7) % 1_000;
+            black_box(cache.touch(i))
+        })
+    });
+    c.bench_function("lru_insert_evict", |b| {
+        let mut cache = LruCache::new(1_000.0);
+        let mut f = 0u32;
+        b.iter(|| {
+            f = f.wrapping_add(1);
+            black_box(cache.insert(f, 10.0).len())
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    c.bench_function("zipf_sample_35885_files", |b| {
+        let sampler = ZipfSampler::new(35_885, 0.78);
+        let mut rng = DetRng::new(2);
+        b.iter(|| black_box(sampler.sample(&mut rng)))
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    c.bench_function("model_max_throughput", |b| {
+        let model = QueueModel::new(ModelParams::default()).unwrap();
+        b.iter(|| black_box(model.max_throughput(ServerKind::LocalityConscious, 0.8)))
+    });
+    c.bench_function("model_full_solve", |b| {
+        let model = QueueModel::new(ModelParams::default()).unwrap();
+        b.iter(|| black_box(model.solve(ServerKind::LocalityConscious, 0.8, 1_000.0)))
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let now = SimTime::ZERO;
+    c.bench_function("policy_traditional_assign", |b| {
+        let mut p = Traditional::new(16);
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 1) % 1_000;
+            let n = p.arrival_node();
+            let a = p.assign(now, n, f);
+            p.complete(now, a.service, f);
+            black_box(a.service)
+        })
+    });
+    c.bench_function("policy_lard_assign", |b| {
+        let mut p = Lard::new(16, LardConfig::default());
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 1) % 1_000;
+            let n = p.arrival_node();
+            let a = p.assign(now, n, f);
+            p.complete(now, a.service, f);
+            black_box(a.service)
+        })
+    });
+    c.bench_function("policy_l2s_assign", |b| {
+        let mut p = L2s::new(16, L2sConfig::default());
+        let mut buf = Vec::new();
+        let mut f = 0u32;
+        b.iter(|| {
+            f = (f + 1) % 1_000;
+            let n = p.arrival_node();
+            let a = p.assign(now, n, f);
+            p.complete(now, a.service, f);
+            p.drain_messages(&mut buf);
+            buf.clear();
+            black_box(a.service)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fifo_resource,
+    bench_lru,
+    bench_zipf,
+    bench_model,
+    bench_policies
+);
+criterion_main!(benches);

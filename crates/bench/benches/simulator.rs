@@ -1,0 +1,46 @@
+//! Criterion end-to-end benchmarks: whole simulation runs per policy.
+//! These measure simulator performance (simulated requests per wall
+//! second), which bounds how fast the figure binaries regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use l2s::PolicyKind;
+use l2s_sim::{simulate, SimConfig};
+use l2s_trace::TraceSpec;
+
+fn bench_simulate(c: &mut Criterion) {
+    let trace = TraceSpec::calgary().scaled(2_000, 20_000).generate(7);
+    let mut group = c.benchmark_group("simulate_20k_requests");
+    group.sample_size(10);
+    for kind in [
+        PolicyKind::Traditional,
+        PolicyKind::Lard,
+        PolicyKind::L2s,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let cfg = SimConfig::quick(8, 8.0 * 1024.0);
+                b.iter(|| black_box(simulate(&cfg, kind, &trace)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("calgary_scaled_50k", |b| {
+        let spec = TraceSpec::calgary().scaled(4_000, 50_000);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(spec.generate(seed).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,336 @@
+//! Experiment harness shared by the figure/table binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index). This library holds the
+//! common machinery: node sweeps run in parallel with crossbeam scoped
+//! threads, the analytic "model" line of Figures 7–10, scale control,
+//! and output helpers.
+//!
+//! # Scale control
+//!
+//! By default the harness runs a *quick* configuration (full file
+//! populations, request streams capped at 150 000) so every figure
+//! regenerates in seconds. Set `L2S_BENCH_FULL=1` to simulate the
+//! complete Table 2 request counts (up to 3.1 M requests per run), which
+//! reproduces the paper at full fidelity. `L2S_RESULTS_DIR` redirects
+//! CSV output (default `results/`).
+
+#![warn(missing_docs)]
+
+use l2s::PolicyKind;
+use l2s_model::{ModelParams, QueueModel, ServerKind};
+use l2s_sim::{simulate, SimConfig, SimReport};
+use l2s_trace::{Trace, TraceSpec, TraceStats};
+use l2s_util::ascii::{line_chart, Series};
+use l2s_util::csv::{results_dir, CsvTable};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+
+/// The cluster sizes of Figures 7–10.
+pub const PAPER_NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 12, 16];
+
+/// The three servers of Figures 7–10, in plotting order.
+pub const PAPER_POLICIES: [PolicyKind; 3] =
+    [PolicyKind::L2s, PolicyKind::Lard, PolicyKind::Traditional];
+
+/// Whether full-fidelity mode was requested via `L2S_BENCH_FULL=1`.
+pub fn full_fidelity() -> bool {
+    std::env::var("L2S_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Request cap for simulation runs (`None` in full-fidelity mode).
+pub fn request_cap() -> Option<usize> {
+    if full_fidelity() {
+        None
+    } else {
+        Some(150_000)
+    }
+}
+
+/// Deterministic per-trace generation seed.
+pub fn trace_seed(spec: &TraceSpec) -> u64 {
+    // Stable hash of the trace name.
+    spec.name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+}
+
+/// Generates a Table 2 trace at harness scale.
+pub fn paper_trace(spec: &TraceSpec) -> Trace {
+    spec.generate(trace_seed(spec))
+}
+
+/// One cell of a node sweep.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Policy simulated.
+    pub policy: PolicyKind,
+    /// Full measurement report.
+    pub report: SimReport,
+}
+
+/// Runs `trace` under every `(nodes, policy)` combination in parallel
+/// and returns the cells sorted by `(nodes, policy index)`.
+///
+/// `configure` customizes the base [`SimConfig`] per cluster size (cache
+/// size overrides, sensitivity knobs, ...).
+pub fn sweep<F>(
+    trace: &Trace,
+    node_counts: &[usize],
+    policies: &[PolicyKind],
+    configure: F,
+) -> Vec<SweepCell>
+where
+    F: Fn(usize) -> SimConfig + Sync,
+{
+    let cells: Mutex<Vec<SweepCell>> = Mutex::new(Vec::new());
+    let jobs: Vec<(usize, PolicyKind)> = node_counts
+        .iter()
+        .flat_map(|&n| policies.iter().map(move |&p| (n, p)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(n, policy)) = jobs.get(i) else {
+                    break;
+                };
+                let config = configure(n);
+                let report = simulate(&config, policy, trace);
+                cells.lock().push(SweepCell {
+                    nodes: n,
+                    policy,
+                    report,
+                });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut cells = cells.into_inner();
+    let order = |p: PolicyKind| policies.iter().position(|&q| q == p).unwrap_or(usize::MAX);
+    cells.sort_by_key(|c| (c.nodes, order(c.policy)));
+    cells
+}
+
+/// The default per-figure configuration: Section 5.1 parameters with the
+/// harness request cap applied.
+pub fn paper_config(nodes: usize) -> SimConfig {
+    SimConfig {
+        max_requests: request_cap(),
+        ..SimConfig::paper_default(nodes)
+    }
+}
+
+/// The analytic model line of Figures 7–10: the throughput upper bound
+/// of a locality-conscious server with 15 % replication, instantiated
+/// with the trace's measured population, Zipf exponent, and mean
+/// requested-file size.
+pub fn model_line(stats: &TraceStats, node_counts: &[usize], cache_kb: f64) -> Vec<(usize, f64)> {
+    node_counts
+        .iter()
+        .map(|&n| {
+            let params = ModelParams {
+                nodes: n,
+                replication: 0.15,
+                alpha: stats.alpha.max(0.05),
+                cache_kb,
+                avg_file_kb: stats.avg_request_kb,
+                ..ModelParams::default()
+            };
+            let model = QueueModel::new(params).expect("valid model parameters");
+            let derived = model
+                .derived_from_population(ServerKind::LocalityConscious, stats.num_files as f64);
+            (n, model.max_throughput_derived(&derived))
+        })
+        .collect()
+}
+
+/// Renders and writes one Figures 7–10 style experiment: simulated
+/// throughput for the three servers plus the model bound, as CSV and an
+/// ASCII chart. Returns the path written and the chart text.
+pub fn write_throughput_figure(
+    fig: &str,
+    spec: &TraceSpec,
+    cells: &[SweepCell],
+    model: &[(usize, f64)],
+) -> (PathBuf, String) {
+    let mut table = CsvTable::new(["nodes", "model", "l2s", "lard", "traditional"]);
+    let mut series: Vec<Series> = vec![
+        Series::new("model", Vec::new()),
+        Series::new("l2s", Vec::new()),
+        Series::new("lard", Vec::new()),
+        Series::new("traditional", Vec::new()),
+    ];
+    let nodes: Vec<usize> = model.iter().map(|&(n, _)| n).collect();
+    for (i, &n) in nodes.iter().enumerate() {
+        let get = |p: PolicyKind| {
+            cells
+                .iter()
+                .find(|c| c.nodes == n && c.policy == p)
+                .map(|c| c.report.throughput_rps)
+                .unwrap_or(0.0)
+        };
+        let row = [
+            model[i].1,
+            get(PolicyKind::L2s),
+            get(PolicyKind::Lard),
+            get(PolicyKind::Traditional),
+        ];
+        table.row_f64([n as f64, row[0], row[1], row[2], row[3]]);
+        for (s, v) in series.iter_mut().zip(row) {
+            s.points.push((n as f64, v));
+        }
+    }
+    let path = results_dir().join(format!("{fig}.csv"));
+    table.write_to(&path).expect("write figure CSV");
+    let chart = line_chart(
+        &format!(
+            "{fig}: throughput (requests/s) vs nodes — {} trace",
+            spec.name
+        ),
+        &series,
+        64,
+        20,
+    );
+    (path, chart)
+}
+
+/// Runs one complete Figures 7–10 experiment (sweep + model line +
+/// outputs) and prints the chart plus the paper's headline comparisons.
+pub fn run_paper_figure(fig: &str, spec: &TraceSpec) {
+    println!(
+        "== {fig}: {} trace ({} files, {} requests{}) ==",
+        spec.name,
+        spec.num_files,
+        spec.num_requests,
+        if full_fidelity() {
+            ", full fidelity"
+        } else {
+            ", quick mode (L2S_BENCH_FULL=1 for full)"
+        }
+    );
+    let trace = paper_trace(spec);
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "   generated: avg file {:.1} KB, avg request {:.1} KB, alpha {:.2}, working set {:.0} MB",
+        stats.avg_file_kb,
+        stats.avg_request_kb,
+        stats.alpha,
+        stats.working_set_kb / 1024.0
+    );
+    let cells = sweep(&trace, &PAPER_NODE_COUNTS, &PAPER_POLICIES, paper_config);
+    let model = model_line(&stats, &PAPER_NODE_COUNTS, paper_config(1).cache_kb);
+    let (path, chart) = write_throughput_figure(fig, spec, &cells, &model);
+    println!("{chart}");
+
+    let at16 = |p: PolicyKind| cell(&cells, 16, p).report.throughput_rps;
+    let l2s = at16(PolicyKind::L2s);
+    let lard = at16(PolicyKind::Lard);
+    let trad = at16(PolicyKind::Traditional);
+    let bound = model.last().map(|&(_, x)| x).unwrap_or(f64::NAN);
+    println!("  at 16 nodes: L2S {l2s:.0} r/s, LARD {lard:.0} r/s, traditional {trad:.0} r/s");
+    println!(
+        "  L2S vs LARD {:+.0}%, L2S vs traditional {:+.0}%, L2S at {:.0}% of the model bound",
+        (l2s / lard - 1.0) * 100.0,
+        (l2s / trad - 1.0) * 100.0,
+        l2s / bound * 100.0
+    );
+    println!("  CSV: {}", path.display());
+}
+
+/// Convenience accessor: the cell for `(nodes, policy)`.
+pub fn cell(cells: &[SweepCell], nodes: usize, policy: PolicyKind) -> &SweepCell {
+    cells
+        .iter()
+        .find(|c| c.nodes == nodes && c.policy == policy)
+        .expect("cell present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let presets = TraceSpec::paper_presets();
+        let seeds: Vec<u64> = presets.iter().map(trace_seed).collect();
+        assert_eq!(seeds, presets.iter().map(trace_seed).collect::<Vec<_>>());
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_matrix() {
+        let trace = TraceSpec::calgary().scaled(200, 3_000).generate(1);
+        let cells = sweep(
+            &trace,
+            &[1, 2],
+            &[PolicyKind::Traditional, PolicyKind::L2s],
+            |n| SimConfig::quick(n, 1_000.0),
+        );
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].nodes, 1);
+        assert_eq!(cells[3].nodes, 2);
+        for c in &cells {
+            assert_eq!(c.report.completed, 3_000);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_despite_parallelism() {
+        let trace = TraceSpec::nasa().scaled(150, 2_000).generate(2);
+        let run = || {
+            sweep(&trace, &[1, 2, 4], &[PolicyKind::L2s], |n| {
+                SimConfig::quick(n, 800.0)
+            })
+            .iter()
+            .map(|c| c.report.throughput_rps)
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn model_line_grows_with_nodes() {
+        let trace = TraceSpec::calgary().scaled(2_000, 50_000).generate(3);
+        let stats = TraceStats::compute(&trace);
+        let line = model_line(&stats, &[1, 4, 16], 32.0 * 1024.0);
+        assert_eq!(line.len(), 3);
+        assert!(line[0].1 < line[1].1 && line[1].1 < line[2].1);
+    }
+
+    #[test]
+    fn figure_writer_emits_csv_and_chart() {
+        let dir = std::env::temp_dir().join("l2s-bench-test");
+        std::env::set_var("L2S_RESULTS_DIR", &dir);
+        let spec = TraceSpec::calgary().scaled(200, 2_000);
+        let trace = spec.generate(4);
+        let cells = sweep(&trace, &[1, 2], &PAPER_POLICIES, |n| {
+            SimConfig::quick(n, 1_000.0)
+        });
+        let stats = TraceStats::compute(&trace);
+        let model = model_line(&stats, &[1, 2], 1_000.0);
+        let (path, chart) = write_throughput_figure("figtest", &spec, &cells, &model);
+        assert!(path.exists());
+        assert!(chart.contains("figtest"));
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("nodes,model,l2s,lard,traditional"));
+        assert_eq!(csv.lines().count(), 3);
+        std::env::remove_var("L2S_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,379 @@
+//! A byte-capacity LRU cache of whole files.
+
+use crate::FileId;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot {
+    file: FileId,
+    kb: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// Cumulative cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the file resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Files inserted.
+    pub insertions: u64,
+    /// Files evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss fraction over all lookups (0 when none were made).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache of whole files with a byte (KB) capacity — the main
+/// memory of one cluster node.
+///
+/// Files larger than the capacity are never cached (they stream from
+/// disk every time), matching how a real server's unified buffer cache
+/// behaves for oversized objects.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity_kb: f64,
+    used_kb: f64,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    index: HashMap<FileId, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity_kb` KB.
+    pub fn new(capacity_kb: f64) -> Self {
+        assert!(
+            capacity_kb > 0.0 && capacity_kb.is_finite(),
+            "capacity must be positive"
+        );
+        LruCache {
+            capacity_kb,
+            used_kb: 0.0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Configured capacity in KB.
+    pub fn capacity_kb(&self) -> f64 {
+        self.capacity_kb
+    }
+
+    /// Bytes currently resident, in KB.
+    pub fn used_kb(&self) -> f64 {
+        self.used_kb
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (used after cache warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Whether `file` is resident, without touching recency or stats.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.index.contains_key(&file)
+    }
+
+    /// Looks up `file`: on a hit, moves it to the MRU position and
+    /// returns `true`; on a miss returns `false`. Updates statistics.
+    pub fn touch(&mut self, file: FileId) -> bool {
+        match self.index.get(&file).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts `file` of `kb` KB at the MRU position, evicting LRU files
+    /// until it fits. Returns the evicted files. A file already resident
+    /// is just refreshed (touch without stats). A file larger than the
+    /// whole cache is not cached and evicts nothing.
+    pub fn insert(&mut self, file: FileId, kb: f64) -> Vec<FileId> {
+        assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
+        if let Some(&slot) = self.index.get(&file) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return Vec::new();
+        }
+        if kb > self.capacity_kb {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used_kb + kb > self.capacity_kb {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "capacity accounting out of sync");
+            let victim = self.slots[lru].file;
+            self.remove_slot(lru);
+            self.stats.evictions += 1;
+            evicted.push(victim);
+        }
+        let slot = self.alloc(file, kb);
+        self.push_front(slot);
+        self.index.insert(file, slot);
+        self.used_kb += kb;
+        self.stats.insertions += 1;
+        evicted
+    }
+
+    /// Removes `file` if resident; returns whether it was.
+    pub fn remove(&mut self, file: FileId) -> bool {
+        match self.index.get(&file).copied() {
+            Some(slot) => {
+                self.remove_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resident files from most- to least-recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (FileId, f64)> + '_ {
+        let mut cursor = self.head;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                None
+            } else {
+                let s = &self.slots[cursor];
+                cursor = s.next;
+                Some((s.file, s.kb))
+            }
+        })
+    }
+
+    fn alloc(&mut self, file: FileId, kb: f64) -> usize {
+        let slot = Slot {
+            file,
+            kb,
+            prev: NIL,
+            next: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        self.unlink(slot);
+        let file = self.slots[slot].file;
+        self.used_kb -= self.slots[slot].kb;
+        if self.used_kb < 0.0 {
+            self.used_kb = 0.0; // guard against float drift
+        }
+        self.index.remove(&file);
+        self.free.push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_touch() {
+        let mut c = LruCache::new(100.0);
+        assert!(c.insert(1, 40.0).is_empty());
+        assert!(c.touch(1));
+        assert!(!c.touch(2));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_kb(), 40.0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(100.0);
+        c.insert(1, 40.0);
+        c.insert(2, 40.0);
+        // Touch 1 so 2 becomes LRU.
+        c.touch(1);
+        let evicted = c.insert(3, 40.0);
+        assert_eq!(evicted, vec![2]);
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn evicts_multiple_to_fit_large_file() {
+        let mut c = LruCache::new(100.0);
+        c.insert(1, 30.0);
+        c.insert(2, 30.0);
+        c.insert(3, 30.0);
+        // 80 KB only fits once all three 30 KB files are gone
+        // (30 + 80 = 110 > 100).
+        let evicted = c.insert(4, 80.0);
+        assert_eq!(evicted, vec![1, 2, 3]);
+        assert_eq!(c.used_kb(), 80.0);
+        assert!(c.used_kb() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn oversized_file_is_not_cached() {
+        let mut c = LruCache::new(50.0);
+        c.insert(1, 30.0);
+        let evicted = c.insert(2, 60.0);
+        assert!(evicted.is_empty());
+        assert!(!c.contains(2));
+        assert!(c.contains(1), "resident files untouched");
+    }
+
+    #[test]
+    fn reinserting_resident_file_refreshes_recency() {
+        let mut c = LruCache::new(100.0);
+        c.insert(1, 40.0);
+        c.insert(2, 40.0);
+        c.insert(1, 40.0); // refresh, no growth
+        assert_eq!(c.used_kb(), 80.0);
+        let evicted = c.insert(3, 40.0);
+        assert_eq!(evicted, vec![2], "2 was LRU after 1's refresh");
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = LruCache::new(100.0);
+        c.insert(1, 60.0);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        assert_eq!(c.used_kb(), 0.0);
+        assert!(c.is_empty());
+        assert!(c.insert(2, 100.0).is_empty());
+    }
+
+    #[test]
+    fn mru_iteration_order() {
+        let mut c = LruCache::new(1000.0);
+        c.insert(1, 10.0);
+        c.insert(2, 10.0);
+        c.insert(3, 10.0);
+        c.touch(1);
+        let order: Vec<FileId> = c.iter_mru().map(|(f, _)| f).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut c = LruCache::new(100.0);
+        c.insert(1, 10.0);
+        c.touch(1);
+        c.touch(9);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.contains(1), "contents survive stats reset");
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = LruCache::new(30.0);
+        for i in 0..1000u32 {
+            c.insert(i, 10.0);
+        }
+        // Only 3 files fit; the slot pool must not grow unboundedly.
+        assert_eq!(c.len(), 3);
+        assert!(c.slots.len() <= 4, "slots = {}", c.slots.len());
+    }
+
+    #[test]
+    fn stress_consistency() {
+        let mut rng = l2s_util::DetRng::new(77);
+        let mut c = LruCache::new(500.0);
+        for _ in 0..20_000 {
+            let f = rng.below(200) as FileId;
+            if rng.chance(0.5) {
+                c.touch(f);
+            } else {
+                c.insert(f, 1.0 + rng.f64() * 20.0);
+            }
+            assert!(c.used_kb() <= 500.0 + 1e-6);
+        }
+        // Index and list agree.
+        assert_eq!(c.iter_mru().count(), c.len());
+        let listed: f64 = c.iter_mru().map(|(_, kb)| kb).sum();
+        assert!((listed - c.used_kb()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,231 @@
+//! GreedyDual-Size caching (Cao & Irani, USENIX Symposium on Internet
+//! Technologies and Systems 1997) — the classic WWW cache replacement
+//! policy, provided as an ablation against the paper's LRU.
+//!
+//! Each resident file carries a priority `H(f) = L + cost(f)/size(f)`
+//! where `L` is an aging baseline. Eviction removes the minimum-priority
+//! file and raises `L` to its priority; a hit refreshes the file's
+//! priority with the current `L`. With unit cost (the variant
+//! implemented here, "GDS(1)"), small files are preferentially kept —
+//! appropriate when the goal is maximizing hit *count*.
+
+use crate::{CacheStats, FileId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Priority key ordered as `(priority bits, file)`. Priorities are
+/// non-negative finite floats, so their IEEE-754 bit patterns order
+/// identically to their values.
+type PriKey = (u64, FileId);
+
+/// A GreedyDual-Size(1) cache with a byte (KB) capacity.
+#[derive(Clone, Debug)]
+pub struct GdsCache {
+    capacity_kb: f64,
+    used_kb: f64,
+    aging: f64,
+    entries: HashMap<FileId, (f64, f64)>, // file -> (kb, priority)
+    queue: BTreeSet<PriKey>,
+    stats: CacheStats,
+}
+
+impl GdsCache {
+    /// Creates a cache holding at most `capacity_kb` KB.
+    pub fn new(capacity_kb: f64) -> Self {
+        assert!(
+            capacity_kb > 0.0 && capacity_kb.is_finite(),
+            "capacity must be positive"
+        );
+        GdsCache {
+            capacity_kb,
+            used_kb: 0.0,
+            aging: 0.0,
+            entries: HashMap::new(),
+            queue: BTreeSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn priority(&self, kb: f64) -> f64 {
+        self.aging + 1.0 / kb
+    }
+
+    fn key(pri: f64, file: FileId) -> PriKey {
+        (pri.to_bits(), file)
+    }
+
+    /// Configured capacity in KB.
+    pub fn capacity_kb(&self) -> f64 {
+        self.capacity_kb
+    }
+
+    /// Bytes currently resident, in KB.
+    pub fn used_kb(&self) -> f64 {
+        self.used_kb
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The current aging baseline `L` (for tests).
+    pub fn aging(&self) -> f64 {
+        self.aging
+    }
+
+    /// Whether `file` is resident, without touching priority or stats.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.entries.contains_key(&file)
+    }
+
+    /// Looks up `file`: on a hit, refreshes its priority and returns
+    /// `true`. Updates statistics.
+    pub fn touch(&mut self, file: FileId) -> bool {
+        match self.entries.get(&file).copied() {
+            Some((kb, old_pri)) => {
+                self.stats.hits += 1;
+                let new_pri = self.priority(kb);
+                self.queue.remove(&Self::key(old_pri, file));
+                self.queue.insert(Self::key(new_pri, file));
+                self.entries.insert(file, (kb, new_pri));
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts `file` of `kb` KB, evicting minimum-priority files until
+    /// it fits. Returns the evicted files. Oversized files are not
+    /// cached.
+    pub fn insert(&mut self, file: FileId, kb: f64) -> Vec<FileId> {
+        assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
+        if let Some((old_kb, old_pri)) = self.entries.get(&file).copied() {
+            if (old_kb - kb).abs() < 1e-12 {
+                // Plain refresh.
+                self.queue.remove(&Self::key(old_pri, file));
+                let pri = self.priority(kb);
+                self.queue.insert(Self::key(pri, file));
+                self.entries.insert(file, (kb, pri));
+                return Vec::new();
+            }
+            // Size changed: drop the stale entry and insert fresh below,
+            // so growth goes through the eviction loop.
+            self.queue.remove(&Self::key(old_pri, file));
+            self.entries.remove(&file);
+            self.used_kb -= old_kb;
+        }
+        if kb > self.capacity_kb {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used_kb + kb > self.capacity_kb {
+            let &(pri_bits, victim) = self.queue.iter().next().expect("accounting out of sync");
+            self.queue.remove(&(pri_bits, victim));
+            let (vkb, vpri) = self.entries.remove(&victim).expect("queue/map in sync");
+            self.used_kb -= vkb;
+            self.aging = self.aging.max(vpri);
+            self.stats.evictions += 1;
+            evicted.push(victim);
+        }
+        let pri = self.priority(kb);
+        self.queue.insert(Self::key(pri, file));
+        self.entries.insert(file, (kb, pri));
+        self.used_kb += kb;
+        self.stats.insertions += 1;
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_touch_and_stats() {
+        let mut c = GdsCache::new(100.0);
+        assert!(c.insert(1, 40.0).is_empty());
+        assert!(c.touch(1));
+        assert!(!c.touch(2));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_kb(), 40.0);
+    }
+
+    #[test]
+    fn prefers_keeping_small_files() {
+        let mut c = GdsCache::new(100.0);
+        c.insert(1, 80.0); // large: H = 1/80
+        c.insert(2, 10.0); // small: H = 1/10
+        // A new insert that needs room evicts the large file first.
+        let evicted = c.insert(3, 50.0);
+        assert_eq!(evicted, vec![1], "large file evicted first");
+        assert!(c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn aging_lets_new_files_displace_stale_small_ones() {
+        let mut c = GdsCache::new(20.0);
+        c.insert(1, 10.0); // H = 0.1
+        // Evictions raise L; eventually even files larger than old
+        // residents get in because L grows.
+        for f in 2..50u32 {
+            c.insert(f, 15.0);
+        }
+        assert!(c.aging() > 0.0);
+        assert!(!c.contains(1), "stale small file aged out");
+    }
+
+    #[test]
+    fn oversized_files_bypass() {
+        let mut c = GdsCache::new(50.0);
+        c.insert(1, 20.0);
+        assert!(c.insert(2, 60.0).is_empty());
+        assert!(!c.contains(2));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn capacity_respected_under_churn() {
+        let mut rng = l2s_util::DetRng::new(5);
+        let mut c = GdsCache::new(300.0);
+        for _ in 0..5_000 {
+            let f = rng.below(100) as FileId;
+            if rng.chance(0.5) {
+                c.touch(f);
+            } else {
+                c.insert(f, 1.0 + rng.f64() * 30.0);
+            }
+            assert!(c.used_kb() <= 300.0 + 1e-6);
+            assert_eq!(c.queue.len(), c.entries.len(), "queue/map desync");
+        }
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c = GdsCache::new(100.0);
+        c.insert(1, 10.0);
+        c.touch(1);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.contains(1));
+    }
+}

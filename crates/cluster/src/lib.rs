@@ -1,0 +1,33 @@
+//! Node hardware substrate for the cluster simulator.
+//!
+//! Each cluster node is a commodity workstation (Figure 1 of the paper):
+//! CPU, main-memory file cache, disk, and a network interface. This crate
+//! models those pieces:
+//!
+//! * [`LruCache`] — a byte-capacity LRU cache of whole files, the unit of
+//!   caching in all three simulated servers — plus [`GdsCache`]
+//!   (GreedyDual-Size) as an ablation, both behind [`FileCache`];
+//! * [`NodeCosts`] — every per-operation service time from Table 1 and
+//!   Section 5.1 (parse, forward, memory reply, disk read, NI transfer,
+//!   and the M-VIA message cost breakdown);
+//! * [`NodeHardware`] — the four contended stations of one node (CPU,
+//!   disk, inbound NI, outbound NI) plus its cache, with hit/miss
+//!   accounting.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod costs;
+mod filecache;
+mod gds;
+mod node;
+
+pub use cache::{CacheStats, LruCache};
+pub use costs::NodeCosts;
+pub use filecache::{CachePolicy, FileCache};
+pub use gds::GdsCache;
+pub use node::{build_nodes, NodeHardware};
+
+/// Identifies one file served by the cluster. Structurally identical to
+/// `l2s_trace::FileId` (both are `u32`), so traces plug in directly.
+pub type FileId = u32;

@@ -1,0 +1,176 @@
+//! One cluster node's contended stations and cache.
+
+use crate::{CachePolicy, FileCache, FileId};
+use l2s_devs::FifoResource;
+use l2s_util::{SimDuration, SimTime};
+
+/// The hardware of one cluster node: the four contended FIFO stations
+/// (CPU, disk, inbound NI, outbound NI) plus the main-memory file cache.
+///
+/// The simulator owns the event loop; `NodeHardware` provides the
+/// stations and bookkeeping so every server flavor (traditional, LARD,
+/// L2S) shares identical hardware modeling.
+#[derive(Clone, Debug)]
+pub struct NodeHardware {
+    /// Processor (parse, forward, reply, and message handling).
+    pub cpu: FifoResource,
+    /// Local disk.
+    pub disk: FifoResource,
+    /// Inbound network interface.
+    pub ni_in: FifoResource,
+    /// Outbound network interface.
+    pub ni_out: FifoResource,
+    /// Main-memory file cache.
+    pub cache: FileCache,
+    /// Requests this node finished serving (since last stats reset).
+    pub completed: u64,
+}
+
+impl NodeHardware {
+    /// A node with `cache_kb` of LRU-managed main memory and an
+    /// inbound-NI buffer of `ni_buffer` requests (the admission bound of
+    /// Section 5.1).
+    pub fn new(cache_kb: f64, ni_buffer: usize) -> Self {
+        Self::with_policy(CachePolicy::Lru, cache_kb, ni_buffer)
+    }
+
+    /// A node whose cache runs the given replacement policy.
+    pub fn with_policy(policy: CachePolicy, cache_kb: f64, ni_buffer: usize) -> Self {
+        NodeHardware {
+            cpu: FifoResource::new(),
+            disk: FifoResource::new(),
+            ni_in: FifoResource::with_capacity(ni_buffer),
+            ni_out: FifoResource::new(),
+            cache: FileCache::new(policy, cache_kb),
+            completed: 0,
+        }
+    }
+
+    /// Looks the file up in the cache (recording hit/miss) and, on a
+    /// miss, inserts it after its disk read. Returns whether it hit.
+    pub fn access_file(&mut self, file: FileId, kb: f64) -> bool {
+        if self.cache.touch(file) {
+            true
+        } else {
+            self.cache.insert(file, kb);
+            false
+        }
+    }
+
+    /// Warms the cache with one file reference without touching hit/miss
+    /// statistics (used for the pre-measurement warm-up pass).
+    pub fn warm_file(&mut self, file: FileId, kb: f64) {
+        if !self.cache.contains(file) {
+            self.cache.insert(file, kb);
+        } else {
+            // Refresh recency.
+            self.cache.insert(file, kb);
+        }
+    }
+
+    /// CPU idle fraction over a measurement window.
+    pub fn cpu_idle_fraction(&self, window: SimDuration) -> f64 {
+        1.0 - self.cpu.utilization(window)
+    }
+
+    /// Zeroes all statistics (stations, cache, completion counter)
+    /// without disturbing in-flight state or cache contents.
+    pub fn reset_stats(&mut self) {
+        self.cpu.reset_stats();
+        self.disk.reset_stats();
+        self.ni_in.reset_stats();
+        self.ni_out.reset_stats();
+        self.cache.reset_stats();
+        self.completed = 0;
+    }
+
+    /// Whether the inbound NI would accept one more request at `now`.
+    pub fn accepts_request(&mut self, now: SimTime) -> bool {
+        self.ni_in.would_accept(now)
+    }
+}
+
+/// Convenience: builds `n` identical nodes.
+pub fn build_nodes(
+    n: usize,
+    policy: CachePolicy,
+    cache_kb: f64,
+    ni_buffer: usize,
+) -> Vec<NodeHardware> {
+    (0..n)
+        .map(|_| NodeHardware::with_policy(policy, cache_kb, ni_buffer))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2s_util::SimDuration;
+
+    #[test]
+    fn access_records_hits_and_misses() {
+        let mut n = NodeHardware::new(100.0, 8);
+        assert!(!n.access_file(1, 10.0), "first access misses");
+        assert!(n.access_file(1, 10.0), "second access hits");
+        let s = n.cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 1);
+    }
+
+    #[test]
+    fn warm_does_not_touch_stats() {
+        let mut n = NodeHardware::new(100.0, 8);
+        n.warm_file(1, 10.0);
+        n.warm_file(2, 10.0);
+        assert_eq!(n.cache.stats().hits + n.cache.stats().misses, 0);
+        assert!(n.access_file(1, 10.0), "warmed file hits");
+    }
+
+    #[test]
+    fn reset_preserves_cache_contents() {
+        let mut n = NodeHardware::new(100.0, 8);
+        n.access_file(1, 10.0);
+        n.completed = 5;
+        n.reset_stats();
+        assert_eq!(n.completed, 0);
+        assert_eq!(n.cache.stats().misses, 0);
+        assert!(n.cache.contains(1));
+    }
+
+    #[test]
+    fn idle_fraction_complements_utilization() {
+        let mut n = NodeHardware::new(100.0, 8);
+        let now = SimTime::ZERO;
+        n.cpu.schedule(now, SimDuration::from_millis(250));
+        let idle = n.cpu_idle_fraction(SimDuration::from_millis(1000));
+        assert!((idle - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ni_buffer_limits_admission() {
+        let mut n = NodeHardware::new(100.0, 2);
+        let now = SimTime::ZERO;
+        let svc = SimDuration::from_millis(10);
+        assert!(n.accepts_request(now));
+        n.ni_in.try_schedule(now, svc).unwrap();
+        n.ni_in.try_schedule(now, svc).unwrap();
+        assert!(!n.accepts_request(now), "buffer of 2 is full");
+    }
+
+    #[test]
+    fn build_nodes_makes_identical_nodes() {
+        let nodes = build_nodes(4, CachePolicy::Lru, 64.0, 16);
+        assert_eq!(nodes.len(), 4);
+        for n in &nodes {
+            assert_eq!(n.cache.capacity_kb(), 64.0);
+            assert_eq!(n.cache.policy(), CachePolicy::Lru);
+        }
+    }
+
+    #[test]
+    fn nodes_can_run_gds_caches() {
+        let n = NodeHardware::with_policy(CachePolicy::GreedyDualSize, 64.0, 16);
+        assert_eq!(n.cache.policy(), CachePolicy::GreedyDualSize);
+    }
+}

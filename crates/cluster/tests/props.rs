@@ -1,0 +1,64 @@
+//! Property-based tests for the node-hardware substrate.
+
+use l2s_cluster::{LruCache, NodeCosts};
+use proptest::prelude::*;
+
+proptest! {
+    /// The cache never exceeds capacity, never double-counts a file, and
+    /// hit/miss statistics tally with lookups.
+    #[test]
+    fn lru_accounting_invariants(
+        capacity in 10.0f64..500.0,
+        ops in prop::collection::vec((0u32..200, 0.5f64..60.0, 0u8..3), 1..500),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        let mut lookups = 0u64;
+        for (file, kb, op) in ops {
+            match op {
+                0 => {
+                    cache.touch(file);
+                    lookups += 1;
+                }
+                1 => {
+                    cache.insert(file, kb);
+                }
+                _ => {
+                    cache.remove(file);
+                }
+            }
+            prop_assert!(cache.used_kb() <= capacity + 1e-9);
+            let listed: f64 = cache.iter_mru().map(|(_, s)| s).sum();
+            prop_assert!((listed - cache.used_kb()).abs() < 1e-6);
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits + stats.misses, lookups);
+        }
+    }
+
+    /// MRU iteration yields each resident file exactly once.
+    #[test]
+    fn lru_iteration_is_a_set(ops in prop::collection::vec((0u32..50, 1.0f64..10.0), 1..300)) {
+        let mut cache = LruCache::new(120.0);
+        for (file, kb) in ops {
+            cache.insert(file, kb);
+        }
+        let files: Vec<u32> = cache.iter_mru().map(|(f, _)| f).collect();
+        let mut dedup = files.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), files.len(), "duplicate in MRU list");
+        for f in files {
+            prop_assert!(cache.contains(f));
+        }
+    }
+
+    /// Every cost formula is non-negative and monotone in transfer size.
+    #[test]
+    fn costs_monotone_in_size(a in 0.1f64..1_000.0, b in 0.1f64..1_000.0) {
+        let costs = NodeCosts::default();
+        let (small, large) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(costs.mem_reply(small) <= costs.mem_reply(large));
+        prop_assert!(costs.disk_read(small) <= costs.disk_read(large));
+        prop_assert!(costs.ni_out(small) <= costs.ni_out(large));
+        prop_assert!(costs.disk_read(small).as_nanos() > 0);
+    }
+}

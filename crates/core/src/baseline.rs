@@ -1,0 +1,292 @@
+//! The traditional server and the two single-minded baselines.
+
+use crate::{argmin, Assignment, Distributor, NodeId, PolicyKind};
+use l2s_cluster::FileId;
+use l2s_util::SimTime;
+
+/// The paper's **traditional** cluster server: a load-balancing switch
+/// assigns each new request to the node with the fewest open connections
+/// ("fewest-connections scheme, all cluster nodes are equally powerful"),
+/// and each node serves its requests independently. Distribution is
+/// oblivious to cache contents, so every node's memory converges to an
+/// independent copy of the hottest files.
+#[derive(Clone, Debug)]
+pub struct Traditional {
+    loads: Vec<u32>,
+}
+
+impl Traditional {
+    /// A traditional server over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Traditional { loads: vec![0; n] }
+    }
+}
+
+impl Distributor for Traditional {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Traditional
+    }
+
+    fn arrival_node(&mut self) -> NodeId {
+        // The switch delivers the connection straight to the node that
+        // will serve it, and tracks the connection from acceptance time
+        // (otherwise a burst of simultaneous arrivals would all pile
+        // onto the momentarily-least-loaded node).
+        let node = argmin(self.loads.iter().copied().enumerate());
+        self.loads[node] += 1;
+        node
+    }
+
+    fn arrival_continuation(&mut self, holder: NodeId) {
+        // The connection stays where it is; the switch sees one more
+        // request on it.
+        self.loads[holder] += 1;
+    }
+
+    fn assign(&mut self, _now: SimTime, initial: NodeId, _file: FileId) -> Assignment {
+        // The connection was counted at arrival.
+        Assignment {
+            service: initial,
+            forwarded: false,
+            control_msgs: 0,
+        }
+    }
+
+    fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
+        debug_assert!(self.loads[node] > 0, "completion without assignment");
+        self.loads[node] -= 1;
+        0
+    }
+
+    fn open_connections(&self, node: NodeId) -> u32 {
+        self.loads[node]
+    }
+
+    fn serving_nodes(&self) -> Vec<NodeId> {
+        (0..self.loads.len()).collect()
+    }
+}
+
+/// Pure load spreading: requests cycle through the nodes regardless of
+/// load or locality (round-robin DNS with no server-side smarts).
+#[derive(Clone, Debug)]
+pub struct RoundRobin {
+    loads: Vec<u32>,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin server over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        RoundRobin {
+            loads: vec![0; n],
+            next: 0,
+        }
+    }
+}
+
+impl Distributor for RoundRobin {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::RoundRobin
+    }
+
+    fn arrival_node(&mut self) -> NodeId {
+        let node = self.next;
+        self.next = (self.next + 1) % self.loads.len();
+        self.loads[node] += 1;
+        node
+    }
+
+    fn arrival_continuation(&mut self, holder: NodeId) {
+        self.loads[holder] += 1;
+    }
+
+    fn assign(&mut self, _now: SimTime, initial: NodeId, _file: FileId) -> Assignment {
+        // The connection was counted at arrival.
+        Assignment {
+            service: initial,
+            forwarded: false,
+            control_msgs: 0,
+        }
+    }
+
+    fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
+        debug_assert!(self.loads[node] > 0);
+        self.loads[node] -= 1;
+        0
+    }
+
+    fn open_connections(&self, node: NodeId) -> u32 {
+        self.loads[node]
+    }
+
+    fn serving_nodes(&self) -> Vec<NodeId> {
+        (0..self.loads.len()).collect()
+    }
+}
+
+/// Pure locality: each file is statically owned by `hash(file) mod N`.
+/// Maximizes aggregate cache effectiveness but ignores load entirely —
+/// the strict no-replication organization whose load imbalance the
+/// paper's Section 1 warns about.
+#[derive(Clone, Debug)]
+pub struct PureLocality {
+    loads: Vec<u32>,
+    next_arrival: usize,
+}
+
+impl PureLocality {
+    /// A hash-partitioned server over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        PureLocality {
+            loads: vec![0; n],
+            next_arrival: 0,
+        }
+    }
+
+    /// The static owner of `file`.
+    pub fn owner(&self, file: FileId) -> NodeId {
+        // Fibonacci hashing spreads sequential ids well.
+        let h = (file as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h % self.loads.len() as u64) as NodeId
+    }
+}
+
+impl Distributor for PureLocality {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PureLocality
+    }
+
+    fn arrival_node(&mut self) -> NodeId {
+        // Round-robin DNS; the owner is only known after parsing.
+        let node = self.next_arrival;
+        self.next_arrival = (self.next_arrival + 1) % self.loads.len();
+        node
+    }
+
+    fn assign(&mut self, _now: SimTime, initial: NodeId, file: FileId) -> Assignment {
+        let service = self.owner(file);
+        self.loads[service] += 1;
+        Assignment {
+            service,
+            forwarded: service != initial,
+            control_msgs: 0,
+        }
+    }
+
+    fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
+        debug_assert!(self.loads[node] > 0);
+        self.loads[node] -= 1;
+        0
+    }
+
+    fn open_connections(&self, node: NodeId) -> u32 {
+        self.loads[node]
+    }
+
+    fn serving_nodes(&self) -> Vec<NodeId> {
+        (0..self.loads.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traditional_picks_fewest_connections() {
+        let mut t = Traditional::new(3);
+        // Load node 0 and 1.
+        for _ in 0..2 {
+            let n = t.arrival_node();
+            t.assign(SimTime::ZERO, n, 0);
+        }
+        assert_eq!(t.open_connections(0), 1);
+        assert_eq!(t.open_connections(1), 1);
+        // Third arrival must land on node 2.
+        assert_eq!(t.arrival_node(), 2);
+    }
+
+    #[test]
+    fn traditional_rebalances_after_completion() {
+        let mut t = Traditional::new(2);
+        let a = t.arrival_node();
+        t.assign(SimTime::ZERO, a, 0);
+        let b = t.arrival_node();
+        t.assign(SimTime::ZERO, b, 1);
+        assert_ne!(a, b);
+        t.complete(SimTime::ZERO, a, 0);
+        assert_eq!(t.arrival_node(), a, "freed node is least loaded again");
+    }
+
+    #[test]
+    fn traditional_never_forwards() {
+        let mut t = Traditional::new(4);
+        for f in 0..20u32 {
+            let n = t.arrival_node();
+            let a = t.assign(SimTime::ZERO, n, f);
+            assert!(!a.forwarded);
+            assert_eq!(a.control_msgs, 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new(3);
+        let seq: Vec<_> = (0..6).map(|_| rr.arrival_node()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn pure_locality_is_sticky_per_file() {
+        let mut p = PureLocality::new(4);
+        let first = p.assign(SimTime::ZERO, 0, 42).service;
+        for _ in 0..10 {
+            let initial = p.arrival_node();
+            let a = p.assign(SimTime::ZERO, initial, 42);
+            assert_eq!(a.service, first, "same file, same owner");
+        }
+    }
+
+    #[test]
+    fn pure_locality_spreads_files() {
+        let p = PureLocality::new(4);
+        let mut seen = [false; 4];
+        for f in 0..64u32 {
+            seen[p.owner(f)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some node owns no files");
+    }
+
+    #[test]
+    fn pure_locality_forwarding_flag_tracks_owner() {
+        let mut p = PureLocality::new(2);
+        let owner = p.owner(7);
+        let a = p.assign(SimTime::ZERO, owner, 7);
+        assert!(!a.forwarded);
+        let other = 1 - owner;
+        let b = p.assign(SimTime::ZERO, other, 7);
+        assert!(b.forwarded);
+    }
+
+    #[test]
+    fn single_node_baselines_degenerate_cleanly() {
+        for kind in [
+            PolicyKind::Traditional,
+            PolicyKind::RoundRobin,
+            PolicyKind::PureLocality,
+        ] {
+            let mut p = kind.build(1);
+            for f in 0..5u32 {
+                let n = p.arrival_node();
+                assert_eq!(n, 0);
+                let a = p.assign(SimTime::ZERO, n, f);
+                assert_eq!(a.service, 0);
+                assert!(!a.forwarded);
+            }
+        }
+    }
+}

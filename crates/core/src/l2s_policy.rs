@@ -1,0 +1,558 @@
+//! L2S — the Locality and Load balancing Server (Section 4 of the paper).
+//!
+//! Every node can accept, distribute, *and* serve requests: client
+//! connections are spread by round-robin DNS; the receiving ("initial")
+//! node parses the request and decides locally, using its own — possibly
+//! stale — view of cluster load:
+//!
+//! * the initial node serves the request itself if it is not overloaded
+//!   (at most `T` open connections) and either belongs to the file's
+//!   server set or the file has never been requested;
+//! * otherwise the request is handed off to the least-loaded member of
+//!   the file's server set;
+//! * a node outside the server set is chosen (and added to the set —
+//!   replication) only when **both** the initial node and the
+//!   least-loaded member are overloaded;
+//! * server sets shrink again when the assigned node is underloaded
+//!   (below `t`), the set has more than one member, and the set has not
+//!   been modified for a while — bounding replication.
+//!
+//! Load dissemination is threshold-triggered: a node (re)broadcasts its
+//! connection count when it drifts `broadcast_delta` connections from
+//! the last broadcast value (4 in Section 5.1). Server-set changes are
+//! broadcast immediately; they are rare in steady state. Each broadcast
+//! costs `N - 1` point-to-point messages, which the simulator charges
+//! to CPUs and NIs.
+
+use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
+use l2s_cluster::FileId;
+use l2s_util::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// L2S tuning parameters; defaults are the paper's Section 5.1 values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct L2sConfig {
+    /// `T` — a node with more than this many open connections is
+    /// overloaded (default 20).
+    pub t_high: u32,
+    /// `t` — a node below this many connections is underloaded, enabling
+    /// server-set shrinking (default 10).
+    pub t_low: u32,
+    /// A node rebroadcasts its load when it drifts this many connections
+    /// from the last broadcast value (default 4).
+    pub broadcast_delta: u32,
+    /// Minimum age of a server set before it may shrink (default 5 s).
+    pub shrink_after: SimDuration,
+}
+
+impl Default for L2sConfig {
+    fn default() -> Self {
+        L2sConfig {
+            t_high: 20,
+            t_low: 10,
+            broadcast_delta: 4,
+            shrink_after: SimDuration::from_secs_f64(5.0),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ServerSet {
+    members: Vec<NodeId>,
+    last_modified: SimTime,
+}
+
+/// The L2S server.
+///
+/// Server sets are kept in one structure (their modifications are
+/// broadcast immediately and are rare, so the sub-20 µs inconsistency
+/// window is below the model's resolution), but **load views are kept
+/// per node**: `views[observer][subject]` is what `observer` believes
+/// `subject`'s load to be, updated only by broadcasts — except that a
+/// node always knows its own load exactly, and the initial node counts
+/// the hand-offs it just made.
+#[derive(Clone, Debug)]
+pub struct L2s {
+    config: L2sConfig,
+    nodes: usize,
+    true_loads: Vec<u32>,
+    views: Vec<Vec<u32>>,
+    last_broadcast: Vec<u32>,
+    sets: HashMap<FileId, ServerSet>,
+    next_arrival: usize,
+    /// Rotating tie-break cursor for least-loaded selections.
+    tie_cursor: usize,
+    /// Control messages emitted since the last drain.
+    outbox: Vec<(NodeId, NodeId)>,
+}
+
+impl L2s {
+    /// An L2S server over `n` nodes.
+    pub fn new(n: usize, config: L2sConfig) -> Self {
+        assert!(n >= 1);
+        assert!(config.t_low < config.t_high, "t must be below T");
+        assert!(config.broadcast_delta >= 1);
+        L2s {
+            config,
+            nodes: n,
+            true_loads: vec![0; n],
+            views: vec![vec![0; n]; n],
+            last_broadcast: vec![0; n],
+            sets: HashMap::new(),
+            next_arrival: 0,
+            tie_cursor: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Members of `file`'s server set (empty if never requested).
+    pub fn server_set(&self, file: FileId) -> &[NodeId] {
+        self.sets
+            .get(&file)
+            .map(|s| s.members.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// What `observer` currently believes `subject`'s load to be.
+    pub fn viewed_load(&self, observer: NodeId, subject: NodeId) -> u32 {
+        if observer == subject {
+            self.true_loads[subject]
+        } else {
+            self.views[observer][subject]
+        }
+    }
+
+    /// Applies a load change at `node` and returns the number of
+    /// point-to-point messages if the broadcast threshold tripped.
+    fn note_load_change(&mut self, node: NodeId) -> u32 {
+        let current = self.true_loads[node];
+        let drift = current.abs_diff(self.last_broadcast[node]);
+        if drift >= self.config.broadcast_delta {
+            for observer in 0..self.nodes {
+                self.views[observer][node] = current;
+                if observer != node {
+                    self.outbox.push((node, observer));
+                }
+            }
+            self.last_broadcast[node] = current;
+            (self.nodes - 1) as u32
+        } else {
+            0
+        }
+    }
+}
+
+impl Distributor for L2s {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::L2s
+    }
+
+    fn arrival_node(&mut self) -> NodeId {
+        // Round-robin DNS.
+        let node = self.next_arrival;
+        self.next_arrival = (self.next_arrival + 1) % self.nodes;
+        node
+    }
+
+    fn assign(&mut self, now: SimTime, initial: NodeId, file: FileId) -> Assignment {
+        let cfg = self.config;
+        let mut msgs = 0u32;
+        let own_load = self.true_loads[initial];
+
+        // The decision is taken on a snapshot of `initial`'s view of the
+        // world (its own load it knows exactly).
+        let view_row: Vec<u32> = (0..self.nodes)
+            .map(|k| {
+                if k == initial {
+                    self.true_loads[initial]
+                } else {
+                    self.views[initial][k]
+                }
+            })
+            .collect();
+
+        let all_nodes: Vec<NodeId> = (0..self.nodes).collect();
+        let service = if let Some(set) = self.sets.get(&file) {
+            if set.members.contains(&initial) && own_load <= cfg.t_high {
+                initial
+            } else {
+                let members = set.members.clone();
+                let n = argmin_rotating(&members, |m| view_row[m], &mut self.tie_cursor);
+                if view_row[n] <= cfg.t_high {
+                    n
+                } else if own_load > cfg.t_high {
+                    // Both the initial node and the least-loaded member
+                    // are overloaded: replicate onto the least-loaded
+                    // node overall.
+                    let m = argmin_rotating(&all_nodes, |k| view_row[k], &mut self.tie_cursor);
+                    let set = self.sets.get_mut(&file).expect("present");
+                    if !set.members.contains(&m) {
+                        set.members.push(m);
+                        set.last_modified = now;
+                        msgs += (self.nodes - 1) as u32;
+                        for o in 0..self.nodes {
+                            if o != initial {
+                                self.outbox.push((initial, o));
+                            }
+                        }
+                    }
+                    m
+                } else {
+                    // The member is overloaded but the initial node is
+                    // not: the replication condition does not hold, so
+                    // the request still goes to the caching member.
+                    n
+                }
+            }
+        } else {
+            // First request for this file.
+            let chosen = if own_load <= cfg.t_high {
+                initial
+            } else {
+                argmin_rotating(&all_nodes, |k| view_row[k], &mut self.tie_cursor)
+            };
+            self.sets.insert(
+                file,
+                ServerSet {
+                    members: vec![chosen],
+                    last_modified: now,
+                },
+            );
+            msgs += (self.nodes - 1) as u32;
+            for o in 0..self.nodes {
+                if o != initial {
+                    self.outbox.push((initial, o));
+                }
+            }
+            chosen
+        };
+
+        // Server-set shrinking: the assigned node is underloaded, the set
+        // is replicated, and the set has been stable for a while.
+        if let Some(set) = self.sets.get_mut(&file) {
+            if set.members.len() > 1
+                && view_row[service] < cfg.t_low
+                && now.saturating_since(set.last_modified) > cfg.shrink_after
+            {
+                let most = *set
+                    .members
+                    .iter()
+                    .max_by_key(|&&m| (view_row[m], m))
+                    .expect("non-empty");
+                // Keep the node that is about to serve the request.
+                let victim = if most == service {
+                    *set.members
+                        .iter()
+                        .filter(|&&m| m != service)
+                        .max_by_key(|&&m| (view_row[m], m))
+                        .expect("len > 1")
+                } else {
+                    most
+                };
+                set.members.retain(|&m| m != victim);
+                set.last_modified = now;
+                msgs += (self.nodes - 1) as u32;
+                for o in 0..self.nodes {
+                    if o != initial {
+                        self.outbox.push((initial, o));
+                    }
+                }
+            }
+        }
+
+        self.true_loads[service] += 1;
+        self.views[service][service] = self.true_loads[service];
+        if service != initial {
+            // The initial node saw its own hand-off.
+            self.views[initial][service] = self.views[initial][service].saturating_add(1);
+        }
+        msgs += self.note_load_change(service);
+
+        Assignment {
+            service,
+            forwarded: service != initial,
+            control_msgs: msgs,
+        }
+    }
+
+    /// P-HTTP adaptation: a continuation request is served by the node
+    /// holding the connection when that node already belongs to the
+    /// file's server set and is not overloaded — connection affinity
+    /// without a hand-off, but only where locality already lives.
+    /// (Serving unconditionally at the holder would replicate every
+    /// file onto every connection's node and collapse the aggregate
+    /// cache back to the locality-oblivious regime.) Everything else
+    /// runs the normal algorithm, migrating the connection to the
+    /// content.
+    fn assign_continuation(&mut self, now: SimTime, holder: NodeId, file: FileId) -> Assignment {
+        let cfg = self.config;
+        let in_set = self
+            .sets
+            .get(&file)
+            .map(|s| s.members.contains(&holder))
+            .unwrap_or(false);
+        if in_set && self.true_loads[holder] <= cfg.t_high {
+            self.true_loads[holder] += 1;
+            self.views[holder][holder] = self.true_loads[holder];
+            let msgs = self.note_load_change(holder);
+            Assignment {
+                service: holder,
+                forwarded: false,
+                control_msgs: msgs,
+            }
+        } else {
+            self.assign(now, holder, file)
+        }
+    }
+
+    fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
+        debug_assert!(self.true_loads[node] > 0, "completion without assignment");
+        self.true_loads[node] -= 1;
+        self.views[node][node] = self.true_loads[node];
+        self.note_load_change(node)
+    }
+
+    fn open_connections(&self, node: NodeId) -> u32 {
+        self.true_loads[node]
+    }
+
+    fn serving_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes).collect()
+    }
+
+    fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
+        out.append(&mut self.outbox);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2s(n: usize) -> L2s {
+        L2s::new(n, L2sConfig::default())
+    }
+
+    #[test]
+    fn first_request_stays_local() {
+        let mut s = l2s(4);
+        let initial = s.arrival_node();
+        let a = s.assign(SimTime::ZERO, initial, 7);
+        assert_eq!(a.service, initial);
+        assert!(!a.forwarded);
+        assert_eq!(s.server_set(7), &[initial]);
+        // Set creation is broadcast to the other 3 nodes.
+        assert_eq!(a.control_msgs, 3);
+    }
+
+    #[test]
+    fn member_serves_its_own_requests_without_forwarding() {
+        let mut s = l2s(4);
+        let owner = s.arrival_node();
+        s.assign(SimTime::ZERO, owner, 7);
+        // Same node receives the file again: serves locally.
+        let a = s.assign(SimTime::ZERO, owner, 7);
+        assert_eq!(a.service, owner);
+        assert!(!a.forwarded);
+    }
+
+    #[test]
+    fn non_member_forwards_to_the_set() {
+        let mut s = l2s(4);
+        let owner = s.arrival_node();
+        s.assign(SimTime::ZERO, owner, 7);
+        let other = s.arrival_node();
+        assert_ne!(other, owner);
+        let a = s.assign(SimTime::ZERO, other, 7);
+        assert_eq!(a.service, owner, "request follows cache locality");
+        assert!(a.forwarded);
+    }
+
+    /// Gives `node` ownership of `count` fresh files (while underloaded,
+    /// first requests stay local), starting at file id `base`.
+    fn seed_files(s: &mut L2s, node: NodeId, base: u32, count: u32) {
+        for f in base..base + count {
+            let a = s.assign(SimTime::ZERO, node, f);
+            assert_eq!(a.service, node, "seed request should stay local");
+        }
+    }
+
+    /// Pumps `node`'s load past the overload threshold by forwarding
+    /// requests for its files from `via` (whose own load stays low
+    /// enough not to trigger replication).
+    fn pump_via_forwards(s: &mut L2s, owner: NodeId, via: NodeId, base: u32, count: u32) {
+        for i in 0..count {
+            let a = s.assign(SimTime::ZERO, via, base + (i % 5));
+            assert_eq!(a.service, owner);
+        }
+    }
+
+    #[test]
+    fn overload_on_both_sides_replicates() {
+        let cfg = L2sConfig::default();
+        let mut s = l2s(2);
+        // Node 0 owns file 7 plus a working set, pumped past T by
+        // forwards from node 1.
+        s.assign(SimTime::ZERO, 0, 7);
+        seed_files(&mut s, 0, 100, 5);
+        pump_via_forwards(&mut s, 0, 1, 100, 22);
+        assert!(s.open_connections(0) > cfg.t_high);
+        // Node 1 fills with first requests of its own until overloaded.
+        seed_files(&mut s, 1, 200, cfg.t_high + 1);
+        assert!(s.open_connections(1) > cfg.t_high);
+        assert_eq!(s.server_set(7).len(), 1);
+        // Now a request for 7 lands on overloaded node 1 while the sole
+        // member (node 0) is also overloaded: replication.
+        let a = s.assign(SimTime::ZERO, 1, 7);
+        assert_eq!(s.server_set(7).len(), 2, "replicated under dual overload");
+        assert!(s.server_set(7).contains(&a.service));
+    }
+
+    #[test]
+    fn no_replication_when_initial_is_underloaded() {
+        let cfg = L2sConfig::default();
+        let mut s = l2s(2);
+        s.assign(SimTime::ZERO, 0, 7);
+        seed_files(&mut s, 0, 100, 5);
+        pump_via_forwards(&mut s, 0, 1, 100, 22);
+        assert!(s.open_connections(0) > cfg.t_high);
+        // Broadcasts (every 4 connections) keep node 1's view overloaded.
+        assert!(s.viewed_load(1, 0) > cfg.t_high);
+        // Node 1 is idle; it receives a request for 7. The set member is
+        // overloaded but node 1 is not, so the request is still forwarded
+        // (no replication).
+        let a = s.assign(SimTime::ZERO, 1, 7);
+        assert_eq!(a.service, 0);
+        assert_eq!(s.server_set(7).len(), 1);
+    }
+
+    #[test]
+    fn sets_shrink_when_underloaded_and_stale() {
+        let mut s = l2s(2);
+        // Build a replicated set by dual overload.
+        s.assign(SimTime::ZERO, 0, 7);
+        for _ in 0..30 {
+            s.assign(SimTime::ZERO, 0, 7);
+        }
+        for _ in 0..30 {
+            s.assign(SimTime::ZERO, 1, 9);
+        }
+        s.assign(SimTime::ZERO, 1, 7);
+        assert_eq!(s.server_set(7).len(), 2);
+        // Drain all load.
+        for node in 0..2 {
+            while s.open_connections(node) > 0 {
+                s.complete(SimTime::ZERO, node, 7);
+            }
+        }
+        // Well past the shrink interval, an underloaded assignment prunes
+        // the set.
+        let later = SimTime::from_secs_f64(60.0);
+        s.assign(later, 0, 7);
+        assert_eq!(s.server_set(7).len(), 1, "stale replica pruned");
+    }
+
+    #[test]
+    fn load_broadcasts_fire_every_delta_changes() {
+        let cfg = L2sConfig::default();
+        let mut s = l2s(4);
+        s.assign(SimTime::ZERO, 0, 1); // set creation: 3 msgs
+        let mut msgs = 0;
+        for _ in 0..cfg.broadcast_delta {
+            msgs += s.assign(SimTime::ZERO, 0, 1).control_msgs;
+        }
+        // Load went 1 -> 5; threshold 4 tripped exactly once.
+        assert_eq!(msgs, 3, "one broadcast of N-1 messages");
+    }
+
+    #[test]
+    fn remote_views_are_stale_until_broadcast() {
+        let mut s = l2s(4);
+        s.assign(SimTime::ZERO, 0, 1);
+        s.assign(SimTime::ZERO, 0, 1);
+        // Node 3 has not heard anything yet (only 2 connections < delta).
+        assert_eq!(s.viewed_load(3, 0), 0);
+        assert_eq!(s.viewed_load(0, 0), 2, "own load always exact");
+        // Two more trip the threshold.
+        s.assign(SimTime::ZERO, 0, 1);
+        s.assign(SimTime::ZERO, 0, 1);
+        assert_eq!(s.viewed_load(3, 0), 4, "broadcast synchronized views");
+    }
+
+    #[test]
+    fn completion_broadcasts_count_messages() {
+        let cfg = L2sConfig::default();
+        let mut s = l2s(4);
+        for _ in 0..cfg.broadcast_delta {
+            s.assign(SimTime::ZERO, 0, 1);
+        }
+        // Load is at 4 (broadcast happened). Four completions bring it to
+        // 0, drifting 4 from the broadcast value: one more broadcast.
+        let mut msgs = 0;
+        for _ in 0..cfg.broadcast_delta {
+            msgs += s.complete(SimTime::ZERO, 0, 1);
+        }
+        assert_eq!(msgs, 3);
+    }
+
+    #[test]
+    fn all_nodes_serve() {
+        let s = l2s(5);
+        assert_eq!(s.serving_nodes(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_node_never_forwards() {
+        let mut s = l2s(1);
+        for f in 0..10u32 {
+            let a = s.assign(SimTime::ZERO, 0, f);
+            assert_eq!(a.service, 0);
+            assert!(!a.forwarded);
+            assert_eq!(a.control_msgs, 0, "no peers to notify");
+        }
+    }
+
+    #[test]
+    fn continuation_served_locally_by_set_member() {
+        let mut s = l2s(4);
+        // File 7 is owned by node 0, which also holds the connection.
+        s.assign(SimTime::ZERO, 0, 7);
+        let a = s.assign_continuation(SimTime::ZERO, 0, 7);
+        assert_eq!(a.service, 0);
+        assert!(!a.forwarded, "member holder serves without hand-off");
+        assert_eq!(s.open_connections(0), 2);
+    }
+
+    #[test]
+    fn continuation_at_non_member_runs_the_normal_algorithm() {
+        let mut s = l2s(4);
+        s.assign(SimTime::ZERO, 0, 7); // node 0 owns file 7
+        // Node 2 holds the connection but is not in 7's set: the request
+        // is forwarded to the owner and the set stays clean.
+        let a = s.assign_continuation(SimTime::ZERO, 2, 7);
+        assert_eq!(a.service, 0);
+        assert!(a.forwarded);
+        assert_eq!(s.server_set(7), &[0], "no affinity-driven replication");
+    }
+
+    #[test]
+    fn continuation_for_unseen_file_behaves_like_first_request() {
+        let mut s = l2s(3);
+        let a = s.assign_continuation(SimTime::ZERO, 1, 99);
+        assert_eq!(a.service, 1, "first touch stays local");
+        assert_eq!(s.server_set(99), &[1]);
+        assert_eq!(a.control_msgs, 2, "set creation broadcast to peers");
+    }
+
+    #[test]
+    fn distinct_files_spread_across_nodes_via_dns() {
+        let mut s = l2s(4);
+        let mut used = [false; 4];
+        for f in 0..8u32 {
+            let initial = s.arrival_node();
+            let a = s.assign(SimTime::ZERO, initial, f);
+            used[a.service] = true;
+        }
+        assert!(used.iter().all(|&u| u), "round-robin DNS spreads first requests");
+    }
+}

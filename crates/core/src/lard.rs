@@ -1,0 +1,531 @@
+//! LARD/R — Locality-Aware Request Distribution with Replication
+//! (Pai et al., ASPLOS 1998), as re-implemented by the paper's Section 5.
+//!
+//! A dedicated front-end node accepts and parses every client request
+//! and hands it off to a back-end chosen from the file's *server set*:
+//!
+//! ```text
+//! if serverSet(file) is empty:
+//!     n <- least-loaded back-end; serverSet(file) = {n}
+//! else:
+//!     n <- least-loaded member of serverSet(file)
+//!     m <- least-loaded back-end overall
+//!     if (load(n) > T_high and load(m) < T_low) or load(n) >= 2*T_high:
+//!         add m to serverSet(file); n <- m
+//!     if |serverSet(file)| > 1 and file not served-and-modified
+//!        within K seconds: remove the most-loaded member
+//! hand off to n
+//! ```
+//!
+//! The front-end's load view is its own bookkeeping: it increments a
+//! back-end's count at hand-off and decrements when the back-end reports
+//! completions, which it does in batches of
+//! [`LardConfig::report_batch`] ("a back-end node in the LARD server
+//! only updates its load information at the front-end when 4 local
+//! connections have terminated since the last update").
+
+use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
+use l2s_cluster::FileId;
+use l2s_util::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// LARD tuning parameters; defaults are the values of Pai et al. that
+/// the paper adopts ("the same execution parameters as determined by
+/// the designers of LARD").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LardConfig {
+    /// `T_low` — a node below this many connections has idle capacity
+    /// (default 25).
+    pub t_low: u32,
+    /// `T_high` — a node above this many connections is overloaded
+    /// (default 65).
+    pub t_high: u32,
+    /// Server sets older than this with more than one member shed their
+    /// most-loaded member (default 20 s).
+    pub shrink_after: SimDuration,
+    /// Completions a back-end batches before reporting to the front-end
+    /// (default 4).
+    pub report_batch: u32,
+}
+
+impl Default for LardConfig {
+    fn default() -> Self {
+        LardConfig {
+            t_low: 25,
+            t_high: 65,
+            shrink_after: SimDuration::from_secs_f64(20.0),
+            report_batch: 4,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ServerSet {
+    members: Vec<NodeId>,
+    last_modified: SimTime,
+}
+
+/// Which flavor of LARD the server runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LardMode {
+    /// LARD/R: hot files replicate onto additional back-ends (the
+    /// variant the paper compares L2S against).
+    Replicated,
+    /// Basic LARD (Pai et al.'s simpler algorithm): a file has exactly
+    /// one server at a time; overload *moves* it instead of replicating.
+    Basic,
+}
+
+/// Back-end range for an `n`-node LARD server (degenerate at `n = 1`).
+fn back_end_range(n: usize) -> std::ops::Range<NodeId> {
+    if n == 1 {
+        0..1
+    } else {
+        1..n
+    }
+}
+
+/// The LARD/R server. Node 0 is the dedicated front-end: it distributes
+/// but never serves (and its cache space is wasted — one of the
+/// limitations motivating L2S). With a single node the server
+/// degenerates to serving locally.
+#[derive(Clone, Debug)]
+pub struct Lard {
+    config: LardConfig,
+    nodes: usize,
+    mode: LardMode,
+    /// Dispatcher organization (Aron et al., USENIX 2000, discussed in
+    /// the paper's Section 6): client connections are accepted by every
+    /// non-dispatcher node, which queries the dispatcher (node 0) for
+    /// the target and hands the connection off itself. Costs a two-way
+    /// message per request but removes connection establishment from
+    /// the bottleneck node.
+    dispatched: bool,
+    next_arrival: NodeId,
+    /// Ground-truth open connections per node.
+    true_loads: Vec<u32>,
+    /// The front-end's view of back-end loads.
+    viewed_loads: Vec<u32>,
+    /// Completions not yet reported to the front-end, per back-end.
+    unreported: Vec<u32>,
+    sets: HashMap<FileId, ServerSet>,
+    /// Rotating tie-break cursor for least-loaded selections.
+    tie_cursor: usize,
+    /// Control messages emitted since the last drain.
+    outbox: Vec<(NodeId, NodeId)>,
+}
+
+impl Lard {
+    /// A LARD/R server over `n` nodes (front-end plus `n - 1`
+    /// back-ends).
+    pub fn new(n: usize, config: LardConfig) -> Self {
+        Self::build(n, config, LardMode::Replicated, false)
+    }
+
+    /// Basic LARD (no replication): overload moves a file's single
+    /// server instead of replicating it.
+    pub fn basic(n: usize, config: LardConfig) -> Self {
+        Self::build(n, config, LardMode::Basic, false)
+    }
+
+    /// The dispatcher organization of Section 6: connections land on the
+    /// serving nodes round-robin; the distribution decision costs a
+    /// two-way message to the dedicated dispatcher (node 0).
+    pub fn dispatcher(n: usize, config: LardConfig) -> Self {
+        Self::build(n, config, LardMode::Replicated, true)
+    }
+
+    fn build(n: usize, config: LardConfig, mode: LardMode, dispatched: bool) -> Self {
+        assert!(n >= 1);
+        assert!(config.t_low < config.t_high, "T_low must be below T_high");
+        assert!(config.report_batch >= 1);
+        Lard {
+            config,
+            nodes: n,
+            mode,
+            dispatched,
+            next_arrival: if n == 1 { 0 } else { 1 },
+            true_loads: vec![0; n],
+            viewed_loads: vec![0; n],
+            unreported: vec![0; n],
+            sets: HashMap::new(),
+            tie_cursor: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The dedicated front-end node.
+    pub fn front_end(&self) -> NodeId {
+        0
+    }
+
+    fn back_ends(&self) -> std::ops::Range<NodeId> {
+        back_end_range(self.nodes)
+    }
+
+    /// Members of `file`'s server set (empty if never requested). For
+    /// tests and analysis.
+    pub fn server_set(&self, file: FileId) -> &[NodeId] {
+        self.sets.get(&file).map(|s| s.members.as_slice()).unwrap_or(&[])
+    }
+}
+
+impl Distributor for Lard {
+    fn kind(&self) -> PolicyKind {
+        match (self.mode, self.dispatched) {
+            (LardMode::Replicated, false) => PolicyKind::Lard,
+            (LardMode::Basic, _) => PolicyKind::LardBasic,
+            (LardMode::Replicated, true) => PolicyKind::LardDispatcher,
+        }
+    }
+
+    fn arrival_node(&mut self) -> NodeId {
+        if self.dispatched && self.nodes > 1 {
+            // Round-robin DNS over the serving nodes.
+            let node = self.next_arrival;
+            self.next_arrival += 1;
+            if self.next_arrival >= self.nodes {
+                self.next_arrival = 1;
+            }
+            node
+        } else {
+            // Every client connection goes to the front-end.
+            self.front_end()
+        }
+    }
+
+    fn assign(&mut self, now: SimTime, initial: NodeId, file: FileId) -> Assignment {
+        // New client connections land on the front-end (or, in the
+        // dispatcher organization, on any serving node). With persistent
+        // connections, later requests of a connection originate at the
+        // back-end currently holding it, so `initial` may be any node;
+        // the distribution decision is unchanged (the paper's Section 4
+        // points to Aron et al. '99 for the P-HTTP handling).
+        let cfg = self.config;
+        let loads = self.viewed_loads.clone();
+        let back_ends: Vec<NodeId> = back_end_range(self.nodes).collect();
+        let cursor = &mut self.tie_cursor;
+        let target = match self.sets.get_mut(&file) {
+            None => {
+                let n = argmin_rotating(&back_ends, |i| loads[i], cursor);
+                self.sets.insert(
+                    file,
+                    ServerSet {
+                        members: vec![n],
+                        last_modified: now,
+                    },
+                );
+                n
+            }
+            Some(set) => {
+                let n = argmin_rotating(&set.members, |m| loads[m], cursor);
+                let m = argmin_rotating(&back_ends, |i| loads[i], cursor);
+                let mut chosen = n;
+                let overloaded = loads[n] > cfg.t_high && loads[m] < cfg.t_low
+                    || loads[n] >= 2 * cfg.t_high;
+                if overloaded {
+                    match self.mode {
+                        LardMode::Replicated => {
+                            if !set.members.contains(&m) {
+                                set.members.push(m);
+                                set.last_modified = now;
+                            }
+                        }
+                        LardMode::Basic => {
+                            // Basic LARD moves the file: the single
+                            // server is replaced outright.
+                            set.members.clear();
+                            set.members.push(m);
+                            set.last_modified = now;
+                        }
+                    }
+                    chosen = m;
+                }
+                // Replication decay: old multi-member sets shed their
+                // most-loaded member.
+                if set.members.len() > 1
+                    && now.saturating_since(set.last_modified) > cfg.shrink_after
+                {
+                    let most = *set
+                        .members
+                        .iter()
+                        .max_by_key(|&&mm| (loads[mm], mm))
+                        .expect("non-empty");
+                    set.members.retain(|&mm| mm != most);
+                    set.last_modified = now;
+                    if chosen == most {
+                        chosen = *set
+                            .members
+                            .iter()
+                            .min_by_key(|&&mm| (loads[mm], mm))
+                            .expect("non-empty");
+                    }
+                }
+                chosen
+            }
+        };
+        self.true_loads[target] += 1;
+        // The front-end/dispatcher made the assignment, so its view
+        // updates immediately.
+        self.viewed_loads[target] += 1;
+        let control_msgs = if self.dispatched && self.nodes > 1 {
+            // Query + reply between the accepting node and the
+            // dispatcher.
+            self.outbox.push((initial, self.front_end()));
+            self.outbox.push((self.front_end(), initial));
+            2
+        } else {
+            0
+        };
+        Assignment {
+            service: target,
+            forwarded: target != initial,
+            control_msgs,
+        }
+    }
+
+    /// P-HTTP adaptation (Aron et al., USENIX '99): a back-end holding a
+    /// persistent connection serves the next request itself when it is
+    /// already in the file's server set; otherwise the connection is
+    /// handed off per the normal front-end decision.
+    fn assign_continuation(&mut self, now: SimTime, holder: NodeId, file: FileId) -> Assignment {
+        let in_set = self
+            .sets
+            .get(&file)
+            .map(|s| s.members.contains(&holder))
+            .unwrap_or(false);
+        if in_set {
+            self.true_loads[holder] += 1;
+            self.viewed_loads[holder] += 1;
+            Assignment {
+                service: holder,
+                forwarded: false,
+                control_msgs: 0,
+            }
+        } else {
+            self.assign(now, holder, file)
+        }
+    }
+
+    fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
+        debug_assert!(self.true_loads[node] > 0, "completion without assignment");
+        self.true_loads[node] -= 1;
+        self.unreported[node] += 1;
+        if self.unreported[node] >= self.config.report_batch {
+            let batch = self.unreported[node];
+            self.unreported[node] = 0;
+            self.viewed_loads[node] = self.viewed_loads[node].saturating_sub(batch);
+            if node == self.front_end() {
+                // Degenerate single-node server: the "report" is local.
+                0
+            } else {
+                self.outbox.push((node, self.front_end()));
+                1 // one report message to the front-end
+            }
+        } else {
+            0
+        }
+    }
+
+    fn open_connections(&self, node: NodeId) -> u32 {
+        self.true_loads[node]
+    }
+
+    fn serving_nodes(&self) -> Vec<NodeId> {
+        self.back_ends().collect()
+    }
+
+    fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
+        out.append(&mut self.outbox);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lard(n: usize) -> Lard {
+        Lard::new(n, LardConfig::default())
+    }
+
+    #[test]
+    fn front_end_never_serves() {
+        let mut l = lard(4);
+        for f in 0..100u32 {
+            let initial = l.arrival_node();
+            assert_eq!(initial, 0);
+            let a = l.assign(SimTime::ZERO, initial, f);
+            assert_ne!(a.service, 0, "front-end must not serve");
+            assert!(a.forwarded, "every LARD request is handed off");
+        }
+        assert_eq!(l.open_connections(0), 0);
+    }
+
+    #[test]
+    fn first_request_picks_least_loaded_back_end() {
+        let mut l = lard(3);
+        // Preload back-end 1 with traffic for another file.
+        for _ in 0..5 {
+            l.assign(SimTime::ZERO, 0, 99);
+        }
+        // First request picked node 1 (both idle, lowest id). Now file 7
+        // must go to node 2 if 1 is busier.
+        let busier = l.server_set(99)[0];
+        let a = l.assign(SimTime::ZERO, 0, 7);
+        assert_ne!(a.service, busier);
+        assert_eq!(l.server_set(7), &[a.service]);
+    }
+
+    #[test]
+    fn requests_stick_to_the_server_set() {
+        let mut l = lard(4);
+        let first = l.assign(SimTime::ZERO, 0, 5).service;
+        for _ in 0..20 {
+            let a = l.assign(SimTime::ZERO, 0, 5);
+            assert_eq!(a.service, first, "below T_high the set never grows");
+        }
+        assert_eq!(l.server_set(5).len(), 1);
+    }
+
+    #[test]
+    fn overload_replicates_the_file() {
+        let mut l = lard(3);
+        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        // Push the owner past T_high while the other back-end stays idle.
+        for _ in 0..70 {
+            l.assign(SimTime::ZERO, 0, 5);
+        }
+        assert!(l.open_connections(owner) > LardConfig::default().t_high);
+        let a = l.assign(SimTime::ZERO, 0, 5);
+        assert_ne!(a.service, owner, "hot file spills to an idle node");
+        assert_eq!(l.server_set(5).len(), 2, "set grew");
+    }
+
+    #[test]
+    fn stale_sets_shrink_after_interval() {
+        let mut l = lard(3);
+        // Build a two-member set.
+        for _ in 0..72 {
+            l.assign(SimTime::ZERO, 0, 5);
+        }
+        assert_eq!(l.server_set(5).len(), 2);
+        // Drain everything so loads are 0 and report.
+        for node in [1usize, 2] {
+            while l.open_connections(node) > 0 {
+                l.complete(SimTime::ZERO, node, 5);
+            }
+        }
+        // Much later, the next request shrinks the set back to one.
+        let later = SimTime::from_secs_f64(100.0);
+        l.assign(later, 0, 5);
+        assert_eq!(l.server_set(5).len(), 1, "stale replica removed");
+    }
+
+    #[test]
+    fn completions_report_in_batches() {
+        let mut l = lard(2);
+        for _ in 0..8 {
+            l.assign(SimTime::ZERO, 0, 1);
+        }
+        let mut msgs = 0;
+        for _ in 0..8 {
+            msgs += l.complete(SimTime::ZERO, 1, 1);
+        }
+        assert_eq!(msgs, 2, "8 completions / batch of 4 = 2 reports");
+    }
+
+    #[test]
+    fn viewed_load_lags_true_load() {
+        let mut l = lard(2);
+        for _ in 0..4 {
+            l.assign(SimTime::ZERO, 0, 1);
+        }
+        // 3 completions: unreported, front-end still sees 4.
+        for _ in 0..3 {
+            assert_eq!(l.complete(SimTime::ZERO, 1, 1), 0);
+        }
+        assert_eq!(l.open_connections(1), 1);
+        assert_eq!(l.viewed_loads[1], 4, "view is stale until the batch");
+        assert_eq!(l.complete(SimTime::ZERO, 1, 1), 1);
+        assert_eq!(l.viewed_loads[1], 0, "batch report synchronizes view");
+    }
+
+    #[test]
+    fn single_node_degenerates_to_local_service() {
+        let mut l = lard(1);
+        let initial = l.arrival_node();
+        let a = l.assign(SimTime::ZERO, initial, 3);
+        assert_eq!(a.service, 0);
+        assert!(!a.forwarded);
+        assert_eq!(l.serving_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn serving_nodes_excludes_front_end() {
+        let l = lard(5);
+        assert_eq!(l.serving_nodes(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn continuation_sticks_to_set_member() {
+        let mut l = lard(3);
+        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        // The owner holds a persistent connection: the next request for
+        // 5 is served locally without a hand-off.
+        let a = l.assign_continuation(SimTime::ZERO, owner, 5);
+        assert_eq!(a.service, owner);
+        assert!(!a.forwarded);
+    }
+
+    #[test]
+    fn continuation_for_foreign_file_is_handed_off() {
+        let mut l = lard(3);
+        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        let other = if owner == 1 { 2 } else { 1 };
+        // `other` holds the connection but is not in 5's server set: the
+        // normal algorithm decides (and keeps the single owner).
+        let a = l.assign_continuation(SimTime::ZERO, other, 5);
+        assert_eq!(a.service, owner);
+        assert!(a.forwarded);
+        assert_eq!(l.server_set(5), &[owner]);
+    }
+
+    #[test]
+    fn basic_lard_moves_instead_of_replicating() {
+        let cfg = LardConfig::default();
+        let mut l = Lard::basic(3, cfg);
+        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        // Push the owner past 2*T_high so the move rule fires even
+        // without an idle target.
+        for _ in 0..(2 * cfg.t_high + 2) {
+            l.assign(SimTime::ZERO, 0, 5);
+        }
+        let set = l.server_set(5);
+        assert_eq!(set.len(), 1, "basic LARD never replicates");
+        assert_ne!(set[0], owner, "the file moved to another back-end");
+    }
+
+    #[test]
+    fn dispatcher_variant_accepts_on_back_ends() {
+        let mut l = Lard::dispatcher(4, LardConfig::default());
+        let arrivals: Vec<_> = (0..6).map(|_| l.arrival_node()).collect();
+        assert_eq!(arrivals, vec![1, 2, 3, 1, 2, 3], "round-robin over serving nodes");
+        let a = l.assign(SimTime::ZERO, 1, 9);
+        assert_ne!(a.service, 0, "dispatcher itself never serves");
+        assert_eq!(a.control_msgs, 2, "query + reply to the dispatcher");
+        let mut out = Vec::new();
+        l.drain_messages(&mut out);
+        assert_eq!(out, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn dispatcher_can_pick_the_accepting_node() {
+        let mut l = Lard::dispatcher(2, LardConfig::default());
+        // Only one back-end: it accepts and serves everything itself.
+        let initial = l.arrival_node();
+        assert_eq!(initial, 1);
+        let a = l.assign(SimTime::ZERO, initial, 3);
+        assert_eq!(a.service, 1);
+        assert!(!a.forwarded, "no hand-off when the decision is local");
+    }
+}

@@ -1,0 +1,287 @@
+//! Request-distribution policies for cluster-based network servers — the
+//! primary contribution of *Evaluating Cluster-Based Network Servers*
+//! (Carrera & Bianchini, HPDC 2000).
+//!
+//! Three server organizations from the paper, plus two reference
+//! baselines:
+//!
+//! * [`Traditional`] — locality-oblivious fewest-connections load
+//!   balancing; every node serves its own requests from an independent
+//!   cache.
+//! * [`Lard`] — Locality-Aware Request Distribution (Pai et al., ASPLOS
+//!   1998): a dedicated front-end assigns every request to a back-end
+//!   according to per-file server sets with replication (LARD/R),
+//!   thresholds `T_low`/`T_high`.
+//! * [`L2s`] — the paper's Locality and Load balancing Server: *every*
+//!   node accepts, distributes, and serves requests. Per-file server
+//!   sets grow under overload (threshold `T`) and shrink under underload
+//!   (threshold `t`); load is disseminated by threshold-triggered
+//!   broadcasts, so each node decides on its own, possibly stale, view.
+//! * [`RoundRobin`] and [`PureLocality`] — the isolated load-balancing /
+//!   locality extremes the paper positions LARD and L2S against.
+//!
+//! Policies are pure decision logic: they see request arrivals and
+//! completions, maintain their own (possibly stale) load views, and
+//! report how many control messages they emit, but know nothing about
+//! event scheduling. The simulator charges the corresponding CPU/NI/
+//! switch costs.
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod lard;
+mod l2s_policy;
+
+pub use baseline::{PureLocality, RoundRobin, Traditional};
+pub use lard::{Lard, LardConfig};
+pub use l2s_policy::{L2s, L2sConfig};
+
+use l2s_cluster::FileId;
+use l2s_util::SimTime;
+
+/// Index of a cluster node.
+pub type NodeId = usize;
+
+/// Which distribution policy a server runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Fewest-connections, locality-oblivious (the paper's "traditional").
+    Traditional,
+    /// Round-robin assignment (pure load spreading, no state).
+    RoundRobin,
+    /// Static hash partitioning (pure locality, no load balancing).
+    PureLocality,
+    /// LARD/R with a dedicated front-end.
+    Lard,
+    /// Basic LARD (no replication): overload moves a file's single
+    /// server rather than replicating it.
+    LardBasic,
+    /// LARD/R behind a dedicated *dispatcher* (Aron et al., USENIX
+    /// 2000; the paper's Section 6): connections are accepted by all
+    /// serving nodes, which query the dispatcher and hand off
+    /// themselves.
+    LardDispatcher,
+    /// The paper's fully distributed L2S.
+    L2s,
+}
+
+impl PolicyKind {
+    /// All policy kinds, in the paper's comparison order.
+    pub fn all() -> [PolicyKind; 7] {
+        [
+            PolicyKind::Traditional,
+            PolicyKind::RoundRobin,
+            PolicyKind::PureLocality,
+            PolicyKind::Lard,
+            PolicyKind::LardBasic,
+            PolicyKind::LardDispatcher,
+            PolicyKind::L2s,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Traditional => "traditional",
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::PureLocality => "pure-locality",
+            PolicyKind::Lard => "lard",
+            PolicyKind::LardBasic => "lard-basic",
+            PolicyKind::LardDispatcher => "lard-dispatcher",
+            PolicyKind::L2s => "l2s",
+        }
+    }
+
+    /// Builds the policy with its paper-default parameters for an
+    /// `n`-node cluster.
+    pub fn build(&self, n: usize) -> Box<dyn Distributor> {
+        match self {
+            PolicyKind::Traditional => Box::new(Traditional::new(n)),
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new(n)),
+            PolicyKind::PureLocality => Box::new(PureLocality::new(n)),
+            PolicyKind::Lard => Box::new(Lard::new(n, LardConfig::default())),
+            PolicyKind::LardBasic => Box::new(Lard::basic(n, LardConfig::default())),
+            PolicyKind::LardDispatcher => Box::new(Lard::dispatcher(n, LardConfig::default())),
+            PolicyKind::L2s => Box::new(L2s::new(n, L2sConfig::default())),
+        }
+    }
+}
+
+/// The outcome of distributing one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// The node that will service the request.
+    pub service: NodeId,
+    /// Whether the request is handed off from the node that accepted the
+    /// client connection to a different service node.
+    pub forwarded: bool,
+    /// Small point-to-point control messages emitted as a side effect
+    /// (load or server-set dissemination; excludes the hand-off itself).
+    pub control_msgs: u32,
+}
+
+/// A request-distribution policy.
+///
+/// Protocol per request:
+/// 1. [`Distributor::arrival_node`] — where the client connection lands
+///    (round-robin DNS for L2S, the front-end for LARD, the
+///    load-balancing switch's pick for the traditional server);
+/// 2. [`Distributor::assign`] — the distribution decision made at that
+///    node; the policy increments its load accounting for the service
+///    node;
+/// 3. [`Distributor::complete`] — the service node finished the request;
+///    returns control messages emitted (e.g. batched load reports).
+pub trait Distributor {
+    /// The policy's kind.
+    fn kind(&self) -> PolicyKind;
+
+    /// Where the next client connection lands.
+    fn arrival_node(&mut self) -> NodeId;
+
+    /// A continuation request arrived at `holder` over an existing
+    /// persistent connection. Policies that count connections at the
+    /// switch (fewest-connections) account it here; most need nothing.
+    fn arrival_continuation(&mut self, holder: NodeId) {
+        let _ = holder;
+    }
+
+    /// Distribution decision for a request for `file` accepted at
+    /// `initial`.
+    fn assign(&mut self, now: SimTime, initial: NodeId, file: FileId) -> Assignment;
+
+    /// Distribution decision for a *continuation* request on a
+    /// persistent connection held by `holder` (the paper's Section 4
+    /// points at the P-HTTP adaptations of its algorithms). The default
+    /// treats it like a fresh request at `holder`; L2S and LARD override
+    /// it with connection-affine rules.
+    fn assign_continuation(&mut self, now: SimTime, holder: NodeId, file: FileId) -> Assignment {
+        self.assign(now, holder, file)
+    }
+
+    /// The request for `file` being serviced at `node` completed.
+    /// Returns control messages emitted.
+    fn complete(&mut self, now: SimTime, node: NodeId, file: FileId) -> u32;
+
+    /// Ground-truth open connections at `node` (for metrics and tests;
+    /// policies may internally act on stale views instead).
+    fn open_connections(&self, node: NodeId) -> u32;
+
+    /// Nodes that can service requests (excludes LARD's dedicated
+    /// front-end).
+    fn serving_nodes(&self) -> Vec<NodeId>;
+
+    /// Drains the control messages emitted since the last drain into
+    /// `out` as `(from, to)` node pairs, so the simulator can charge the
+    /// CPU/NI costs at both endpoints. Counts always match the
+    /// `control_msgs` totals reported by [`Distributor::assign`] and
+    /// [`Distributor::complete`]. Policies that never send messages use
+    /// the default no-op.
+    fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
+        let _ = out;
+    }
+}
+
+/// Shared helper: index of the minimum value, lowest index winning ties.
+pub(crate) fn argmin<T: PartialOrd + Copy>(values: impl Iterator<Item = (usize, T)>) -> usize {
+    let mut best: Option<(usize, T)> = None;
+    for (i, v) in values {
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) if v < bv => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best.expect("argmin of empty iterator").0
+}
+
+/// Least-loaded choice with *rotating* tie-breaking.
+///
+/// Load views are quantized (they only move on threshold-triggered
+/// broadcasts), so plain lowest-id tie-breaking makes every
+/// decision-maker herd onto the same node between broadcasts — a queue
+/// spike no real server exhibits. Scanning from a caller-advanced cursor
+/// spreads tied choices evenly while staying deterministic.
+pub(crate) fn argmin_rotating<T: PartialOrd + Copy>(
+    candidates: &[usize],
+    load_of: impl Fn(usize) -> T,
+    cursor: &mut usize,
+) -> usize {
+    assert!(!candidates.is_empty(), "argmin of empty candidate set");
+    let n = candidates.len();
+    let start = *cursor % n;
+    *cursor = cursor.wrapping_add(1);
+    let mut best = candidates[start];
+    let mut best_load = load_of(best);
+    for k in 1..n {
+        let c = candidates[(start + k) % n];
+        let l = load_of(c);
+        if l < best_load {
+            best = c;
+            best_load = l;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_names_and_builders() {
+        for kind in PolicyKind::all() {
+            let policy = kind.build(4);
+            assert_eq!(policy.kind(), kind);
+            assert!(!kind.name().is_empty());
+            assert!(!policy.serving_nodes().is_empty());
+        }
+    }
+
+    #[test]
+    fn argmin_prefers_lowest_index_on_ties() {
+        let v = [3.0, 1.0, 1.0, 2.0];
+        assert_eq!(argmin(v.iter().copied().enumerate()), 1);
+    }
+
+    #[test]
+    fn every_policy_conserves_connections() {
+        for kind in PolicyKind::all() {
+            let n = 4;
+            let mut policy = kind.build(n);
+            let now = SimTime::ZERO;
+            let mut in_flight: Vec<(NodeId, FileId)> = Vec::new();
+            for file in 0..50u32 {
+                let initial = policy.arrival_node();
+                let a = policy.assign(now, initial, file % 7);
+                in_flight.push((a.service, file % 7));
+            }
+            let total: u32 = (0..n).map(|i| policy.open_connections(i)).sum();
+            assert_eq!(total, 50, "{}: open != assigned", kind.name());
+            for (node, file) in in_flight {
+                policy.complete(now, node, file);
+            }
+            let total: u32 = (0..n).map(|i| policy.open_connections(i)).sum();
+            assert_eq!(total, 0, "{}: connections leaked", kind.name());
+        }
+    }
+
+    #[test]
+    fn service_nodes_are_in_range() {
+        for kind in PolicyKind::all() {
+            let n = 3;
+            let mut policy = kind.build(n);
+            for file in 0..30u32 {
+                let initial = policy.arrival_node();
+                assert!(initial < n);
+                let a = policy.assign(SimTime::ZERO, initial, file);
+                assert!(a.service < n, "{}: service out of range", kind.name());
+                assert_eq!(
+                    a.forwarded,
+                    a.service != initial,
+                    "{}: forwarded flag inconsistent",
+                    kind.name()
+                );
+            }
+        }
+    }
+}

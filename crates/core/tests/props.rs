@@ -1,0 +1,143 @@
+//! Property-based tests of the distribution policies' protocol
+//! invariants under arbitrary workloads.
+
+use l2s::{Distributor, L2s, L2sConfig, PolicyKind};
+use l2s_util::{DetRng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Drives a policy through a random arrival/completion schedule and
+/// checks the protocol invariants at every step.
+fn drive(kind: PolicyKind, nodes: usize, ops: &[(u32, bool)], seed: u64) -> Result<(), TestCaseError> {
+    let mut policy = kind.build(nodes);
+    let mut rng = DetRng::new(seed);
+    let mut in_flight: Vec<(usize, u32)> = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut outbox = Vec::new();
+    let mut msg_count_claimed = 0u64;
+    for &(file, complete) in ops {
+        now += SimDuration::from_nanos(rng.below(1_000_000) + 1);
+        if complete && !in_flight.is_empty() {
+            let idx = rng.index(in_flight.len());
+            let (node, f) = in_flight.swap_remove(idx);
+            msg_count_claimed += u64::from(policy.complete(now, node, f));
+        } else {
+            let initial = policy.arrival_node();
+            prop_assert!(initial < nodes);
+            let a = policy.assign(now, initial, file);
+            prop_assert!(a.service < nodes);
+            prop_assert_eq!(a.forwarded, a.service != initial);
+            msg_count_claimed += u64::from(a.control_msgs);
+            in_flight.push((a.service, file));
+        }
+        let total: u64 = (0..nodes).map(|i| policy.open_connections(i) as u64).sum();
+        prop_assert_eq!(total as usize, in_flight.len(), "connection accounting drifted");
+    }
+    policy.drain_messages(&mut outbox);
+    // Every drained message has valid endpoints, and the counts the
+    // policy claimed match what it queued.
+    for &(from, to) in &outbox {
+        prop_assert!(from < nodes && to < nodes && from != to);
+    }
+    prop_assert_eq!(outbox.len() as u64, msg_count_claimed);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn every_policy_respects_the_protocol(
+        ops in prop::collection::vec((0u32..60, any::<bool>()), 1..400),
+        nodes in 1usize..8,
+        kind_idx in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        drive(PolicyKind::all()[kind_idx], nodes, &ops, seed)?;
+    }
+
+    /// L2S server sets only contain valid nodes and never empty out once
+    /// created.
+    #[test]
+    fn l2s_server_sets_stay_valid(
+        ops in prop::collection::vec((0u32..20, any::<bool>()), 1..300),
+        nodes in 2usize..8,
+    ) {
+        let mut policy = L2s::new(nodes, L2sConfig::default());
+        let mut in_flight: Vec<(usize, u32)> = Vec::new();
+        let now = SimTime::ZERO;
+        let mut seen_files = std::collections::HashSet::new();
+        for (file, complete) in ops {
+            if complete && !in_flight.is_empty() {
+                let (node, f) = in_flight.swap_remove(0);
+                policy.complete(now, node, f);
+            } else {
+                let initial = policy.arrival_node();
+                let a = policy.assign(now, initial, file);
+                in_flight.push((a.service, file));
+                seen_files.insert(file);
+            }
+            for &f in &seen_files {
+                let set = policy.server_set(f);
+                prop_assert!(!set.is_empty(), "set emptied for file {f}");
+                prop_assert!(set.len() <= nodes);
+                for &m in set {
+                    prop_assert!(m < nodes);
+                }
+                // No duplicates.
+                let mut dedup = set.to_vec();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), set.len());
+            }
+        }
+    }
+
+    /// A node's own view of itself always equals ground truth in L2S.
+    #[test]
+    fn l2s_own_view_is_exact(
+        ops in prop::collection::vec((0u32..30, any::<bool>()), 1..200),
+        nodes in 2usize..6,
+    ) {
+        let mut policy = L2s::new(nodes, L2sConfig::default());
+        let mut in_flight: Vec<(usize, u32)> = Vec::new();
+        let now = SimTime::ZERO;
+        for (file, complete) in ops {
+            if complete && !in_flight.is_empty() {
+                let (node, f) = in_flight.swap_remove(0);
+                policy.complete(now, node, f);
+            } else {
+                let initial = policy.arrival_node();
+                let a = policy.assign(now, initial, file);
+                in_flight.push((a.service, file));
+            }
+            for k in 0..nodes {
+                prop_assert_eq!(policy.viewed_load(k, k), policy.open_connections(k));
+            }
+        }
+    }
+
+    /// Remote views never exceed the broadcast threshold's staleness
+    /// bound... they can lag, but a view can never be *negative* or wildly
+    /// above any load the node ever had. Here: views are bounded by the
+    /// peak ground-truth load seen so far plus the hand-off the viewer
+    /// itself performed.
+    #[test]
+    fn l2s_views_stay_bounded(
+        ops in prop::collection::vec(0u32..30, 1..300),
+        nodes in 2usize..6,
+    ) {
+        let mut policy = L2s::new(nodes, L2sConfig::default());
+        let mut peak = 0u32;
+        let now = SimTime::ZERO;
+        for file in ops {
+            let initial = policy.arrival_node();
+            policy.assign(now, initial, file);
+            for k in 0..nodes {
+                peak = peak.max(policy.open_connections(k));
+            }
+            for o in 0..nodes {
+                for k in 0..nodes {
+                    prop_assert!(policy.viewed_load(o, k) <= peak + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! A small discrete-event simulation kernel.
+//!
+//! The paper evaluates its servers with a detailed trace-driven simulator;
+//! this crate is the from-scratch kernel that simulator is built on:
+//!
+//! * [`EventQueue`] — a future-event list with an embedded clock and
+//!   deterministic FIFO tie-breaking for simultaneous events, so runs are
+//!   exactly reproducible.
+//! * [`FifoResource`] — a single-server FIFO station (CPU, disk, NI,
+//!   router port) modeled by earliest-availability: scheduling a job
+//!   returns its completion time under all queueing contention, and the
+//!   station tracks busy time, served jobs, and instantaneous queue
+//!   length for admission control.
+//! * [`DelayStation`] — a contention-free fixed latency (the paper's
+//!   switch fabric, whose internal contention is explicitly not modeled).
+//!
+//! The kernel is deliberately event-*data* agnostic: the simulator defines
+//! its own event enum and drives a `while let Some((now, ev)) = q.pop()`
+//! loop.
+
+#![warn(missing_docs)]
+
+mod queue;
+mod resource;
+
+pub use queue::EventQueue;
+pub use resource::{DelayStation, FifoResource};

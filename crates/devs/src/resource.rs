@@ -1,0 +1,284 @@
+//! Contended and contention-free service stations.
+
+use l2s_util::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A single-server FIFO station (CPU, disk, NI, router port).
+///
+/// Instead of materializing queueing events, the station keeps the time
+/// its server becomes free: a job submitted at `now` with service time
+/// `s` completes at `max(now, free_at) + s`. This is exact for FIFO
+/// single-server queues and keeps the event count per request constant.
+///
+/// The station also tracks the completion times of in-flight jobs so the
+/// simulator can ask for the instantaneous backlog (`queue_len`) — the
+/// paper admits new client requests only while "the router and network
+/// interface buffers would accept them".
+#[derive(Clone, Debug)]
+pub struct FifoResource {
+    free_at: SimTime,
+    busy: SimDuration,
+    served: u64,
+    completions: VecDeque<SimTime>,
+    capacity: Option<usize>,
+}
+
+impl Default for FifoResource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FifoResource {
+    /// An unbounded station.
+    pub fn new() -> Self {
+        FifoResource {
+            free_at: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            served: 0,
+            completions: VecDeque::new(),
+            capacity: None,
+        }
+    }
+
+    /// A station whose buffer holds at most `capacity` jobs (including
+    /// the one in service). [`FifoResource::try_schedule`] refuses jobs
+    /// beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must hold at least one job");
+        FifoResource {
+            capacity: Some(capacity),
+            ..Self::new()
+        }
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        while let Some(&front) = self.completions.front() {
+            if front <= now {
+                self.completions.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of jobs queued or in service at `now`.
+    pub fn queue_len(&mut self, now: SimTime) -> usize {
+        self.drain(now);
+        self.completions.len()
+    }
+
+    /// Whether a job submitted at `now` would be admitted.
+    pub fn would_accept(&mut self, now: SimTime) -> bool {
+        match self.capacity {
+            None => true,
+            Some(cap) => self.queue_len(now) < cap,
+        }
+    }
+
+    /// Submits a job at `now` needing `service` time; returns its
+    /// completion time, or `None` if the buffer is full.
+    pub fn try_schedule(&mut self, now: SimTime, service: SimDuration) -> Option<SimTime> {
+        if !self.would_accept(now) {
+            return None;
+        }
+        Some(self.schedule_unchecked(now, service))
+    }
+
+    /// Submits a job at `now` needing `service` time; returns its
+    /// completion time. Ignores any capacity bound — use for stations
+    /// where upstream admission already limits backlog.
+    pub fn schedule(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        self.drain(now);
+        self.schedule_unchecked(now, service)
+    }
+
+    fn schedule_unchecked(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = self.free_at.max(now);
+        let done = start + service;
+        self.free_at = done;
+        self.busy += service;
+        self.served += 1;
+        self.completions.push_back(done);
+        done
+    }
+
+    /// When the server next becomes idle (may be in the past).
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total service time performed since the last stats reset.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Jobs completed or accepted since the last stats reset.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fraction of the window `[window_start, window_end]` this server
+    /// spent busy (0 when the window is empty). Assumes stats were reset
+    /// at `window_start`.
+    pub fn utilization(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / window.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Zeroes busy-time and served-job accounting (used after cache
+    /// warm-up) without touching in-flight work.
+    pub fn reset_stats(&mut self) {
+        self.busy = SimDuration::ZERO;
+        self.served = 0;
+    }
+}
+
+/// A contention-free fixed delay (the paper's switch fabric: 1 µs, with
+/// internal contention explicitly not modeled).
+#[derive(Clone, Copy, Debug)]
+pub struct DelayStation {
+    delay: SimDuration,
+}
+
+impl DelayStation {
+    /// A station adding `delay` to every traversal.
+    pub fn new(delay: SimDuration) -> Self {
+        DelayStation { delay }
+    }
+
+    /// Completion time of a traversal starting at `now`.
+    #[inline]
+    pub fn traverse(&self, now: SimTime) -> SimTime {
+        now + self.delay
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.schedule(t(100), d(50)), t(150));
+        assert_eq!(r.free_at(), t(150));
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.schedule(t(0), d(100)), t(100));
+        // Arrives at 10 while busy: waits until 100.
+        assert_eq!(r.schedule(t(10), d(20)), t(120));
+        // Arrives at 15: waits behind both.
+        assert_eq!(r.schedule(t(15), d(5)), t(125));
+    }
+
+    #[test]
+    fn server_goes_idle_between_jobs() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(10));
+        // Arrives long after the first completes.
+        assert_eq!(r.schedule(t(1000), d(10)), t(1010));
+    }
+
+    #[test]
+    fn queue_len_tracks_backlog() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(100)); // done at 100
+        r.schedule(t(0), d(100)); // done at 200
+        r.schedule(t(0), d(100)); // done at 300
+        assert_eq!(r.queue_len(t(50)), 3);
+        assert_eq!(r.queue_len(t(100)), 2);
+        assert_eq!(r.queue_len(t(250)), 1);
+        assert_eq!(r.queue_len(t(300)), 0);
+    }
+
+    #[test]
+    fn capacity_limits_admission() {
+        let mut r = FifoResource::with_capacity(2);
+        assert!(r.try_schedule(t(0), d(100)).is_some());
+        assert!(r.try_schedule(t(0), d(100)).is_some());
+        assert!(r.try_schedule(t(0), d(100)).is_none(), "third job refused");
+        // After the first job finishes there is room again.
+        assert!(r.would_accept(t(100)));
+        assert_eq!(r.try_schedule(t(100), d(100)), Some(t(300)));
+    }
+
+    #[test]
+    fn busy_time_and_served_accumulate() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(30));
+        r.schedule(t(100), d(70));
+        assert_eq!(r.busy_time(), d(100));
+        assert_eq!(r.served(), 2);
+        r.reset_stats();
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+        assert_eq!(r.served(), 0);
+        // In-flight state survives the reset.
+        assert_eq!(r.free_at(), t(170));
+    }
+
+    #[test]
+    fn utilization_is_busy_over_window() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(250));
+        assert!((r.utilization(d(1000)) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(500));
+        r.schedule(t(0), d(600));
+        assert_eq!(r.utilization(d(1000)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must hold at least one job")]
+    fn zero_capacity_rejected() {
+        let _ = FifoResource::with_capacity(0);
+    }
+
+    #[test]
+    fn delay_station_is_contention_free() {
+        let s = DelayStation::new(d(1000));
+        // Two simultaneous traversals both finish after exactly the delay.
+        assert_eq!(s.traverse(t(5)), t(1005));
+        assert_eq!(s.traverse(t(5)), t(1005));
+        assert_eq!(s.delay(), d(1000));
+    }
+
+    #[test]
+    fn completion_times_never_precede_submission() {
+        let mut rng = l2s_util::DetRng::new(17);
+        let mut r = FifoResource::new();
+        let mut now = SimTime::ZERO;
+        let mut last_done = SimTime::ZERO;
+        for _ in 0..10_000 {
+            now += d(rng.below(200));
+            let service = d(rng.below(300) + 1);
+            let done = r.schedule(now, service);
+            assert!(done >= now + service, "done too early");
+            assert!(done >= last_done, "FIFO order violated");
+            last_done = done;
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Parameter-space sweeps that regenerate the paper's model figures.
+
+use crate::{ModelParams, QueueModel, ServerKind};
+
+/// A throughput (or ratio) surface over the paper's two axes: the
+/// locality-oblivious hit rate and the average requested-file size.
+#[derive(Clone, Debug)]
+pub struct Surface {
+    /// Hit-rate axis values (the paper sweeps 0 → 1).
+    pub hit_rates: Vec<f64>,
+    /// Average-file-size axis values in KB (the paper sweeps 0 → 128).
+    pub sizes_kb: Vec<f64>,
+    /// `values[i][j]` is the metric at `hit_rates[i]`, `sizes_kb[j]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Surface {
+    /// The largest value on the surface, with its axis coordinates
+    /// `(value, hit_rate, size_kb)`.
+    pub fn peak(&self) -> (f64, f64, f64) {
+        let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+        for (i, row) in self.values.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v > best.0 {
+                    best = (v, self.hit_rates[i], self.sizes_kb[j]);
+                }
+            }
+        }
+        best
+    }
+
+    /// Per-row maxima — the paper's "side view" (Figure 6) collapses the
+    /// size axis this way.
+    pub fn row_max(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .map(|row| row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .collect()
+    }
+}
+
+/// Default axes used by the figure binaries: hit rate 0.02..=1.00 and
+/// file size 4..=128 KB (the paper's surfaces are meshed at roughly
+/// 8 KB granularity along the size axis; starting below ~4 KB grows the
+/// peak ratio past what Figure 5 shows).
+pub fn default_axes(hit_steps: usize, size_steps: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(hit_steps >= 2 && size_steps >= 2);
+    let hit_rates = (0..hit_steps)
+        .map(|i| 0.02 + 0.98 * i as f64 / (hit_steps - 1) as f64)
+        .collect();
+    let sizes_kb = (0..size_steps)
+        .map(|j| 4.0 + 124.0 * j as f64 / (size_steps - 1) as f64)
+        .collect();
+    (hit_rates, sizes_kb)
+}
+
+/// Figure 3 / Figure 4: throughput surface of a server kind over the
+/// (hit rate, file size) grid.
+pub fn throughput_surface(
+    base: &ModelParams,
+    kind: ServerKind,
+    hit_rates: &[f64],
+    sizes_kb: &[f64],
+) -> Surface {
+    let values = hit_rates
+        .iter()
+        .map(|&h| {
+            sizes_kb
+                .iter()
+                .map(|&s| {
+                    let mut p = *base;
+                    p.avg_file_kb = s;
+                    QueueModel::new(p)
+                        .expect("swept parameters stay valid")
+                        .max_throughput(kind, h)
+                })
+                .collect()
+        })
+        .collect();
+    Surface {
+        hit_rates: hit_rates.to_vec(),
+        sizes_kb: sizes_kb.to_vec(),
+        values,
+    }
+}
+
+/// Figure 5 (and 6): element-wise ratio of the conscious surface to the
+/// oblivious surface.
+pub fn throughput_increase_surface(
+    base: &ModelParams,
+    hit_rates: &[f64],
+    sizes_kb: &[f64],
+) -> Surface {
+    let lc = throughput_surface(base, ServerKind::LocalityConscious, hit_rates, sizes_kb);
+    let lo = throughput_surface(base, ServerKind::LocalityOblivious, hit_rates, sizes_kb);
+    let values = lc
+        .values
+        .iter()
+        .zip(&lo.values)
+        .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x / y).collect())
+        .collect();
+    Surface {
+        hit_rates: hit_rates.to_vec(),
+        sizes_kb: sizes_kb.to_vec(),
+        values,
+    }
+}
+
+/// Section 3.2's memory study: peak locality gain for each per-node
+/// memory size, returned as `(cache_kb, peak_gain)` pairs.
+pub fn memory_sweep(
+    base: &ModelParams,
+    cache_kbs: &[f64],
+    hit_rates: &[f64],
+    sizes_kb: &[f64],
+) -> Vec<(f64, f64)> {
+    cache_kbs
+        .iter()
+        .map(|&c| {
+            let mut p = *base;
+            p.cache_kb = c;
+            let surface = throughput_increase_surface(&p, hit_rates, sizes_kb);
+            (c, surface.peak().0)
+        })
+        .collect()
+}
+
+/// Section 3.2's replication study: for each replication fraction `R`,
+/// the forwarded fraction `Q` and conscious throughput at a given
+/// operating point, returned as `(replication, forward_fraction,
+/// throughput)` triples.
+pub fn replication_sweep(
+    base: &ModelParams,
+    replications: &[f64],
+    hlo: f64,
+) -> Vec<(f64, f64, f64)> {
+    replications
+        .iter()
+        .map(|&r| {
+            let mut p = *base;
+            p.replication = r;
+            let m = QueueModel::new(p).expect("swept parameters stay valid");
+            let d = m.derived_from_hlo(ServerKind::LocalityConscious, hlo);
+            (r, d.forward_fraction, m.max_throughput_derived(&d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_axes_cover_paper_ranges() {
+        let (hits, sizes) = default_axes(10, 8);
+        assert_eq!(hits.len(), 10);
+        assert_eq!(sizes.len(), 8);
+        assert!(hits[0] > 0.0 && (hits[9] - 1.0).abs() < 1e-12);
+        assert!(sizes[0] >= 4.0 && (sizes[7] - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conscious_surface_dominates_oblivious_almost_everywhere() {
+        let base = ModelParams::default();
+        let (hits, sizes) = default_axes(8, 6);
+        let ratio = throughput_increase_surface(&base, &hits, &sizes);
+        let mut above = 0usize;
+        let mut total = 0usize;
+        for row in &ratio.values {
+            for &v in row {
+                total += 1;
+                if v >= 1.0 {
+                    above += 1;
+                }
+            }
+        }
+        // The conscious server loses only where the oblivious one already
+        // caches (nearly) everything — the paper's ">= 95% hit rate" strip.
+        assert!(above * 4 >= total * 3, "{above}/{total} cells >= 1.0");
+        // And even there the loss is bounded by the forwarding overhead.
+        let min = ratio
+            .values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(min > 0.7, "worst-case ratio = {min}");
+    }
+
+    #[test]
+    fn ratio_surface_peaks_several_fold() {
+        let base = ModelParams::default();
+        let (hits, sizes) = default_axes(25, 16);
+        let ratio = throughput_increase_surface(&base, &hits, &sizes);
+        let (peak, at_hit, at_size) = ratio.peak();
+        assert!(peak > 5.0, "peak = {peak} at ({at_hit}, {at_size})");
+        assert!(peak < 14.0, "peak = {peak} implausibly large");
+        // The paper's peak sits at moderately high hit rates.
+        assert!(at_hit > 0.5 && at_hit < 1.0, "peak hit = {at_hit}");
+    }
+
+    #[test]
+    fn larger_memories_shrink_the_gain() {
+        let base = ModelParams::default();
+        let (hits, sizes) = default_axes(15, 10);
+        let mb = 1024.0;
+        let sweep = memory_sweep(
+            &base,
+            &[128.0 * mb, 256.0 * mb, 512.0 * mb],
+            &hits,
+            &sizes,
+        );
+        assert!(sweep[0].1 >= sweep[1].1 && sweep[1].1 >= sweep[2].1,
+            "gains should fall with memory: {sweep:?}");
+        // At 512 MB the paper still reports a ~6.5x peak.
+        assert!(sweep[2].1 > 4.0, "512 MB gain = {}", sweep[2].1);
+    }
+
+    #[test]
+    fn replication_cuts_forwarding_monotonically() {
+        let base = ModelParams::default();
+        let sweep = replication_sweep(&base, &[0.0, 0.15, 0.5, 1.0], 0.6);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-12,
+                "Q should fall with R: {sweep:?}"
+            );
+        }
+        // R = 0: Q = 15/16; R = 1: the hottest files are everywhere, so
+        // forwarding only happens for uncached files.
+        assert!((sweep[0].1 - 15.0 / 16.0).abs() < 1e-9);
+        assert!(sweep[3].1 < sweep[0].1);
+    }
+
+    #[test]
+    fn row_max_matches_manual_scan() {
+        let base = ModelParams::default();
+        let (hits, sizes) = default_axes(5, 4);
+        let s = throughput_surface(&base, ServerKind::LocalityOblivious, &hits, &sizes);
+        let maxes = s.row_max();
+        for (i, row) in s.values.iter().enumerate() {
+            let want = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(maxes[i], want);
+        }
+    }
+}

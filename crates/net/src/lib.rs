@@ -1,0 +1,209 @@
+//! The cluster's shared network fabric.
+//!
+//! Figure 1 of the paper: the nodes hang off a switched 1 Gbit/s network
+//! that also connects, through a bridge/**router**, to the Internet. The
+//! paper models the router as a contended resource (a Cisco 7576 moving
+//! ~4 Gbit/s) but explicitly does *not* model contention inside the
+//! switch fabric ("since we are simulating a very fast switched
+//! network") — the switch is a pure 1 µs delay.
+//!
+//! Per-node network-interface and CPU messaging costs live with the node
+//! hardware (`l2s-cluster`); this crate owns the *shared* pieces:
+//!
+//! * [`Fabric`] — the router (FIFO, with a finite admission buffer: the
+//!   paper injects new client requests only while "the router and
+//!   network interface buffers would accept them") plus the switch
+//!   delay.
+//! * [`NetConfig`] — bandwidth/latency knobs, scalable for the
+//!   sensitivity study (E15 in DESIGN.md).
+
+#![warn(missing_docs)]
+
+use l2s_devs::{DelayStation, FifoResource};
+use l2s_util::{SimDuration, SimTime};
+
+/// Shared-network parameters. Defaults are the paper's.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Router throughput in KB/s (default 500 000 ≈ 4 Gbit/s).
+    pub router_kb_per_s: f64,
+    /// Switch traversal latency in seconds (default 1 µs).
+    pub switch_s: f64,
+    /// Router admission buffer, in messages (client requests waiting to
+    /// enter the cluster).
+    pub router_buffer: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            router_kb_per_s: 500_000.0,
+            switch_s: 0.000_001,
+            router_buffer: 64,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Scales link/router bandwidth by `factor` (sensitivity study).
+    pub fn scale_bandwidth(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.router_kb_per_s *= factor;
+        self
+    }
+
+    /// Scales switch latency by `factor` (sensitivity study).
+    pub fn scale_latency(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.switch_s *= factor;
+        self
+    }
+
+    /// Router service time for `kb` KB.
+    #[inline]
+    pub fn router_service(&self, kb: f64) -> SimDuration {
+        SimDuration::from_secs_f64(kb / self.router_kb_per_s)
+    }
+}
+
+/// The shared fabric: router with contention and admission buffer, plus
+/// the contention-free switch.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    config: NetConfig,
+    router: FifoResource,
+    switch: DelayStation,
+}
+
+impl Fabric {
+    /// Builds the fabric from a configuration.
+    pub fn new(config: NetConfig) -> Self {
+        Fabric {
+            router: FifoResource::with_capacity(config.router_buffer),
+            switch: DelayStation::new(SimDuration::from_secs_f64(config.switch_s)),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Whether the router would accept one more inbound message at `now`
+    /// (the admission gate for new client requests).
+    pub fn would_accept(&mut self, now: SimTime) -> bool {
+        self.router.would_accept(now)
+    }
+
+    /// Pushes `kb` KB through the router at `now`; returns the time the
+    /// transfer clears the router, under FIFO contention. Used for both
+    /// inbound requests and outbound replies (the same box carries both
+    /// directions, as in the paper's single `µr` station).
+    pub fn router_transit(&mut self, now: SimTime, kb: f64) -> SimTime {
+        self.router.schedule(now, self.config.router_service(kb))
+    }
+
+    /// Inbound admission-checked variant of [`Fabric::router_transit`]:
+    /// `None` when the buffer is full.
+    pub fn try_router_transit(&mut self, now: SimTime, kb: f64) -> Option<SimTime> {
+        self.router
+            .try_schedule(now, self.config.router_service(kb))
+    }
+
+    /// Crosses the switch at `now` (pure delay, no contention).
+    #[inline]
+    pub fn switch_transit(&self, now: SimTime) -> SimTime {
+        self.switch.traverse(now)
+    }
+
+    /// Router utilization over a measurement window.
+    pub fn router_utilization(&self, window: SimDuration) -> f64 {
+        self.router.utilization(window)
+    }
+
+    /// Messages the router carried since the last stats reset.
+    pub fn router_served(&self) -> u64 {
+        self.router.served()
+    }
+
+    /// Zeroes router statistics (after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.router.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = NetConfig::default();
+        assert_eq!(c.router_kb_per_s, 500_000.0);
+        assert_eq!(c.switch_s, 0.000_001);
+        // 500 KB through the router takes 1 ms.
+        assert_eq!(c.router_service(500.0).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn switch_adds_exactly_one_microsecond() {
+        let f = Fabric::new(NetConfig::default());
+        assert_eq!(f.switch_transit(t(500)), t(1_500));
+    }
+
+    #[test]
+    fn router_contends_fifo() {
+        let mut f = Fabric::new(NetConfig::default());
+        // Two 500 KB replies at once: second waits for the first.
+        let first = f.router_transit(SimTime::ZERO, 500.0);
+        let second = f.router_transit(SimTime::ZERO, 500.0);
+        assert_eq!(first.as_nanos(), 1_000_000);
+        assert_eq!(second.as_nanos(), 2_000_000);
+    }
+
+    #[test]
+    fn admission_buffer_fills_and_drains() {
+        let cfg = NetConfig {
+            router_buffer: 2,
+            ..NetConfig::default()
+        };
+        let mut f = Fabric::new(cfg);
+        assert!(f.try_router_transit(SimTime::ZERO, 500.0).is_some());
+        assert!(f.try_router_transit(SimTime::ZERO, 500.0).is_some());
+        assert!(f.try_router_transit(SimTime::ZERO, 500.0).is_none());
+        assert!(!f.would_accept(SimTime::ZERO));
+        // After the first transfer clears, there is room again.
+        let later = SimTime::from_nanos(1_000_000);
+        assert!(f.would_accept(later));
+        assert!(f.try_router_transit(later, 500.0).is_some());
+    }
+
+    #[test]
+    fn bandwidth_scaling_speeds_the_router() {
+        let c = NetConfig::default().scale_bandwidth(2.0);
+        assert_eq!(c.router_service(500.0).as_nanos(), 500_000);
+    }
+
+    #[test]
+    fn latency_scaling_slows_the_switch() {
+        let c = NetConfig::default().scale_latency(10.0);
+        let f = Fabric::new(c);
+        assert_eq!(f.switch_transit(SimTime::ZERO), t(10_000));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut f = Fabric::new(NetConfig::default());
+        f.router_transit(SimTime::ZERO, 500.0); // 1 ms busy
+        let util = f.router_utilization(SimDuration::from_millis(4));
+        assert!((util - 0.25).abs() < 1e-9);
+        assert_eq!(f.router_served(), 1);
+        f.reset_stats();
+        assert_eq!(f.router_served(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Simulation configuration.
+
+use l2s::{L2sConfig, LardConfig};
+use l2s_cluster::{CachePolicy, NodeCosts};
+use l2s_net::NetConfig;
+
+/// How client requests enter the cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalMode {
+    /// The paper's throughput methodology: trace timing is discarded and
+    /// requests are injected as fast as the admission window and router
+    /// buffer allow.
+    ClosedLoop,
+    /// Open-loop Poisson arrivals at a fixed rate (requests/s), for
+    /// response-time studies against the analytic M/M/1 model. The
+    /// admission window is not applied; offered load beyond capacity
+    /// grows queues without bound, as in any open system.
+    Poisson {
+        /// Total arrival rate in requests per second.
+        rate_rps: f64,
+    },
+}
+
+/// Everything a simulation run needs besides the trace and the policy
+/// kind. [`SimConfig::paper_default`] reproduces the Section 5.1 setup.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Main-memory cache per node, in KB (paper default: 32 MB, chosen so
+    /// the traces' working sets are significant relative to cache size).
+    pub cache_kb: f64,
+    /// Inbound request-message size in KB (a typical HTTP/1.0 GET).
+    pub request_kb: f64,
+    /// Per-operation node costs (Table 1).
+    pub costs: NodeCosts,
+    /// Shared network fabric parameters.
+    pub net: NetConfig,
+    /// Per-node open-connection window: new client requests are admitted
+    /// while the whole cluster holds fewer than `nodes * window`
+    /// outstanding requests (the paper's "as fast as the buffers accept"
+    /// closed loop). The default (16) sits between L2S's `t = 10` and
+    /// `T = 20` thresholds, the operating point the paper's parameter
+    /// choices imply: nodes hover just below overload, and hot nodes
+    /// trip the threshold and shed load.
+    pub window: usize,
+    /// Per-node inbound-NI buffer in messages. Sizing only: client
+    /// admission is governed by `window` (plus the router buffer), so
+    /// in-cluster traffic — hand-offs, control messages — is never
+    /// dropped at the NI.
+    pub ni_buffer: usize,
+    /// How requests arrive (default: the paper's closed loop).
+    pub arrivals: ArrivalMode,
+    /// Seed for the simulator's own randomness (Poisson interarrivals,
+    /// persistent-connection lengths). Runs are deterministic per seed.
+    pub seed: u64,
+    /// Mean requests per client connection (default 1 = HTTP/1.0, each
+    /// request its own connection). Values above 1 model persistent
+    /// (HTTP/1.1) connections, which the paper's Section 4 discusses:
+    /// after a request completes, the next request of the same
+    /// connection arrives at the node currently holding it, which acts
+    /// as the initial node. Connection lengths are geometric.
+    pub persistent_mean: f64,
+    /// When true, misses fetch files through a distributed file system:
+    /// each file has a *home* disk (hash-placed) and remote misses pay a
+    /// network round trip plus the home node's disk and NI. When false
+    /// (default, matching the paper's single `µd` charge), every node
+    /// reads missed files from its local disk.
+    pub dfs_remote: bool,
+    /// Cache replacement policy on every node (default LRU, the paper's;
+    /// GreedyDual-Size available as an ablation).
+    pub cache_policy: CachePolicy,
+    /// CPU scheduling quantum in seconds (default 500 µs): reply
+    /// processing (the `µm` cost, up to several ms for large files) is
+    /// charged in chunks of this size so short operations (parse,
+    /// forward, message handling) interleave with long sends the way a
+    /// time-shared CPU sending TCP segments actually behaves. Without
+    /// it, a run-to-completion FIFO CPU makes every 160 µs parse wait
+    /// behind whole multi-ms replies — head-of-line blocking no real
+    /// server exhibits.
+    pub cpu_quantum_s: f64,
+    /// Whether to warm caches by simulating the trace once before the
+    /// measured run (Section 5.1 does; tests may disable it for speed).
+    pub warmup: bool,
+    /// Optional cap on the number of trace requests used (both warm-up
+    /// and measurement), for quick runs.
+    pub max_requests: Option<usize>,
+    /// L2S policy parameters (`T = 20`, `t = 10`, broadcast delta 4).
+    pub l2s: L2sConfig,
+    /// LARD policy parameters (`T_low = 25`, `T_high = 65`, batch 4).
+    pub lard: LardConfig,
+}
+
+impl SimConfig {
+    /// The paper's Section 5.1 configuration for an `n`-node cluster.
+    pub fn paper_default(n: usize) -> Self {
+        SimConfig {
+            nodes: n,
+            cache_kb: 32.0 * 1024.0,
+            request_kb: 0.3,
+            costs: NodeCosts::default(),
+            net: NetConfig::default(),
+            window: 16,
+            ni_buffer: 64,
+            arrivals: ArrivalMode::ClosedLoop,
+            seed: 0x10ad_ba1e,
+            persistent_mean: 1.0,
+            dfs_remote: false,
+            cache_policy: CachePolicy::Lru,
+            cpu_quantum_s: 0.0005,
+            warmup: true,
+            max_requests: None,
+            l2s: L2sConfig::default(),
+            lard: LardConfig::default(),
+        }
+    }
+
+    /// A fast variant for tests and examples: smaller caches scale with
+    /// whatever scaled-down trace is in use, no warm-up pass by default.
+    pub fn quick(n: usize, cache_kb: f64) -> Self {
+        SimConfig {
+            cache_kb,
+            warmup: false,
+            ..Self::paper_default(n)
+        }
+    }
+
+    /// Total outstanding-request admission window.
+    pub fn total_window(&self) -> usize {
+        self.nodes * self.window
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("nodes must be >= 1".into());
+        }
+        if self.cache_kb <= 0.0 || !self.cache_kb.is_finite() {
+            return Err("cache_kb must be positive".into());
+        }
+        if self.request_kb <= 0.0 || !self.request_kb.is_finite() {
+            return Err("request_kb must be positive".into());
+        }
+        if self.window == 0 {
+            return Err("window must be >= 1".into());
+        }
+        if self.ni_buffer == 0 {
+            return Err("ni_buffer must be >= 1".into());
+        }
+        if self.cpu_quantum_s <= 0.0 || !self.cpu_quantum_s.is_finite() {
+            return Err("cpu_quantum_s must be positive".into());
+        }
+        if self.persistent_mean < 1.0 || !self.persistent_mean.is_finite() {
+            return Err("persistent_mean must be >= 1".into());
+        }
+        if let ArrivalMode::Poisson { rate_rps } = self.arrivals {
+            if rate_rps <= 0.0 || !rate_rps.is_finite() {
+                return Err("Poisson rate must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5() {
+        let c = SimConfig::paper_default(16);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.cache_kb, 32.0 * 1024.0);
+        assert!(c.warmup);
+        assert_eq!(c.l2s.t_high, 20);
+        assert_eq!(c.l2s.t_low, 10);
+        assert_eq!(c.lard.t_low, 25);
+        assert_eq!(c.lard.t_high, 65);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn quick_disables_warmup() {
+        let c = SimConfig::quick(4, 1024.0);
+        assert!(!c.warmup);
+        assert_eq!(c.cache_kb, 1024.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut c = SimConfig::paper_default(0);
+        assert!(c.validate().is_err());
+        c.nodes = 2;
+        c.window = 0;
+        assert!(c.validate().is_err());
+        c.window = 8;
+        c.cache_kb = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn arrival_and_persistence_validation() {
+        let mut c = SimConfig::paper_default(2);
+        assert_eq!(c.arrivals, ArrivalMode::ClosedLoop);
+        assert_eq!(c.persistent_mean, 1.0);
+        assert!(!c.dfs_remote);
+        c.persistent_mean = 0.5;
+        assert!(c.validate().is_err());
+        c.persistent_mean = 4.0;
+        c.arrivals = ArrivalMode::Poisson { rate_rps: -1.0 };
+        assert!(c.validate().is_err());
+        c.arrivals = ArrivalMode::Poisson { rate_rps: 100.0 };
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn total_window_scales_with_nodes() {
+        let c = SimConfig::paper_default(8);
+        assert_eq!(c.total_window(), 8 * c.window);
+    }
+}

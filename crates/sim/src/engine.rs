@@ -1,0 +1,869 @@
+//! The event-driven simulation engine.
+
+use crate::{ArrivalMode, NodeReport, SimConfig, SimReport};
+use l2s::{Distributor, L2s, Lard, NodeId, PolicyKind, PureLocality, RoundRobin, Traditional};
+use l2s_cluster::{build_nodes, FileId, NodeHardware};
+use l2s_devs::EventQueue;
+use l2s_net::Fabric;
+use l2s_trace::Trace;
+use l2s_util::stats::quantile;
+use l2s_util::{DetRng, OnlineStats, SimDuration, SimTime};
+
+/// Index into the in-flight request slab.
+type ReqId = u32;
+
+/// In-flight request state.
+#[derive(Clone, Debug)]
+struct Req {
+    file: FileId,
+    kb: f64,
+    initial: NodeId,
+    service: NodeId,
+    injected: SimTime,
+    decided: SimTime,
+    served: SimTime,
+    forwarded: bool,
+    /// Reply CPU work not yet charged (chunked into scheduling quanta).
+    reply_remaining: SimDuration,
+    /// Further requests this client connection will issue after the
+    /// current one (persistent-connection mode).
+    conn_remaining: u32,
+    /// Whether this request continues an existing persistent connection.
+    continuation: bool,
+}
+
+/// Lifecycle events. Each event marks a request's *arrival* at a
+/// contended station, so every FIFO queue sees jobs in true arrival
+/// order.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Reached the initial node's inbound NI (after router + switch).
+    NicIn(ReqId),
+    /// Reached the initial node's CPU for parsing.
+    Parse(ReqId),
+    /// Parse finished; run the distribution policy.
+    Decide(ReqId),
+    /// Hand-off message entered the initial node's outbound NI.
+    HandoffOut(ReqId),
+    /// Hand-off message reached the service node's inbound NI.
+    HandoffIn(ReqId),
+    /// Ready on the service node: cache lookup, then memory or disk.
+    Serve(ReqId),
+    /// Disk read finished; the reply runs on the CPU.
+    ReplyReady(ReqId),
+    /// One CPU quantum of reply processing finished; more remains.
+    ReplyChunk(ReqId),
+    /// Reply entered the service node's outbound NI.
+    NicOut(ReqId),
+    /// Reply reached the router.
+    RouterOut(ReqId),
+    /// Reply left the cluster; the connection closes (or issues its next
+    /// request, if persistent).
+    Done(ReqId),
+    /// Open-loop mode: the next Poisson client arrival.
+    ClientArrival,
+    /// DFS fetch request arrived at the file's home node.
+    DfsRead(ReqId),
+    /// DFS home disk read finished; ship the file back.
+    DfsTransfer(ReqId),
+    /// DFS file arrived back at the requesting node's NI.
+    DfsBack(ReqId),
+}
+
+/// Measurement accumulators (reset between warm-up and measurement).
+#[derive(Default)]
+struct Measure {
+    started_at: SimTime,
+    completed: u64,
+    forwarded: u64,
+    decided: u64,
+    control_msgs: u64,
+    response_s: Vec<f64>,
+    seg_ingress: OnlineStats,
+    seg_handoff: OnlineStats,
+    seg_service: OnlineStats,
+}
+
+struct Engine<'t> {
+    config: SimConfig,
+    trace: &'t Trace,
+    limit: usize,
+    policy: Box<dyn Distributor>,
+    nodes: Vec<NodeHardware>,
+    fabric: Fabric,
+    queue: EventQueue<Ev>,
+    slab: Vec<Req>,
+    free: Vec<ReqId>,
+    next_request: usize,
+    outstanding: usize,
+    measure: Measure,
+    msg_buf: Vec<(NodeId, NodeId)>,
+    rng: DetRng,
+}
+
+/// Home node of `file` under the hash-placed distributed file system
+/// (Fibonacci hashing, matching the pure-locality baseline's spread).
+fn dfs_home(file: FileId, nodes: usize) -> NodeId {
+    let h = (file as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h % nodes as u64) as NodeId
+}
+
+/// Builds the policy for `kind` with the run's parameters.
+fn build_policy(kind: PolicyKind, config: &SimConfig) -> Box<dyn Distributor> {
+    let n = config.nodes;
+    match kind {
+        PolicyKind::Traditional => Box::new(Traditional::new(n)),
+        PolicyKind::RoundRobin => Box::new(RoundRobin::new(n)),
+        PolicyKind::PureLocality => Box::new(PureLocality::new(n)),
+        PolicyKind::Lard => Box::new(Lard::new(n, config.lard)),
+        PolicyKind::LardBasic => Box::new(Lard::basic(n, config.lard)),
+        PolicyKind::LardDispatcher => Box::new(Lard::dispatcher(n, config.lard)),
+        PolicyKind::L2s => Box::new(L2s::new(n, config.l2s)),
+    }
+}
+
+/// Runs one simulation of `trace` under `policy_kind` and returns the
+/// measured report. See the crate docs for the modeled lifecycle.
+pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> SimReport {
+    config.validate().expect("invalid simulation configuration");
+    assert!(!trace.is_empty(), "cannot simulate an empty trace");
+    let limit = config
+        .max_requests
+        .map(|m| m.min(trace.len()))
+        .unwrap_or(trace.len());
+    assert!(limit > 0, "max_requests must leave at least one request");
+
+    let mut engine = Engine {
+        config: *config,
+        trace,
+        limit,
+        policy: build_policy(policy_kind, config),
+        nodes: build_nodes(
+            config.nodes,
+            config.cache_policy,
+            config.cache_kb,
+            config.ni_buffer,
+        ),
+        fabric: Fabric::new(config.net),
+        queue: EventQueue::new(),
+        slab: Vec::with_capacity(config.total_window()),
+        free: Vec::new(),
+        next_request: 0,
+        outstanding: 0,
+        measure: Measure::default(),
+        msg_buf: Vec::new(),
+        rng: DetRng::new(config.seed),
+    };
+
+    if config.warmup {
+        engine.run_pass();
+        engine.reset_measurement();
+        engine.next_request = 0;
+    }
+    engine.run_pass();
+    engine.report(policy_kind)
+}
+
+impl<'t> Engine<'t> {
+    /// Drives one full pass over the (possibly capped) trace: injects as
+    /// arrivals dictate and drains every event.
+    fn run_pass(&mut self) {
+        match self.config.arrivals {
+            ArrivalMode::ClosedLoop => {
+                self.try_inject();
+                while let Some((now, ev)) = self.queue.pop() {
+                    self.handle(now, ev);
+                    self.try_inject();
+                }
+            }
+            ArrivalMode::Poisson { .. } => {
+                self.schedule_next_arrival();
+                while let Some((now, ev)) = self.queue.pop() {
+                    self.handle(now, ev);
+                }
+            }
+        }
+        debug_assert_eq!(self.outstanding, 0, "requests left in flight");
+    }
+
+    /// Open-loop mode: schedules the next client arrival, if the trace
+    /// has requests left.
+    fn schedule_next_arrival(&mut self) {
+        let ArrivalMode::Poisson { rate_rps } = self.config.arrivals else {
+            return;
+        };
+        if self.next_request >= self.limit {
+            return;
+        }
+        let gap = SimDuration::from_secs_f64(self.rng.exponential(1.0 / rate_rps));
+        self.queue.schedule_after(gap, Ev::ClientArrival);
+    }
+
+    /// Draws a persistent-connection length (geometric with the
+    /// configured mean; 1 when persistence is off).
+    fn draw_connection_len(&mut self) -> u32 {
+        let mean = self.config.persistent_mean;
+        if mean <= 1.0 {
+            return 1;
+        }
+        // Geometric on {1, 2, ...} with success probability 1/mean.
+        let p = 1.0 / mean;
+        let u = self.rng.f64_open();
+        let k = 1.0 + (u.ln() / (1.0 - p).ln()).floor();
+        k.clamp(1.0, 10_000.0) as u32
+    }
+
+    /// Injects one request at `initial`, entering through the router.
+    /// Returns the request id.
+    fn launch_request(
+        &mut self,
+        now: SimTime,
+        initial: NodeId,
+        conn_remaining: u32,
+        continuation: bool,
+    ) -> ReqId {
+        let file = self.trace.requests()[self.next_request];
+        self.next_request += 1;
+        let kb = self.trace.files().size_kb(file);
+        let id = self.alloc(Req {
+            file,
+            kb,
+            initial,
+            service: initial,
+            injected: now,
+            decided: now,
+            served: now,
+            forwarded: false,
+            reply_remaining: SimDuration::ZERO,
+            conn_remaining,
+            continuation,
+        });
+        let cleared = self.fabric.router_transit(now, self.config.request_kb);
+        let at_node = self.fabric.switch_transit(cleared);
+        self.queue.schedule(at_node, Ev::NicIn(id));
+        self.outstanding += 1;
+        id
+    }
+
+    /// Zeroes all statistics after the warm-up pass; cache contents,
+    /// policy state, and the clock carry over.
+    fn reset_measurement(&mut self) {
+        for node in &mut self.nodes {
+            node.reset_stats();
+        }
+        self.fabric.reset_stats();
+        self.measure = Measure {
+            started_at: self.queue.now(),
+            ..Measure::default()
+        };
+    }
+
+    /// Injects new requests while the trace has them, the cluster-wide
+    /// connection window has room, and the router accepts (the paper's
+    /// "as soon as the router and network interface buffers would accept
+    /// them" closed loop).
+    fn try_inject(&mut self) {
+        let now = self.queue.now();
+        while self.next_request < self.limit
+            && self.outstanding < self.config.total_window()
+            && self.fabric.would_accept(now)
+        {
+            let initial = self.policy.arrival_node();
+            let conn = self.draw_connection_len() - 1;
+            self.launch_request(now, initial, conn, false);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::NicIn(id) => {
+                let node = self.slab[id as usize].initial;
+                let done = self.nodes[node].ni_in.schedule(now, self.config.costs.ni_in());
+                self.queue.schedule(done, Ev::Parse(id));
+            }
+            Ev::Parse(id) => {
+                let node = self.slab[id as usize].initial;
+                let done = self.nodes[node].cpu.schedule(now, self.config.costs.parse());
+                self.queue.schedule(done, Ev::Decide(id));
+            }
+            Ev::Decide(id) => {
+                let (initial, file) = {
+                    let r = &self.slab[id as usize];
+                    (r.initial, r.file)
+                };
+                let continuation = self.slab[id as usize].continuation;
+                let assignment = if continuation {
+                    self.policy.assign_continuation(now, initial, file)
+                } else {
+                    self.policy.assign(now, initial, file)
+                };
+                self.charge_messages(now);
+                self.measure.decided += 1;
+                self.measure.control_msgs += u64::from(assignment.control_msgs);
+                let req = &mut self.slab[id as usize];
+                req.service = assignment.service;
+                req.forwarded = assignment.forwarded;
+                req.decided = now;
+                if assignment.forwarded {
+                    self.measure.forwarded += 1;
+                    let done = self.nodes[initial]
+                        .cpu
+                        .schedule(now, self.config.costs.forward());
+                    self.queue.schedule(done, Ev::HandoffOut(id));
+                } else {
+                    self.queue.schedule(now, Ev::Serve(id));
+                }
+            }
+            Ev::HandoffOut(id) => {
+                let node = self.slab[id as usize].initial;
+                let done = self.nodes[node]
+                    .ni_out
+                    .schedule(now, self.config.costs.msg_ni());
+                let arrived = self.fabric.switch_transit(done);
+                self.queue.schedule(arrived, Ev::HandoffIn(id));
+            }
+            Ev::HandoffIn(id) => {
+                let node = self.slab[id as usize].service;
+                let done = self.nodes[node]
+                    .ni_in
+                    .schedule(now, self.config.costs.msg_ni());
+                self.queue.schedule(done, Ev::Serve(id));
+            }
+            Ev::Serve(id) => {
+                self.slab[id as usize].served = now;
+                let (node, file, kb, forwarded) = {
+                    let r = &self.slab[id as usize];
+                    (r.service, r.file, r.kb, r.forwarded)
+                };
+                let hit = self.nodes[node].access_file(file, kb);
+                if hit {
+                    self.slab[id as usize].reply_remaining = self.reply_cpu_time(kb, forwarded);
+                    self.schedule_reply_chunk(id, now);
+                } else {
+                    let home = dfs_home(file, self.config.nodes);
+                    if self.config.dfs_remote && home != node {
+                        // Remote miss: ask the home node's disk through
+                        // the cluster network.
+                        let costs = self.config.costs;
+                        let sent = self.nodes[node].cpu.schedule(now, costs.msg_cpu());
+                        let on_wire = self.nodes[node].ni_out.schedule(sent, costs.msg_ni());
+                        let arrived = self.fabric.switch_transit(on_wire);
+                        self.queue.schedule(arrived, Ev::DfsRead(id));
+                    } else {
+                        let done = self.nodes[node]
+                            .disk
+                            .schedule(now, self.config.costs.disk_read(kb));
+                        self.queue.schedule(done, Ev::ReplyReady(id));
+                    }
+                }
+            }
+            Ev::ReplyReady(id) => {
+                let (kb, forwarded) = {
+                    let r = &self.slab[id as usize];
+                    (r.kb, r.forwarded)
+                };
+                self.slab[id as usize].reply_remaining = self.reply_cpu_time(kb, forwarded);
+                self.schedule_reply_chunk(id, now);
+            }
+            Ev::ReplyChunk(id) => {
+                self.schedule_reply_chunk(id, now);
+            }
+            Ev::NicOut(id) => {
+                let (node, kb) = {
+                    let r = &self.slab[id as usize];
+                    (r.service, r.kb)
+                };
+                let done = self.nodes[node]
+                    .ni_out
+                    .schedule(now, self.config.costs.ni_out(kb));
+                let at_router = self.fabric.switch_transit(done);
+                self.queue.schedule(at_router, Ev::RouterOut(id));
+            }
+            Ev::RouterOut(id) => {
+                let kb = self.slab[id as usize].kb;
+                let done = self.fabric.router_transit(now, kb);
+                self.queue.schedule(done, Ev::Done(id));
+            }
+            Ev::ClientArrival => {
+                let initial = self.policy.arrival_node();
+                let conn = self.draw_connection_len() - 1;
+                self.launch_request(now, initial, conn, false);
+                self.schedule_next_arrival();
+            }
+            Ev::DfsRead(id) => {
+                let (node, kb) = {
+                    let r = &self.slab[id as usize];
+                    (r.service, r.kb)
+                };
+                let home = dfs_home(self.slab[id as usize].file, self.config.nodes);
+                debug_assert_ne!(home, node);
+                let done = self.nodes[home]
+                    .disk
+                    .schedule(now, self.config.costs.disk_read(kb));
+                self.queue.schedule(done, Ev::DfsTransfer(id));
+            }
+            Ev::DfsTransfer(id) => {
+                let kb = self.slab[id as usize].kb;
+                let home = dfs_home(self.slab[id as usize].file, self.config.nodes);
+                let done = self.nodes[home]
+                    .ni_out
+                    .schedule(now, self.config.costs.ni_out(kb));
+                let arrived = self.fabric.switch_transit(done);
+                self.queue.schedule(arrived, Ev::DfsBack(id));
+            }
+            Ev::DfsBack(id) => {
+                let (node, kb) = {
+                    let r = &self.slab[id as usize];
+                    (r.service, r.kb)
+                };
+                // Receiving the file costs the NI the same as sending it.
+                let done = self.nodes[node]
+                    .ni_in
+                    .schedule(now, self.config.costs.ni_out(kb));
+                self.queue.schedule(done, Ev::ReplyReady(id));
+            }
+            Ev::Done(id) => {
+                let (node, file, injected) = {
+                    let r = &self.slab[id as usize];
+                    (r.service, r.file, r.injected)
+                };
+                {
+                    let r = &self.slab[id as usize];
+                    self.measure
+                        .seg_ingress
+                        .push(r.decided.saturating_since(r.injected).as_secs_f64());
+                    self.measure
+                        .seg_handoff
+                        .push(r.served.saturating_since(r.decided).as_secs_f64());
+                    self.measure
+                        .seg_service
+                        .push(now.saturating_since(r.served).as_secs_f64());
+                }
+                let msgs = self.policy.complete(now, node, file);
+                self.charge_messages(now);
+                self.measure.control_msgs += u64::from(msgs);
+                self.nodes[node].completed += 1;
+                self.measure.completed += 1;
+                self.measure
+                    .response_s
+                    .push(now.saturating_since(injected).as_secs_f64());
+                let conn_remaining = self.slab[id as usize].conn_remaining;
+                self.outstanding -= 1;
+                self.release(id);
+                if conn_remaining > 0 && self.next_request < self.limit {
+                    // Persistent connection: the next request of this
+                    // connection arrives at the node that just served —
+                    // it holds the connection and acts as initial node.
+                    self.policy.arrival_continuation(node);
+                    self.launch_request(now, node, conn_remaining - 1, true);
+                }
+            }
+        }
+    }
+
+    /// CPU time for a reply: the µm cost plus, for handed-off requests,
+    /// the small-message receive cost.
+    fn reply_cpu_time(&self, kb: f64, forwarded: bool) -> SimDuration {
+        let mut t = self.config.costs.mem_reply(kb);
+        if forwarded {
+            t += self.config.costs.msg_cpu();
+        }
+        t
+    }
+
+    /// Charges the next quantum of a reply's CPU work; re-queues itself
+    /// until the work is exhausted, then emits the reply onto the NI.
+    /// Because each chunk re-enters the CPU's FIFO at its own arrival
+    /// time, long replies interleave with short operations exactly like
+    /// time-shared segment processing.
+    fn schedule_reply_chunk(&mut self, id: ReqId, now: SimTime) {
+        let quantum = SimDuration::from_secs_f64(self.config.cpu_quantum_s);
+        let node = self.slab[id as usize].service;
+        let remaining = self.slab[id as usize].reply_remaining;
+        let chunk = remaining.min(quantum);
+        self.slab[id as usize].reply_remaining = remaining - chunk;
+        let done = self.nodes[node].cpu.schedule(now, chunk);
+        if self.slab[id as usize].reply_remaining.is_zero() {
+            self.queue.schedule(done, Ev::NicOut(id));
+        } else {
+            self.queue.schedule(done, Ev::ReplyChunk(id));
+        }
+    }
+
+    /// Charges every control message the policy just emitted: 3 µs CPU +
+    /// 6 µs NI on the sender, and 6 µs NI + 3 µs CPU on the receiver.
+    ///
+    /// All four legs are charged at the current event time. Charging a
+    /// leg at its downstream arrival time would violate the FIFO
+    /// stations' in-arrival-order scheduling discipline (a job submitted
+    /// for a *future* arrival advances `free_at` past jobs that arrive
+    /// sooner, idling the station artificially). The cost of the
+    /// simplification is that a receiver pays its ~9 µs of message
+    /// handling up to one message latency (~19 µs) early — far below the
+    /// fidelity of interest.
+    fn charge_messages(&mut self, now: SimTime) {
+        if self.msg_buf.capacity() == 0 {
+            self.msg_buf.reserve(16);
+        }
+        let mut buf = std::mem::take(&mut self.msg_buf);
+        self.policy.drain_messages(&mut buf);
+        for &(from, to) in &buf {
+            let costs = &self.config.costs;
+            self.nodes[from].cpu.schedule(now, costs.msg_cpu());
+            self.nodes[from].ni_out.schedule(now, costs.msg_ni());
+            self.nodes[to].ni_in.schedule(now, costs.msg_ni());
+            self.nodes[to].cpu.schedule(now, costs.msg_cpu());
+        }
+        buf.clear();
+        self.msg_buf = buf;
+    }
+
+    fn alloc(&mut self, req: Req) -> ReqId {
+        match self.free.pop() {
+            Some(id) => {
+                self.slab[id as usize] = req;
+                id
+            }
+            None => {
+                self.slab.push(req);
+                (self.slab.len() - 1) as ReqId
+            }
+        }
+    }
+
+    fn release(&mut self, id: ReqId) {
+        self.free.push(id);
+    }
+
+    fn report(&mut self, kind: PolicyKind) -> SimReport {
+        let elapsed = self.queue.now().saturating_since(self.measure.started_at);
+        let elapsed_s = elapsed.as_secs_f64();
+        let serving: Vec<NodeId> = self.policy.serving_nodes();
+
+        let per_node: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeReport {
+                node: i,
+                cpu_utilization: n.cpu.utilization(elapsed),
+                disk_utilization: n.disk.utilization(elapsed),
+                completed: n.completed,
+                cache_hits: n.cache.stats().hits,
+                cache_misses: n.cache.stats().misses,
+            })
+            .collect();
+
+        let (hits, misses) = per_node
+            .iter()
+            .fold((0u64, 0u64), |(h, m), n| (h + n.cache_hits, m + n.cache_misses));
+        let lookups = hits + misses;
+
+        let idle: f64 = if serving.is_empty() {
+            0.0
+        } else {
+            serving
+                .iter()
+                .map(|&i| 1.0 - per_node[i].cpu_utilization)
+                .sum::<f64>()
+                / serving.len() as f64
+        };
+
+        let mut sorted = std::mem::take(&mut self.measure.response_s);
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mean_response = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+
+        SimReport {
+            policy: kind.name(),
+            nodes: self.config.nodes,
+            completed: self.measure.completed,
+            elapsed,
+            throughput_rps: if elapsed_s > 0.0 {
+                self.measure.completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            miss_rate: if lookups == 0 {
+                0.0
+            } else {
+                misses as f64 / lookups as f64
+            },
+            forwarded_fraction: if self.measure.decided == 0 {
+                0.0
+            } else {
+                self.measure.forwarded as f64 / self.measure.decided as f64
+            },
+            cpu_idle: idle,
+            router_utilization: self.fabric.router_utilization(elapsed),
+            control_msgs_per_request: if self.measure.completed == 0 {
+                0.0
+            } else {
+                self.measure.control_msgs as f64 / self.measure.completed as f64
+            },
+            mean_response_s: mean_response,
+            p99_response_s: quantile(&sorted, 0.99).unwrap_or(0.0),
+            segment_means_s: [
+                self.measure.seg_ingress.mean(),
+                self.measure.seg_handoff.mean(),
+                self.measure.seg_service.mean(),
+            ],
+            per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2s_trace::TraceSpec;
+
+    fn small_trace(seed: u64) -> Trace {
+        TraceSpec::clarknet().scaled(400, 20_000).generate(seed)
+    }
+
+    /// A cache sized so that roughly half the scaled working set fits on
+    /// one node.
+    fn small_config(n: usize) -> SimConfig {
+        SimConfig::quick(n, 2_000.0)
+    }
+
+    #[test]
+    fn every_policy_completes_all_requests() {
+        let trace = small_trace(1);
+        for kind in PolicyKind::all() {
+            let report = simulate(&small_config(4), kind, &trace);
+            assert_eq!(
+                report.completed,
+                trace.len() as u64,
+                "{} lost requests",
+                kind.name()
+            );
+            assert!(report.throughput_rps > 0.0);
+            assert!(report.elapsed.as_secs_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = small_trace(2);
+        let a = simulate(&small_config(4), PolicyKind::L2s, &trace);
+        let b = simulate(&small_config(4), PolicyKind::L2s, &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn l2s_beats_traditional_on_cache_bound_workload() {
+        let trace = small_trace(3);
+        let cfg = small_config(8);
+        let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
+        let trad = simulate(&cfg, PolicyKind::Traditional, &trace);
+        assert!(
+            l2s.throughput_rps > trad.throughput_rps,
+            "l2s {} !> trad {}",
+            l2s.throughput_rps,
+            trad.throughput_rps
+        );
+        assert!(
+            l2s.miss_rate < trad.miss_rate,
+            "l2s miss {} !< trad miss {}",
+            l2s.miss_rate,
+            trad.miss_rate
+        );
+    }
+
+    #[test]
+    fn lard_forwards_everything_l2s_less() {
+        let trace = small_trace(4);
+        let cfg = small_config(4);
+        let lard = simulate(&cfg, PolicyKind::Lard, &trace);
+        assert!(
+            lard.forwarded_fraction > 0.999,
+            "lard forwards all: {}",
+            lard.forwarded_fraction
+        );
+        let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
+        assert!(
+            l2s.forwarded_fraction < lard.forwarded_fraction,
+            "l2s {} !< lard {}",
+            l2s.forwarded_fraction,
+            lard.forwarded_fraction
+        );
+    }
+
+    #[test]
+    fn traditional_never_forwards() {
+        let trace = small_trace(5);
+        let report = simulate(&small_config(4), PolicyKind::Traditional, &trace);
+        assert_eq!(report.forwarded_fraction, 0.0);
+        assert_eq!(report.control_msgs_per_request, 0.0);
+    }
+
+    #[test]
+    fn warmup_lowers_miss_rate() {
+        let trace = small_trace(6);
+        let mut cold = small_config(4);
+        cold.warmup = false;
+        let mut warm = cold;
+        warm.warmup = true;
+        let cold_report = simulate(&cold, PolicyKind::Traditional, &trace);
+        let warm_report = simulate(&warm, PolicyKind::Traditional, &trace);
+        assert!(
+            warm_report.miss_rate <= cold_report.miss_rate,
+            "warm {} !<= cold {}",
+            warm_report.miss_rate,
+            cold_report.miss_rate
+        );
+    }
+
+    #[test]
+    fn lard_front_end_serves_nothing() {
+        let trace = small_trace(7);
+        let report = simulate(&small_config(4), PolicyKind::Lard, &trace);
+        assert_eq!(report.per_node[0].completed, 0, "front-end served requests");
+        assert!(report.per_node[1].completed > 0);
+    }
+
+    #[test]
+    fn max_requests_caps_the_run() {
+        let trace = small_trace(8);
+        let mut cfg = small_config(2);
+        cfg.max_requests = Some(500);
+        let report = simulate(&cfg, PolicyKind::Traditional, &trace);
+        assert_eq!(report.completed, 500);
+    }
+
+    #[test]
+    fn bigger_cluster_is_faster() {
+        let trace = small_trace(9);
+        let small = simulate(&small_config(2), PolicyKind::L2s, &trace);
+        let big = simulate(&small_config(8), PolicyKind::L2s, &trace);
+        assert!(
+            big.throughput_rps > small.throughput_rps * 1.5,
+            "8 nodes {} !>> 2 nodes {}",
+            big.throughput_rps,
+            small.throughput_rps
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_follow_offered_load() {
+        let trace = small_trace(20);
+        let mut cfg = small_config(4);
+        // Offered load well below capacity: throughput tracks the rate.
+        cfg.arrivals = crate::ArrivalMode::Poisson { rate_rps: 400.0 };
+        let r = simulate(&cfg, PolicyKind::L2s, &trace);
+        assert_eq!(r.completed, trace.len() as u64);
+        assert!(
+            (r.throughput_rps / 400.0 - 1.0).abs() < 0.1,
+            "throughput {} should track the 400 r/s offered load",
+            r.throughput_rps
+        );
+    }
+
+    #[test]
+    fn poisson_response_grows_with_load() {
+        let trace = small_trace(21);
+        let mut light = small_config(4);
+        light.arrivals = crate::ArrivalMode::Poisson { rate_rps: 200.0 };
+        let mut heavy = light;
+        heavy.arrivals = crate::ArrivalMode::Poisson { rate_rps: 1_500.0 };
+        let lr = simulate(&light, PolicyKind::Traditional, &trace);
+        let hr = simulate(&heavy, PolicyKind::Traditional, &trace);
+        assert!(
+            hr.mean_response_s > lr.mean_response_s,
+            "heavy {} !> light {}",
+            hr.mean_response_s,
+            lr.mean_response_s
+        );
+    }
+
+    #[test]
+    fn persistent_connections_conserve_requests_and_locality() {
+        let trace = small_trace(22);
+        let base = small_config(4);
+        let mut persistent = base;
+        persistent.persistent_mean = 8.0;
+        let single = simulate(&base, PolicyKind::L2s, &trace);
+        let multi = simulate(&persistent, PolicyKind::L2s, &trace);
+        assert_eq!(multi.completed, trace.len() as u64, "requests conserved");
+        // The conservative affinity rule must not blow up the miss rate
+        // (the failure mode of serve-anywhere affinity).
+        assert!(
+            multi.miss_rate < single.miss_rate + 0.05,
+            "persistent miss {} vs single {}",
+            multi.miss_rate,
+            single.miss_rate
+        );
+    }
+
+    #[test]
+    fn persistent_connections_bypass_lards_front_end() {
+        // Aron et al. '99: with P-HTTP, back-ends forward amongst
+        // themselves and the front-end stops being the per-request
+        // bottleneck. Use a cache-friendly workload so the front-end is
+        // the binding constraint in HTTP/1.0 mode.
+        let trace = small_trace(25);
+        // Enough back-ends and window depth that the per-request
+        // front-end is deeply saturated in HTTP/1.0 mode.
+        let mut base = small_config(12);
+        base.cache_kb = 8_000.0;
+        base.window = 32;
+        let mut persistent = base;
+        persistent.persistent_mean = 8.0;
+        let single = simulate(&base, PolicyKind::Lard, &trace);
+        let multi = simulate(&persistent, PolicyKind::Lard, &trace);
+        assert!(
+            multi.throughput_rps > single.throughput_rps * 1.2,
+            "persistent {} should beat per-request front-end {}",
+            multi.throughput_rps,
+            single.throughput_rps
+        );
+    }
+
+    #[test]
+    fn dfs_remote_misses_cost_more() {
+        let trace = small_trace(23);
+        let mut local = small_config(4);
+        local.cache_kb = 500.0; // force a high miss rate
+        let mut remote = local;
+        remote.dfs_remote = true;
+        let lr = simulate(&local, PolicyKind::Traditional, &trace);
+        let rr = simulate(&remote, PolicyKind::Traditional, &trace);
+        assert_eq!(rr.completed, trace.len() as u64);
+        assert!(
+            rr.throughput_rps < lr.throughput_rps,
+            "remote DFS {} should cost throughput vs local {}",
+            rr.throughput_rps,
+            lr.throughput_rps
+        );
+    }
+
+    #[test]
+    fn cache_policy_is_selectable() {
+        let trace = small_trace(24);
+        let mut cfg = small_config(4);
+        cfg.cache_policy = l2s_cluster::CachePolicy::GreedyDualSize;
+        let gds = simulate(&cfg, PolicyKind::Traditional, &trace);
+        cfg.cache_policy = l2s_cluster::CachePolicy::Lru;
+        let lru = simulate(&cfg, PolicyKind::Traditional, &trace);
+        assert_eq!(gds.completed, lru.completed);
+        assert_ne!(
+            gds.miss_rate, lru.miss_rate,
+            "policies should behave differently on a size-skewed workload"
+        );
+    }
+
+    #[test]
+    fn response_times_are_sane() {
+        let trace = small_trace(10);
+        let report = simulate(&small_config(4), PolicyKind::L2s, &trace);
+        assert!(report.mean_response_s > 0.0);
+        assert!(report.p99_response_s >= report.mean_response_s * 0.5);
+        // Nothing should take longer than a few seconds of simulated time.
+        assert!(report.p99_response_s < 10.0, "p99 = {}", report.p99_response_s);
+    }
+}

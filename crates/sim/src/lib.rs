@@ -1,0 +1,38 @@
+//! The trace-driven cluster-server simulator (Section 5 of the paper).
+//!
+//! Wires the request-distribution policies (`l2s` crate) into the
+//! discrete-event kernel (`l2s-devs`), node hardware (`l2s-cluster`),
+//! and shared fabric (`l2s-net`), and replays a WWW trace through the
+//! full request lifecycle:
+//!
+//! ```text
+//! client -> router -> switch -> NI_in -> CPU parse -> policy decision
+//!        [-> CPU forward -> NI_out -> switch -> NI_in -> CPU recv]
+//!        -> cache hit? CPU reply : disk read then CPU reply
+//!        -> NI_out -> switch -> router -> client
+//! ```
+//!
+//! Following Section 5.1:
+//! * trace timing is disregarded — new requests are injected "as soon as
+//!   the router and network interface buffers would accept them"
+//!   (closed-loop admission, bounded per-node connection windows);
+//! * every form of contention is simulated (CPU, disk, both NI
+//!   directions, router) except inside the switch fabric;
+//! * cluster messages cost 3 µs CPU + 6 µs NI per side plus 1 µs of
+//!   switch (19 µs one-way for a 4-byte message, the M-VIA figure);
+//! * caches are warmed by simulating the whole trace once before
+//!   measurement starts.
+//!
+//! The entry point is [`simulate`]; [`SimReport`] carries every metric
+//! the paper's evaluation discusses (throughput, cache miss rate, CPU
+//! idle time, forwarded fraction, control-message traffic).
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod report;
+
+pub use config::{ArrivalMode, SimConfig};
+pub use engine::simulate;
+pub use report::{NodeReport, SimReport};

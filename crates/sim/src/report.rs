@@ -1,0 +1,164 @@
+//! Simulation results.
+
+use l2s_util::SimDuration;
+
+/// Per-node measurements over the measurement window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// CPU utilization (0..1).
+    pub cpu_utilization: f64,
+    /// Disk utilization (0..1).
+    pub disk_utilization: f64,
+    /// Requests this node serviced.
+    pub completed: u64,
+    /// Cache hits at this node.
+    pub cache_hits: u64,
+    /// Cache misses at this node.
+    pub cache_misses: u64,
+}
+
+impl NodeReport {
+    /// This node's cache miss rate (0 when it saw no lookups).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / total as f64
+        }
+    }
+}
+
+/// Results of one simulation run (measurement window only — the warm-up
+/// pass is excluded).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Policy name the run used.
+    pub policy: &'static str,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Requests completed in the measurement window.
+    pub completed: u64,
+    /// Simulated duration of the measurement window.
+    pub elapsed: SimDuration,
+    /// Sustained throughput in requests per second.
+    pub throughput_rps: f64,
+    /// Aggregate cache miss rate across serving nodes.
+    pub miss_rate: f64,
+    /// Fraction of requests handed off between nodes.
+    pub forwarded_fraction: f64,
+    /// Mean CPU idle fraction over *serving* nodes (LARD's front-end is
+    /// excluded, as in the paper's idle-time discussion).
+    pub cpu_idle: f64,
+    /// Router utilization.
+    pub router_utilization: f64,
+    /// Small control messages per completed request (load/server-set
+    /// dissemination, completion reports).
+    pub control_msgs_per_request: f64,
+    /// Mean end-to-end response time in seconds.
+    pub mean_response_s: f64,
+    /// 99th-percentile response time in seconds.
+    pub p99_response_s: f64,
+    /// Mean time per lifecycle segment in seconds: `[ingress, handoff,
+    /// service]` — client arrival through distribution decision, decision
+    /// through readiness at the service node, and readiness through reply
+    /// departure. Useful for locating queueing delay.
+    pub segment_means_s: [f64; 3],
+    /// Per-node details.
+    pub per_node: Vec<NodeReport>,
+}
+
+impl SimReport {
+    /// Highest per-node connection-count... placeholder for symmetric
+    /// summaries: the coefficient of variation of per-node completions,
+    /// a load-imbalance indicator (0 = perfectly balanced).
+    pub fn completion_imbalance(&self) -> f64 {
+        let served: Vec<f64> = self
+            .per_node
+            .iter()
+            .filter(|n| n.completed > 0 || n.cache_hits + n.cache_misses > 0)
+            .map(|n| n.completed as f64)
+            .collect();
+        if served.len() < 2 {
+            return 0.0;
+        }
+        let mean = served.iter().sum::<f64>() / served.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = served.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / served.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(completed: u64) -> NodeReport {
+        NodeReport {
+            node: 0,
+            cpu_utilization: 0.5,
+            disk_utilization: 0.1,
+            completed,
+            cache_hits: 8,
+            cache_misses: 2,
+        }
+    }
+
+    #[test]
+    fn node_miss_rate() {
+        let n = node(10);
+        assert!((n.miss_rate() - 0.2).abs() < 1e-12);
+        let empty = NodeReport {
+            cache_hits: 0,
+            cache_misses: 0,
+            ..n
+        };
+        assert_eq!(empty.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_zero_when_balanced() {
+        let r = SimReport {
+            policy: "test",
+            nodes: 2,
+            completed: 20,
+            elapsed: SimDuration::from_millis(1),
+            throughput_rps: 0.0,
+            miss_rate: 0.0,
+            forwarded_fraction: 0.0,
+            cpu_idle: 0.0,
+            router_utilization: 0.0,
+            control_msgs_per_request: 0.0,
+            mean_response_s: 0.0,
+            p99_response_s: 0.0,
+            segment_means_s: [0.0; 3],
+            per_node: vec![node(10), node(10)],
+        };
+        assert_eq!(r.completion_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_positive_when_skewed() {
+        let r = SimReport {
+            policy: "test",
+            nodes: 2,
+            completed: 20,
+            elapsed: SimDuration::from_millis(1),
+            throughput_rps: 0.0,
+            miss_rate: 0.0,
+            forwarded_fraction: 0.0,
+            cpu_idle: 0.0,
+            router_utilization: 0.0,
+            control_msgs_per_request: 0.0,
+            mean_response_s: 0.0,
+            p99_response_s: 0.0,
+            segment_means_s: [0.0; 3],
+            per_node: vec![node(19), node(1)],
+        };
+        assert!(r.completion_imbalance() > 0.5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Common Log Format parsing.
+//!
+//! The paper's traces are standard httpd access logs. When a real log is
+//! available it can be ingested with [`parse_log`]; the rest of the
+//! workspace then treats it identically to a synthetic trace. Following
+//! Section 5.1, incomplete transfers are dropped: only successful `GET`
+//! requests with a known, positive size are kept.
+
+use crate::{FileSet, Trace};
+use std::collections::HashMap;
+
+/// One parsed access-log line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    /// Requested URL path.
+    pub path: String,
+    /// HTTP method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response size in bytes, when reported.
+    pub bytes: Option<u64>,
+}
+
+/// Parses one Common Log Format line:
+///
+/// ```text
+/// host ident authuser [date] "METHOD /path PROTO" status bytes
+/// ```
+///
+/// Returns `None` for lines that do not match the format.
+pub fn parse_line(line: &str) -> Option<LogEntry> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    // The request field is the quoted section; find it first since hosts
+    // and dates never contain '"'.
+    let quote_start = line.find('"')?;
+    let quote_end = quote_start + 1 + line[quote_start + 1..].find('"')?;
+    let request = &line[quote_start + 1..quote_end];
+    let mut req_parts = request.split_whitespace();
+    let method = req_parts.next()?.to_string();
+    let path = req_parts.next()?.to_string();
+
+    let tail = line[quote_end + 1..].trim();
+    let mut tail_parts = tail.split_whitespace();
+    let status: u16 = tail_parts.next()?.parse().ok()?;
+    let bytes = match tail_parts.next() {
+        Some("-") | None => None,
+        Some(b) => b.parse::<u64>().ok(),
+    };
+    Some(LogEntry {
+        path,
+        method,
+        status,
+        bytes,
+    })
+}
+
+/// Builds a [`Trace`] from Common Log Format text.
+///
+/// Keeps successful (`status 200`) `GET` requests whose size is reported
+/// and positive, mirroring the paper's elimination of incomplete
+/// requests. A file's size is the largest size ever reported for its
+/// path (logs record partial transfers as smaller byte counts).
+pub fn parse_log(name: &str, text: &str) -> Trace {
+    let mut path_ids: HashMap<String, u32> = HashMap::new();
+    let mut sizes_kb: Vec<f64> = Vec::new();
+    let mut requests: Vec<u32> = Vec::new();
+
+    for line in text.lines() {
+        let Some(entry) = parse_line(line) else {
+            continue;
+        };
+        if entry.method != "GET" || entry.status != 200 {
+            continue;
+        }
+        let Some(bytes) = entry.bytes else { continue };
+        if bytes == 0 {
+            continue;
+        }
+        let kb = bytes as f64 / 1024.0;
+        let next_id = path_ids.len() as u32;
+        let id = *path_ids.entry(entry.path).or_insert(next_id);
+        if id as usize == sizes_kb.len() {
+            sizes_kb.push(kb);
+        } else {
+            sizes_kb[id as usize] = sizes_kb[id as usize].max(kb);
+        }
+        requests.push(id);
+    }
+    Trace::new(name, FileSet::new(sizes_kb), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+host1 - - [01/Mar/2000:00:00:01 -0500] "GET /index.html HTTP/1.0" 200 2048
+host2 - - [01/Mar/2000:00:00:02 -0500] "GET /img/logo.gif HTTP/1.0" 200 10240
+host1 - - [01/Mar/2000:00:00:03 -0500] "GET /index.html HTTP/1.0" 200 2048
+host3 - - [01/Mar/2000:00:00:04 -0500] "GET /missing.html HTTP/1.0" 404 512
+host4 - - [01/Mar/2000:00:00:05 -0500] "POST /cgi-bin/form HTTP/1.0" 200 128
+host5 - - [01/Mar/2000:00:00:06 -0500] "GET /truncated.bin HTTP/1.0" 200 -
+host6 - - [01/Mar/2000:00:00:07 -0500] "GET /index.html HTTP/1.0" 304 0
+"#;
+
+    #[test]
+    fn parses_well_formed_line() {
+        let e = parse_line(
+            r#"foo.com - - [01/Jan/2000:10:00:00 +0000] "GET /a/b.html HTTP/1.0" 200 1234"#,
+        )
+        .unwrap();
+        assert_eq!(e.method, "GET");
+        assert_eq!(e.path, "/a/b.html");
+        assert_eq!(e.status, 200);
+        assert_eq!(e.bytes, Some(1234));
+    }
+
+    #[test]
+    fn parses_missing_bytes_as_none() {
+        let e = parse_line(r#"h - - [d] "GET /x HTTP/1.0" 200 -"#).unwrap();
+        assert_eq!(e.bytes, None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("not a log line"), None);
+        assert_eq!(parse_line(r#"h - - [d] "GET" 200 5"#), None);
+        assert_eq!(parse_line(r#"h - - [d] "GET /x HTTP/1.0" notanumber 5"#), None);
+    }
+
+    #[test]
+    fn builds_trace_keeping_only_complete_gets() {
+        let t = parse_log("sample", SAMPLE);
+        // index.html twice + logo.gif once; 404/POST/dash/304 dropped.
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.files().len(), 2);
+        assert!((t.files().size_kb(0) - 2.0).abs() < 1e-9);
+        assert!((t.files().size_kb(1) - 10.0).abs() < 1e-9);
+        assert_eq!(t.requests(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn partial_transfers_keep_the_largest_size() {
+        let log = r#"
+h - - [d] "GET /big.iso HTTP/1.0" 200 1024
+h - - [d] "GET /big.iso HTTP/1.0" 200 1048576
+h - - [d] "GET /big.iso HTTP/1.0" 200 2048
+"#;
+        let t = parse_log("partials", log);
+        assert_eq!(t.files().len(), 1);
+        assert!((t.files().size_kb(0) - 1024.0).abs() < 1e-9);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn empty_log_is_empty_trace() {
+        let t = parse_log("empty", "");
+        assert!(t.is_empty());
+        assert_eq!(t.files().len(), 0);
+    }
+}

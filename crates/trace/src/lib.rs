@@ -1,0 +1,32 @@
+//! WWW server traces: representation, parsing, statistics, and synthesis.
+//!
+//! The paper drives its simulator with four real WWW server logs
+//! (Calgary, Clarknet, NASA Kennedy, and Rutgers CS — Table 2). Those
+//! logs are not redistributable, so this crate provides two equivalent
+//! sources of request streams:
+//!
+//! * [`clf`] — a parser for Common Log Format access logs, so a real log
+//!   can be dropped in when available, and
+//! * [`TraceSpec`] — a synthetic generator calibrated to *every* statistic
+//!   the paper reports for each trace: file count, average file size,
+//!   request count, average requested-file size, and Zipf exponent `α`.
+//!   Presets [`TraceSpec::calgary`], [`TraceSpec::clarknet`],
+//!   [`TraceSpec::nasa`], and [`TraceSpec::rutgers`] reproduce Table 2.
+//!
+//! The generator draws heavy-tailed (lognormal) file sizes and assigns
+//! them to popularity ranks through a *noisy sort* whose noise level is
+//! calibrated so the popularity-weighted mean size matches the trace's
+//! average request size (popular WWW files are smaller than average,
+//! which is why, e.g., Calgary's mean file is 42.9 KB but its mean
+//! request only 19.7 KB).
+
+#![warn(missing_docs)]
+
+pub mod clf;
+mod stats;
+mod synth;
+mod types;
+
+pub use stats::TraceStats;
+pub use synth::TraceSpec;
+pub use types::{FileId, FileSet, Trace};

@@ -1,0 +1,149 @@
+//! Trace characterization — the quantities of the paper's Table 2.
+
+use crate::Trace;
+
+/// Summary statistics of a trace, matching the columns of Table 2 plus
+/// the working-set size discussed in Section 5.1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Trace name.
+    pub name: String,
+    /// Number of files in the population ("Num files").
+    pub num_files: usize,
+    /// Mean file size in KB ("Avg file size").
+    pub avg_file_kb: f64,
+    /// Number of requests ("Num requests").
+    pub num_requests: usize,
+    /// Request-frequency-weighted mean file size in KB ("Avg req size").
+    pub avg_request_kb: f64,
+    /// Zipf exponent fitted to the rank–frequency curve ("α").
+    pub alpha: f64,
+    /// Total distinct bytes requested, in KB (the working set).
+    pub working_set_kb: f64,
+    /// Number of distinct files requested at least once.
+    pub distinct_files: usize,
+}
+
+impl TraceStats {
+    /// Computes all statistics for `trace`.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        TraceStats {
+            name: trace.name().to_string(),
+            num_files: trace.files().len(),
+            avg_file_kb: trace.files().avg_file_kb(),
+            num_requests: trace.len(),
+            avg_request_kb: trace.avg_request_kb(),
+            alpha: estimate_alpha(trace),
+            working_set_kb: trace.working_set_kb(),
+            distinct_files: trace.distinct_files(),
+        }
+    }
+}
+
+/// Fits the Zipf exponent of a trace's rank–frequency curve by least
+/// squares on `log(count) = c - α log(rank)`.
+///
+/// Only ranks whose count exceeds a small floor are used: the deep tail
+/// of a finite sample flattens into counts of 1 and would bias the fit
+/// (standard practice for Zipf estimation on access logs). Returns 0 for
+/// traces with fewer than two usable ranks.
+pub fn estimate_alpha(trace: &Trace) -> f64 {
+    let mut counts: Vec<u64> = trace
+        .request_counts()
+        .into_iter()
+        .filter(|&c| c > 0)
+        .collect();
+    if counts.len() < 2 {
+        return 0.0;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    // Drop the undersampled tail (counts below ~5 observations).
+    let usable: Vec<u64> = counts.iter().copied().take_while(|&c| c >= 5).collect();
+    let points = if usable.len() >= 10 { usable } else { counts };
+    let n = points.len().min(10_000);
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (i, &c) in points.iter().take(n).enumerate() {
+        let x = ((i + 1) as f64).ln();
+        let y = (c as f64).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let nf = n as f64;
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    let slope = (nf * sxy - sx * sy) / denom;
+    (-slope).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileSet, Trace};
+    use l2s_util::DetRng;
+    use l2s_zipf::ZipfSampler;
+
+    fn zipf_trace(files: usize, requests: usize, alpha: f64, seed: u64) -> Trace {
+        let sampler = ZipfSampler::new(files, alpha);
+        let mut rng = DetRng::new(seed);
+        let reqs: Vec<u32> = (0..requests)
+            .map(|_| (sampler.sample(&mut rng) - 1) as u32)
+            .collect();
+        let sizes = vec![10.0; files];
+        Trace::new("zipf", FileSet::new(sizes), reqs)
+    }
+
+    #[test]
+    fn alpha_estimate_recovers_generating_exponent() {
+        for true_alpha in [0.7, 0.9, 1.1] {
+            let t = zipf_trace(2_000, 300_000, true_alpha, 42);
+            let est = estimate_alpha(&t);
+            assert!(
+                (est - true_alpha).abs() < 0.12,
+                "alpha {true_alpha}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_of_uniform_trace_is_near_zero() {
+        let files = FileSet::new(vec![1.0; 100]);
+        // Perfectly uniform: each file requested exactly 50 times.
+        let reqs: Vec<u32> = (0..5000).map(|i| (i % 100) as u32).collect();
+        let t = Trace::new("uniform", files, reqs);
+        let est = estimate_alpha(&t);
+        assert!(est < 0.05, "estimated {est}");
+    }
+
+    #[test]
+    fn alpha_degenerate_traces() {
+        let files = FileSet::new(vec![1.0, 1.0]);
+        let single = Trace::new("one", files.clone(), vec![0, 0, 0]);
+        assert_eq!(estimate_alpha(&single), 0.0);
+        let empty = Trace::new("none", files, vec![]);
+        assert_eq!(estimate_alpha(&empty), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate_all_fields() {
+        let files = FileSet::new(vec![10.0, 20.0]);
+        let t = Trace::new("mini", files, vec![0, 1, 0]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.num_files, 2);
+        assert_eq!(s.avg_file_kb, 15.0);
+        assert_eq!(s.num_requests, 3);
+        assert!((s.avg_request_kb - 40.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.working_set_kb, 30.0);
+        assert_eq!(s.distinct_files, 2);
+    }
+}

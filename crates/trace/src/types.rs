@@ -1,0 +1,229 @@
+//! Core trace types.
+
+/// Identifies one file served by the cluster (index into a [`FileSet`]).
+pub type FileId = u32;
+
+/// The population of files a trace requests, with their sizes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FileSet {
+    sizes_kb: Vec<f64>,
+}
+
+impl FileSet {
+    /// Builds a file set from per-file sizes in KB. Panics if any size is
+    /// non-positive or non-finite.
+    pub fn new(sizes_kb: Vec<f64>) -> Self {
+        assert!(
+            sizes_kb.iter().all(|s| s.is_finite() && *s > 0.0),
+            "file sizes must be positive and finite"
+        );
+        FileSet { sizes_kb }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.sizes_kb.len()
+    }
+
+    /// True when the set holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.sizes_kb.is_empty()
+    }
+
+    /// Size of `file` in KB.
+    #[inline]
+    pub fn size_kb(&self, file: FileId) -> f64 {
+        self.sizes_kb[file as usize]
+    }
+
+    /// Sum of all file sizes in KB.
+    pub fn total_kb(&self) -> f64 {
+        self.sizes_kb.iter().sum()
+    }
+
+    /// Mean file size in KB (0 for an empty set).
+    pub fn avg_file_kb(&self) -> f64 {
+        if self.sizes_kb.is_empty() {
+            0.0
+        } else {
+            self.total_kb() / self.sizes_kb.len() as f64
+        }
+    }
+
+    /// Iterates over `(FileId, size_kb)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, f64)> + '_ {
+        self.sizes_kb
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as FileId, s))
+    }
+}
+
+/// A request stream over a [`FileSet`].
+///
+/// The paper's evaluation disregards trace timing ("scheduled new
+/// requests as soon as the router and network interface buffers would
+/// accept them"), so a trace is an ordered sequence of file references
+/// with no timestamps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    name: String,
+    files: FileSet,
+    requests: Vec<FileId>,
+}
+
+impl Trace {
+    /// Builds a trace. Panics if any request references a file outside
+    /// the set.
+    pub fn new<S: Into<String>>(name: S, files: FileSet, requests: Vec<FileId>) -> Self {
+        let n = files.len();
+        assert!(
+            requests.iter().all(|&f| (f as usize) < n),
+            "request references unknown file"
+        );
+        Trace {
+            name: name.into(),
+            files,
+            requests,
+        }
+    }
+
+    /// The trace's name (e.g. `"calgary"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The file population.
+    pub fn files(&self) -> &FileSet {
+        &self.files
+    }
+
+    /// The ordered request stream.
+    pub fn requests(&self) -> &[FileId] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Mean size in KB of the files *as requested* (weighted by request
+    /// frequency), 0 for an empty trace.
+    pub fn avg_request_kb(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.requests.iter().map(|&f| self.files.size_kb(f)).sum();
+        total / self.requests.len() as f64
+    }
+
+    /// Total distinct bytes requested (the trace's working set), in KB.
+    pub fn working_set_kb(&self) -> f64 {
+        let mut seen = vec![false; self.files.len()];
+        let mut total = 0.0;
+        for &f in &self.requests {
+            if !seen[f as usize] {
+                seen[f as usize] = true;
+                total += self.files.size_kb(f);
+            }
+        }
+        total
+    }
+
+    /// Number of distinct files requested at least once.
+    pub fn distinct_files(&self) -> usize {
+        let mut seen = vec![false; self.files.len()];
+        let mut count = 0;
+        for &f in &self.requests {
+            if !seen[f as usize] {
+                seen[f as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Per-file request counts, indexed by [`FileId`].
+    pub fn request_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.files.len()];
+        for &f in &self.requests {
+            counts[f as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> Trace {
+        let files = FileSet::new(vec![10.0, 20.0, 30.0]);
+        Trace::new("t", files, vec![0, 0, 1, 2, 0])
+    }
+
+    #[test]
+    fn file_set_accessors() {
+        let fs = FileSet::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(fs.len(), 3);
+        assert!(!fs.is_empty());
+        assert_eq!(fs.size_kb(1), 2.0);
+        assert_eq!(fs.total_kb(), 6.0);
+        assert_eq!(fs.avg_file_kb(), 2.0);
+        assert_eq!(fs.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "file sizes must be positive")]
+    fn zero_size_rejected() {
+        FileSet::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "request references unknown file")]
+    fn out_of_range_request_rejected() {
+        Trace::new("bad", FileSet::new(vec![1.0]), vec![1]);
+    }
+
+    #[test]
+    fn request_weighted_average() {
+        let t = small_trace();
+        // (10 + 10 + 20 + 30 + 10) / 5 = 16.
+        assert_eq!(t.avg_request_kb(), 16.0);
+    }
+
+    #[test]
+    fn working_set_counts_distinct_bytes() {
+        let t = small_trace();
+        assert_eq!(t.working_set_kb(), 60.0);
+        assert_eq!(t.distinct_files(), 3);
+    }
+
+    #[test]
+    fn working_set_ignores_unrequested_files() {
+        let files = FileSet::new(vec![10.0, 999.0]);
+        let t = Trace::new("t", files, vec![0, 0]);
+        assert_eq!(t.working_set_kb(), 10.0);
+        assert_eq!(t.distinct_files(), 1);
+    }
+
+    #[test]
+    fn request_counts_tally() {
+        let t = small_trace();
+        assert_eq!(t.request_counts(), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new("e", FileSet::new(vec![5.0]), vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.avg_request_kb(), 0.0);
+        assert_eq!(t.working_set_kb(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the trace substrate.
+
+use l2s_trace::{clf, TraceSpec, TraceStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// The CLF parser never panics on arbitrary input and only ever
+    /// produces complete GET requests.
+    #[test]
+    fn clf_parser_total(input in "\\PC{0,300}") {
+        let _ = clf::parse_line(&input);
+        let trace = clf::parse_log("fuzz", &input);
+        prop_assert!(trace.len() <= input.lines().count());
+    }
+
+    /// Structured random CLF logs parse into consistent traces.
+    #[test]
+    fn clf_structured_round_trip(
+        entries in prop::collection::vec(
+            (0u32..20, 1u64..1_000_000, prop::bool::ANY, prop::bool::ANY),
+            0..50,
+        )
+    ) {
+        let mut log = String::new();
+        let mut expected = 0usize;
+        for (path_id, bytes, ok_status, is_get) in &entries {
+            let status = if *ok_status { 200 } else { 404 };
+            let method = if *is_get { "GET" } else { "POST" };
+            log.push_str(&format!(
+                "host{path_id} - - [01/Jan/2000:00:00:00 +0000] \"{method} /f{path_id} HTTP/1.0\" {status} {bytes}\n"
+            ));
+            if *ok_status && *is_get {
+                expected += 1;
+            }
+        }
+        let trace = clf::parse_log("structured", &log);
+        prop_assert_eq!(trace.len(), expected);
+        // Every recorded size is the max over that path's entries.
+        for (id, kb) in trace.files().iter() {
+            prop_assert!(kb > 0.0);
+            let _ = id;
+        }
+    }
+
+    /// Generated traces always satisfy their structural contract.
+    #[test]
+    fn generator_structural_contract(
+        files in 10usize..2_000,
+        requests in 10usize..5_000,
+        alpha in 0.1f64..1.3,
+        avg_file in 2.0f64..100.0,
+        ratio in 0.4f64..1.1,
+        seed in any::<u64>(),
+    ) {
+        let spec = TraceSpec {
+            name: "prop".into(),
+            num_files: files,
+            avg_file_kb: avg_file,
+            num_requests: requests,
+            avg_request_kb: avg_file * ratio,
+            alpha,
+            size_sigma: 1.2,
+            temporal: 0.3,
+            temporal_window: 200,
+        };
+        let trace = spec.generate(seed);
+        prop_assert_eq!(trace.files().len(), files);
+        prop_assert_eq!(trace.len(), requests);
+        for (_, kb) in trace.files().iter() {
+            prop_assert!(kb > 0.0 && kb.is_finite());
+        }
+        // The calibrated mean file size lands near the target.
+        let mean = trace.files().avg_file_kb();
+        prop_assert!(
+            (mean / avg_file - 1.0).abs() < 0.05,
+            "mean {mean} vs target {avg_file}"
+        );
+        // Stats never panic and are internally consistent.
+        let stats = TraceStats::compute(&trace);
+        prop_assert!(stats.distinct_files <= files);
+        prop_assert!(stats.working_set_kb <= trace.files().total_kb() + 1e-6);
+    }
+}

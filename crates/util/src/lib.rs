@@ -1,0 +1,27 @@
+//! Shared substrate for the `cluster-server-eval` workspace.
+//!
+//! This crate deliberately has no knowledge of queueing theory, traces, or
+//! request distribution. It provides the low-level pieces every other crate
+//! needs:
+//!
+//! * [`SimTime`] / [`SimDuration`] — fixed-point simulation time in integer
+//!   nanoseconds, so event ordering is exact and platform independent.
+//! * [`rng::DetRng`] — a deterministic, seedable xoshiro256++ generator (also
+//!   usable through the `rand` traits) plus the handful of distributions the
+//!   simulator and trace generators need.
+//! * [`stats`] — online summary statistics, percentiles, and histograms.
+//! * [`csv`] — a minimal CSV writer used by the experiment harness.
+//! * [`ascii`] — terminal line charts and heat maps so every figure binary
+//!   can render the paper's plots without a plotting dependency.
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod csv;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use rng::DetRng;
+pub use stats::{Histogram, OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,106 @@
+//! Property-based tests for the util substrate.
+
+use l2s_util::stats::quantile;
+use l2s_util::{DetRng, OnlineStats, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Time arithmetic round-trips through nanoseconds exactly.
+    #[test]
+    fn time_nanos_round_trip(ns in 0u64..u64::MAX / 2) {
+        let t = SimTime::from_nanos(ns);
+        prop_assert_eq!(t.as_nanos(), ns);
+        let d = SimDuration::from_nanos(ns);
+        prop_assert_eq!(d.as_nanos(), ns);
+    }
+
+    /// `t + d - t == d` whenever the sum does not saturate.
+    #[test]
+    fn time_add_sub_inverse(t in 0u64..1u64 << 40, d in 0u64..1u64 << 40) {
+        let base = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((base + dur) - base, dur);
+        prop_assert_eq!((base + dur).saturating_since(base), dur);
+    }
+
+    /// Seconds conversion stays within one nanosecond of the input for
+    /// representable magnitudes.
+    #[test]
+    fn seconds_round_trip(us in 0u64..1u64 << 40) {
+        let secs = us as f64 * 1e-6;
+        let t = SimTime::from_secs_f64(secs);
+        prop_assert!((t.as_secs_f64() - secs).abs() < 1e-6);
+    }
+
+    /// Welford merging is order-insensitive (associativity within
+    /// floating-point tolerance).
+    #[test]
+    fn stats_merge_any_split(
+        data in prop::collection::vec(-1e6f64..1e6, 2..200),
+        split in 0usize..200,
+    ) {
+        let split = split % data.len();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+    }
+
+    /// Quantiles of a sorted vector are bounded by its extremes and
+    /// monotone in q.
+    #[test]
+    fn quantile_bounds_and_monotonicity(mut data in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        data.sort_by(f64::total_cmp);
+        let lo = data[0];
+        let hi = *data.last().unwrap();
+        let mut prev = lo;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = quantile(&data, q).unwrap();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// `below(bound)` stays in range for arbitrary seeds and bounds.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Forked streams never mirror their parent.
+    #[test]
+    fn rng_fork_differs(seed in any::<u64>()) {
+        let mut parent = DetRng::new(seed);
+        let mut child = parent.fork();
+        let matches = (0..64).filter(|_| parent.next_u64() == child.next_u64()).count();
+        prop_assert!(matches < 4);
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_preserves_elements(seed in any::<u64>(), mut v in prop::collection::vec(0u32..1000, 0..100)) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        let mut rng = DetRng::new(seed);
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+}

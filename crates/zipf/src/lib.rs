@@ -1,0 +1,432 @@
+//! Zipf-like popularity distributions.
+//!
+//! The paper (following Breslau et al., INFOCOM'99) models WWW file
+//! popularity as a Zipf-like distribution: the probability of a request
+//! for the `i`'th most popular of `F` files is proportional to `1 / i^α`
+//! with `α` typically below 1. Everything the model needs reduces to the
+//! accumulated probability of the `n` hottest files,
+//!
+//! ```text
+//! z(n, F) = H(n, α) / H(F, α)
+//! ```
+//!
+//! where `H` is the generalized harmonic number. The model also needs the
+//! *inverse* problem (given a hit rate and a cache size in files, recover
+//! the implied file population `f`), and the simulator needs fast sampling.
+//! This crate provides all three:
+//!
+//! * [`harmonic`] — a continuous, smooth extension of `H(n, α)` so cache
+//!   sizes measured in fractional files are meaningful,
+//! * [`ZipfLaw`] — `z(n, F)` plus [`ZipfLaw::invert_population`],
+//! * [`ZipfSampler`] — CDF-table sampling of ranks.
+
+#![warn(missing_docs)]
+
+use l2s_util::DetRng;
+
+/// Euler–Mascheroni constant, used by tests and the `α = 1` fast path.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Number of leading terms summed exactly before switching to the
+/// Euler–Maclaurin tail expansion.
+const EXACT_TERMS: usize = 64;
+
+/// Continuous generalized harmonic number `H(n, α) = Σ_{i=1..n} i^{-α}`,
+/// extended smoothly to real `n ≥ 0` by Euler–Maclaurin so that cache
+/// capacities measured in fractional files interpolate sensibly.
+///
+/// Monotone non-decreasing in `n`; `harmonic(0.0, α) == 0`.
+pub fn harmonic(n: f64, alpha: f64) -> f64 {
+    assert!(alpha >= 0.0, "negative Zipf exponents are not meaningful");
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if n <= EXACT_TERMS as f64 {
+        // Exact sum of the integer part plus a linear fraction of the next
+        // term keeps the function continuous and monotone for small n.
+        let whole = n.floor() as usize;
+        let mut sum = 0.0;
+        for i in 1..=whole {
+            sum += (i as f64).powf(-alpha);
+        }
+        let frac = n - whole as f64;
+        if frac > 0.0 {
+            sum += frac * ((whole + 1) as f64).powf(-alpha);
+        }
+        return sum;
+    }
+    let m = EXACT_TERMS as f64;
+    let mut head = 0.0;
+    for i in 1..=EXACT_TERMS {
+        head += (i as f64).powf(-alpha);
+    }
+    // Euler–Maclaurin: Σ_{m+1..n} f(i) ≈ ∫_m^n f + (f(n) - f(m))/2
+    //                  + (f'(n) - f'(m))/12, with f(x) = x^{-α}.
+    let integral = if (alpha - 1.0).abs() < 1e-12 {
+        (n / m).ln()
+    } else {
+        (n.powf(1.0 - alpha) - m.powf(1.0 - alpha)) / (1.0 - alpha)
+    };
+    let boundary = 0.5 * (n.powf(-alpha) - m.powf(-alpha));
+    let first = (alpha / 12.0) * (m.powf(-alpha - 1.0) - n.powf(-alpha - 1.0));
+    // Next Euler–Maclaurin term (B4 = -1/30), using the third derivative
+    // of x^{-alpha}.
+    let third = (alpha * (alpha + 1.0) * (alpha + 2.0) / 720.0)
+        * (n.powf(-alpha - 3.0) - m.powf(-alpha - 3.0));
+    head + integral + boundary + first + third
+}
+
+/// A Zipf-like popularity law over `files` ranked files with exponent
+/// `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZipfLaw {
+    files: f64,
+    alpha: f64,
+    total: f64,
+}
+
+impl ZipfLaw {
+    /// Creates a law over a (possibly fractional) population of `files`
+    /// files. Panics if `files <= 0` or `alpha < 0`.
+    pub fn new(files: f64, alpha: f64) -> Self {
+        assert!(files > 0.0, "population must be positive");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        ZipfLaw {
+            files,
+            alpha,
+            total: harmonic(files, alpha),
+        }
+    }
+
+    /// The file population `F`.
+    pub fn files(&self) -> f64 {
+        self.files
+    }
+
+    /// The Zipf exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of a request hitting exactly rank `i` (1-based).
+    pub fn rank_probability(&self, rank: u64) -> f64 {
+        assert!(rank >= 1, "ranks are 1-based");
+        if rank as f64 > self.files {
+            return 0.0;
+        }
+        (rank as f64).powf(-self.alpha) / self.total
+    }
+
+    /// The paper's `z(n, F)`: accumulated probability of a request for
+    /// one of the `n` most popular files. Clamps `n` into `[0, F]`.
+    pub fn z(&self, n: f64) -> f64 {
+        let n = n.clamp(0.0, self.files);
+        harmonic(n, self.alpha) / self.total
+    }
+
+    /// Inverse of [`ZipfLaw::z`] in `n`: the number of hottest files that
+    /// accumulate probability `p`. Clamps `p` into `[0, 1]`.
+    pub fn inverse_z(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let target = p * self.total;
+        // harmonic(n) is monotone in n: bisect on [0, F]. No early exit —
+        // near n = 0 with large α the CDF is steep, so an absolute
+        // tolerance in n leaves visible error in z; 200 halvings resolve
+        // n to full f64 precision at negligible cost.
+        let (mut lo, mut hi) = (0.0, self.files);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if harmonic(mid, self.alpha) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Solves the model's calibration problem: find the population `f`
+    /// such that the `n` hottest files of a Zipf-`α` law over `f` files
+    /// accumulate probability `hit` — i.e. `z(n, f) = hit`.
+    ///
+    /// `z(n, f)` is strictly decreasing in `f` (for fixed `n`), from 1 at
+    /// `f = n` towards a limit as `f → ∞`. When `α ≤ 1` the harmonic sum
+    /// diverges and every `hit ∈ (0, 1]` is attainable; when `α > 1` very
+    /// small hit rates may be unattainable, in which case the population
+    /// is clamped to [`ZipfLaw::MAX_POPULATION`].
+    ///
+    /// Panics if `n <= 0` or `hit` is outside `(0, 1]`.
+    pub fn invert_population(n: f64, hit: f64, alpha: f64) -> f64 {
+        assert!(n > 0.0, "cache capacity in files must be positive");
+        assert!(hit > 0.0 && hit <= 1.0, "hit rate must be in (0, 1]");
+        let hn = harmonic(n, alpha);
+        let target = hn / hit; // we need harmonic(f) == target
+        if target <= hn {
+            return n;
+        }
+        let (mut lo, mut hi) = (n, n.max(1.0) * 2.0);
+        while harmonic(hi, alpha) < target {
+            hi *= 2.0;
+            if hi >= Self::MAX_POPULATION {
+                return Self::MAX_POPULATION;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if harmonic(mid, alpha) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-9 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Cap on populations returned by [`ZipfLaw::invert_population`] when
+    /// the requested hit rate is unattainable (`α > 1` tail limit).
+    pub const MAX_POPULATION: f64 = 1e15;
+}
+
+/// Samples ranks `1..=F` from a Zipf-like law via a precomputed CDF table
+/// and binary search. Construction is `O(F)`, sampling `O(log F)`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `files ≥ 1` ranks with exponent `alpha`.
+    pub fn new(files: usize, alpha: f64) -> Self {
+        assert!(files >= 1, "need at least one file");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(files);
+        let mut acc = 0.0;
+        for i in 1..=files {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point round-off leaving the last entry
+        // fractionally below 1.
+        *cdf.last_mut().expect("files >= 1") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn files(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a 1-based rank.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.f64();
+        (self.cdf.partition_point(|&c| c < u) + 1).min(self.cdf.len()) as u64
+    }
+
+    /// Probability of rank `i` (1-based), for tests and analysis.
+    pub fn probability(&self, rank: u64) -> f64 {
+        let i = rank as usize;
+        assert!(i >= 1 && i <= self.cdf.len());
+        if i == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[i - 1] - self.cdf[i - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_harmonic(n: usize, alpha: f64) -> f64 {
+        (1..=n).map(|i| (i as f64).powf(-alpha)).sum()
+    }
+
+    #[test]
+    fn harmonic_matches_exact_sum_small_n() {
+        for alpha in [0.0, 0.5, 0.78, 1.0, 1.08] {
+            for n in 1..=32usize {
+                let got = harmonic(n as f64, alpha);
+                let want = exact_harmonic(n, alpha);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "n={n} alpha={alpha}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_matches_exact_sum_large_n() {
+        for alpha in [0.5, 0.78, 0.91, 1.0, 1.08] {
+            for n in [100usize, 1_000, 50_000] {
+                let got = harmonic(n as f64, alpha);
+                let want = exact_harmonic(n, alpha);
+                assert!(
+                    (got / want - 1.0).abs() < 1e-9,
+                    "n={n} alpha={alpha}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_alpha_one_matches_log_approximation() {
+        let n = 1_000_000.0;
+        let got = harmonic(n, 1.0);
+        let approx = n.ln() + EULER_GAMMA;
+        assert!((got - approx).abs() < 1e-6, "{got} vs {approx}");
+    }
+
+    #[test]
+    fn harmonic_is_monotone_and_continuous() {
+        let alpha = 0.8;
+        let mut prev = 0.0;
+        let mut x = 0.0;
+        while x < 100.0 {
+            let h = harmonic(x, alpha);
+            assert!(h >= prev - 1e-12, "harmonic dipped at {x}");
+            prev = h;
+            x += 0.37;
+        }
+        // Continuity across the exact/Euler–Maclaurin boundary.
+        let below = harmonic(EXACT_TERMS as f64 - 1e-7, alpha);
+        let above = harmonic(EXACT_TERMS as f64 + 1e-7, alpha);
+        assert!((above - below).abs() < 1e-5, "{below} vs {above}");
+    }
+
+    #[test]
+    fn z_endpoints() {
+        let law = ZipfLaw::new(1000.0, 0.9);
+        assert_eq!(law.z(0.0), 0.0);
+        assert!((law.z(1000.0) - 1.0).abs() < 1e-12);
+        assert!((law.z(5000.0) - 1.0).abs() < 1e-12, "clamped above F");
+        assert_eq!(law.z(-5.0), 0.0, "clamped below 0");
+    }
+
+    #[test]
+    fn z_is_concave_increasing() {
+        let law = ZipfLaw::new(10_000.0, 0.78);
+        let mut prev = 0.0;
+        let mut prev_gain = f64::INFINITY;
+        for k in 1..=100 {
+            let n = k as f64 * 100.0;
+            let z = law.z(n);
+            let gain = z - prev;
+            assert!(gain > 0.0, "z not increasing at n={n}");
+            assert!(gain <= prev_gain + 1e-12, "z not concave at n={n}");
+            prev = z;
+            prev_gain = gain;
+        }
+    }
+
+    #[test]
+    fn inverse_z_round_trips() {
+        let law = ZipfLaw::new(35_885.0, 0.78);
+        for p in [0.05, 0.3, 0.72, 0.95] {
+            let n = law.inverse_z(p);
+            assert!((law.z(n) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn rank_probabilities_sum_to_one() {
+        let law = ZipfLaw::new(500.0, 1.0);
+        let sum: f64 = (1..=500).map(|i| law.rank_probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-8, "sum = {sum}");
+        assert_eq!(law.rank_probability(501), 0.0);
+    }
+
+    #[test]
+    fn invert_population_round_trips() {
+        for alpha in [0.78, 0.91, 1.0, 1.08] {
+            for hit in [0.3, 0.6, 0.9, 0.99] {
+                let n = 2_000.0;
+                // For alpha > 1 the harmonic series converges, so very low
+                // hit rates may be unattainable; skip those combinations
+                // (covered by invert_population_unattainable_hit_clamps).
+                let floor = harmonic(n, alpha) / harmonic(ZipfLaw::MAX_POPULATION, alpha);
+                if hit <= floor {
+                    continue;
+                }
+                let f = ZipfLaw::invert_population(n, hit, alpha);
+                let law = ZipfLaw::new(f, alpha);
+                assert!(
+                    (law.z(n) - hit).abs() < 1e-6,
+                    "alpha={alpha} hit={hit}: z={}",
+                    law.z(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invert_population_hit_one_means_everything_cached() {
+        let f = ZipfLaw::invert_population(100.0, 1.0, 0.9);
+        assert!((f - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invert_population_unattainable_hit_clamps() {
+        // alpha = 2: tail sums converge, tiny hit rates are unattainable.
+        let f = ZipfLaw::invert_population(1.0, 0.01, 2.0);
+        assert_eq!(f, ZipfLaw::MAX_POPULATION);
+    }
+
+    #[test]
+    fn sampler_matches_law_frequencies() {
+        let files = 200;
+        let alpha = 0.91;
+        let sampler = ZipfSampler::new(files, alpha);
+        let law = ZipfLaw::new(files as f64, alpha);
+        let mut rng = DetRng::new(99);
+        let n = 400_000;
+        let mut counts = vec![0u64; files];
+        for _ in 0..n {
+            let r = sampler.sample(&mut rng);
+            counts[(r - 1) as usize] += 1;
+        }
+        // Check the head ranks, which have enough mass for a tight bound.
+        for rank in 1..=10u64 {
+            let observed = counts[(rank - 1) as usize] as f64 / n as f64;
+            let expected = law.rank_probability(rank);
+            assert!(
+                (observed / expected - 1.0).abs() < 0.06,
+                "rank {rank}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_probability_matches_table() {
+        let sampler = ZipfSampler::new(50, 0.7);
+        let sum: f64 = (1..=50).map(|r| sampler.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(sampler.probability(1) > sampler.probability(2));
+    }
+
+    #[test]
+    fn sampler_single_file() {
+        let sampler = ZipfSampler::new(1, 1.0);
+        let mut rng = DetRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let sampler = ZipfSampler::new(4, 0.0);
+        for r in 1..=4 {
+            assert!((sampler.probability(r) - 0.25).abs() < 1e-12);
+        }
+    }
+}

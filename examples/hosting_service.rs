@@ -1,0 +1,67 @@
+//! The paper's motivating scenario (Section 1): a WWW hosting service
+//! where pages from many renters share one cluster — a file population
+//! far larger than any single node's memory. This example builds such a
+//! workload, then shows how each server organization copes as the
+//! cluster grows.
+//!
+//! ```sh
+//! cargo run --release --example hosting_service
+//! ```
+
+use cluster_server_eval::prelude::*;
+use cluster_server_eval::trace::TraceStats;
+
+fn main() {
+    // 20 000 files averaging 36 KB: a ~700 MB working set, with the
+    // flatter popularity curve (alpha = 0.75) typical of hosting many
+    // independent sites.
+    let spec = TraceSpec {
+        name: "hosting".into(),
+        num_files: 20_000,
+        avg_file_kb: 36.0,
+        num_requests: 400_000,
+        avg_request_kb: 28.0,
+        alpha: 0.75,
+        size_sigma: 1.4,
+        temporal: 0.5,
+        temporal_window: 1_000,
+    };
+    let trace = spec.generate(2026);
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "hosting workload: {} files, working set {:.0} MB, avg request {:.1} KB, alpha {:.2}",
+        stats.num_files,
+        stats.working_set_kb / 1024.0,
+        stats.avg_request_kb,
+        stats.alpha
+    );
+
+    // 32 MB of cache per node: each node alone covers <5% of the working
+    // set. Exactly the regime the paper says hosting services live in.
+    println!("\nthroughput (requests/s) with 32 MB caches:");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} | {:>16}",
+        "nodes", "traditional", "lard", "l2s", "l2s miss rate"
+    );
+    for n in [2usize, 4, 8, 16] {
+        let mut config = SimConfig::paper_default(n);
+        config.max_requests = Some(150_000);
+        let trad = simulate(&config, PolicyKind::Traditional, &trace);
+        let lard = simulate(&config, PolicyKind::Lard, &trace);
+        let l2s = simulate(&config, PolicyKind::L2s, &trace);
+        println!(
+            "{n:>6} {:>12.0} {:>12.0} {:>12.0} | {:>15.1}%",
+            trad.throughput_rps,
+            lard.throughput_rps,
+            l2s.throughput_rps,
+            l2s.miss_rate * 100.0
+        );
+    }
+
+    println!(
+        "\nWith a working set ~20x one node's memory, the traditional server thrashes \
+         its\nidentical per-node caches at every cluster size, while L2S aggregates \
+         the memories\nand keeps scaling — the paper's core argument for \
+         locality-conscious distribution\nas files get larger and more numerous."
+    );
+}

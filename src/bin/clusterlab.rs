@@ -1,0 +1,290 @@
+//! `clusterlab` — command-line front door to the cluster-server-eval
+//! workspace.
+//!
+//! ```text
+//! clusterlab model    [--nodes N] [--hit H] [--size KB] [--replication R] [--kind lc|lo]
+//! clusterlab simulate [--trace NAME] [--nodes N] [--policy P] [--cache-mb MB]
+//!                     [--requests N] [--files N] [--seed S] [--persistent MEAN] [--dfs]
+//! clusterlab trace    [--trace NAME | --log FILE] [--requests N] [--files N] [--seed S]
+//! clusterlab compare  [--trace NAME] [--nodes N] [--cache-mb MB] [--requests N]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free; see [`args`].
+
+use cluster_server_eval::model::{ModelParams, QueueModel, ServerKind};
+use cluster_server_eval::policy::PolicyKind;
+use cluster_server_eval::prelude::*;
+use cluster_server_eval::trace::{clf, TraceStats};
+
+mod args {
+    //! A tiny `--flag value` parser.
+
+    use std::collections::BTreeMap;
+
+    /// Parsed command line: a subcommand plus `--key value` options.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Parsed {
+        /// First positional argument.
+        pub command: String,
+        /// `--key value` pairs; bare `--key` stores an empty value.
+        pub options: BTreeMap<String, String>,
+    }
+
+    /// Parses `argv[1..]`. Returns `Err` with a message on malformed
+    /// input (option before subcommand, missing value for a non-flag).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Parsed, String> {
+        let mut it = argv.into_iter().peekable();
+        let command = match it.next() {
+            Some(c) if !c.starts_with("--") => c,
+            Some(c) => return Err(format!("expected a subcommand before {c}")),
+            None => return Err("expected a subcommand".into()),
+        };
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok}"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                _ => String::new(),
+            };
+            options.insert(key.to_string(), value);
+        }
+        Ok(Parsed { command, options })
+    }
+
+    impl Parsed {
+        /// Fetches an option parsed as `T`, with a default.
+        pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+            match self.options.get(key) {
+                None => Ok(default),
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("invalid value {raw:?} for --{key}")),
+            }
+        }
+
+        /// Fetches a string option.
+        pub fn get_str(&self, key: &str, default: &str) -> String {
+            self.options
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| default.to_string())
+        }
+
+        /// True when the bare flag is present.
+        pub fn flag(&self, key: &str) -> bool {
+            self.options.contains_key(key)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn argv(s: &str) -> Vec<String> {
+            s.split_whitespace().map(String::from).collect()
+        }
+
+        #[test]
+        fn parses_command_and_options() {
+            let p = parse(argv("simulate --nodes 8 --policy l2s --dfs")).unwrap();
+            assert_eq!(p.command, "simulate");
+            assert_eq!(p.get::<usize>("nodes", 1).unwrap(), 8);
+            assert_eq!(p.get_str("policy", "x"), "l2s");
+            assert!(p.flag("dfs"));
+            assert!(!p.flag("missing"));
+        }
+
+        #[test]
+        fn defaults_apply() {
+            let p = parse(argv("model")).unwrap();
+            assert_eq!(p.get::<f64>("hit", 0.8).unwrap(), 0.8);
+        }
+
+        #[test]
+        fn rejects_missing_command() {
+            assert!(parse(argv("")).is_err());
+            assert!(parse(argv("--nodes 4")).is_err());
+        }
+
+        #[test]
+        fn rejects_bad_values() {
+            let p = parse(argv("model --nodes banana")).unwrap();
+            assert!(p.get::<usize>("nodes", 1).is_err());
+        }
+
+        #[test]
+        fn rejects_stray_positionals() {
+            assert!(parse(argv("simulate extra")).is_err());
+        }
+    }
+}
+
+fn trace_by_name(name: &str) -> Result<TraceSpec, String> {
+    match name {
+        "calgary" => Ok(TraceSpec::calgary()),
+        "clarknet" => Ok(TraceSpec::clarknet()),
+        "nasa" => Ok(TraceSpec::nasa()),
+        "rutgers" => Ok(TraceSpec::rutgers()),
+        other => Err(format!(
+            "unknown trace {other:?} (expected calgary|clarknet|nasa|rutgers)"
+        )),
+    }
+}
+
+fn policy_by_name(name: &str) -> Result<PolicyKind, String> {
+    PolicyKind::all()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = PolicyKind::all().iter().map(|k| k.name()).collect();
+            format!("unknown policy {name:?} (expected one of {})", names.join("|"))
+        })
+}
+
+fn build_trace(p: &args::Parsed) -> Result<Trace, String> {
+    if let Some(log) = p.options.get("log") {
+        let text = std::fs::read_to_string(log).map_err(|e| format!("reading {log}: {e}"))?;
+        return Ok(clf::parse_log(log, &text));
+    }
+    let spec = trace_by_name(&p.get_str("trace", "calgary"))?;
+    let files = p.get("files", spec.num_files.min(8_000))?;
+    let requests = p.get("requests", 200_000usize)?;
+    let seed = p.get("seed", 42u64)?;
+    Ok(spec.scaled(files, requests).generate(seed))
+}
+
+fn cmd_model(p: &args::Parsed) -> Result<(), String> {
+    let params = ModelParams {
+        nodes: p.get("nodes", 16usize)?,
+        replication: p.get("replication", 0.0f64)?,
+        avg_file_kb: p.get("size", 16.0f64)?,
+        cache_kb: p.get("cache-mb", 128.0f64)? * 1024.0,
+        ..ModelParams::default()
+    };
+    let hit = p.get("hit", 0.8f64)?;
+    let kind = match p.get_str("kind", "lc").as_str() {
+        "lc" => ServerKind::LocalityConscious,
+        "lo" => ServerKind::LocalityOblivious,
+        other => return Err(format!("unknown kind {other:?} (expected lc|lo)")),
+    };
+    let model = QueueModel::new(params).map_err(|e| e.to_string())?;
+    let derived = model.derived_from_hlo(kind, hit);
+    let bound = model.max_throughput_derived(&derived);
+    println!("server kind      : {kind:?}");
+    println!("hit rate (H)     : {:.3}", derived.hit_rate);
+    println!("replicated hit(h): {:.3}", derived.replicated_hit);
+    println!("forwarded (Q)    : {:.3}", derived.forward_fraction);
+    println!("throughput bound : {bound:.0} requests/s");
+    if let Some(solution) = model.solve_derived(&derived, bound * 0.95) {
+        println!(
+            "at 95% load      : {:.2} ms mean response, bottleneck = {} ({:.0}% busy)",
+            solution.response_s * 1e3,
+            solution.bottleneck().name,
+            solution.bottleneck().utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(p: &args::Parsed) -> Result<(), String> {
+    let trace = build_trace(p)?;
+    let mut config = SimConfig::paper_default(p.get("nodes", 8usize)?);
+    config.cache_kb = p.get("cache-mb", 32.0f64)? * 1024.0;
+    config.persistent_mean = p.get("persistent", 1.0f64)?;
+    config.dfs_remote = p.flag("dfs");
+    config.seed = p.get("seed", 42u64)?;
+    let policy = policy_by_name(&p.get_str("policy", "l2s"))?;
+    let report = simulate(&config, policy, &trace);
+    println!("policy            : {}", report.policy);
+    println!("nodes             : {}", report.nodes);
+    println!("completed         : {}", report.completed);
+    println!("throughput        : {:.0} requests/s", report.throughput_rps);
+    println!("miss rate         : {:.2}%", report.miss_rate * 100.0);
+    println!("forwarded         : {:.2}%", report.forwarded_fraction * 100.0);
+    println!("cpu idle          : {:.2}%", report.cpu_idle * 100.0);
+    println!("router utilization: {:.2}%", report.router_utilization * 100.0);
+    println!("mean response     : {:.2} ms", report.mean_response_s * 1e3);
+    println!("p99 response      : {:.2} ms", report.p99_response_s * 1e3);
+    println!(
+        "control messages  : {:.2} per request",
+        report.control_msgs_per_request
+    );
+    Ok(())
+}
+
+fn cmd_trace(p: &args::Parsed) -> Result<(), String> {
+    let trace = build_trace(p)?;
+    let stats = TraceStats::compute(&trace);
+    println!("name            : {}", stats.name);
+    println!("files           : {}", stats.num_files);
+    println!("requests        : {}", stats.num_requests);
+    println!("avg file size   : {:.1} KB", stats.avg_file_kb);
+    println!("avg request size: {:.1} KB", stats.avg_request_kb);
+    println!("working set     : {:.1} MB", stats.working_set_kb / 1024.0);
+    println!("distinct files  : {}", stats.distinct_files);
+    println!("zipf alpha (fit): {:.2}", stats.alpha);
+    Ok(())
+}
+
+fn cmd_compare(p: &args::Parsed) -> Result<(), String> {
+    let trace = build_trace(p)?;
+    let mut config = SimConfig::paper_default(p.get("nodes", 8usize)?);
+    config.cache_kb = p.get("cache-mb", 32.0f64)? * 1024.0;
+    println!(
+        "{:>16} {:>12} {:>8} {:>10} {:>9}",
+        "policy", "throughput", "miss", "forwarded", "idle"
+    );
+    for kind in PolicyKind::all() {
+        let r = simulate(&config, kind, &trace);
+        println!(
+            "{:>16} {:>8.0} r/s {:>7.1}% {:>9.1}% {:>8.1}%",
+            r.policy,
+            r.throughput_rps,
+            r.miss_rate * 100.0,
+            r.forwarded_fraction * 100.0,
+            r.cpu_idle * 100.0
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "\
+clusterlab — cluster-based network server evaluation (HPDC 2000 reproduction)
+
+USAGE:
+  clusterlab model    [--nodes N] [--hit H] [--size KB] [--replication R]
+                      [--cache-mb MB] [--kind lc|lo]
+  clusterlab simulate [--trace calgary|clarknet|nasa|rutgers | --log FILE]
+                      [--nodes N] [--policy NAME] [--cache-mb MB]
+                      [--requests N] [--files N] [--seed S]
+                      [--persistent MEAN] [--dfs]
+  clusterlab trace    [--trace NAME | --log FILE] [--requests N] [--files N]
+  clusterlab compare  [--trace NAME] [--nodes N] [--cache-mb MB] [--requests N]
+";
+
+fn main() {
+    let parsed = match args::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "model" => cmd_model(&parsed),
+        "simulate" => cmd_simulate(&parsed),
+        "trace" => cmd_trace(&parsed),
+        "compare" => cmd_compare(&parsed),
+        "help" | "-h" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}

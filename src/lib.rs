@@ -1,0 +1,53 @@
+//! `cluster-server-eval` — a reproduction of *Evaluating Cluster-Based
+//! Network Servers* (Enrique V. Carrera and Ricardo Bianchini, HPDC 2000).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`model`] — the analytic open queuing-network model (Figures 3–6),
+//! * [`policy`] — the L2S, LARD, and traditional request-distribution
+//!   policies (the paper's primary contribution),
+//! * [`sim`] — the trace-driven cluster simulator (Figures 7–10),
+//! * [`trace`] — WWW trace parsing, statistics, and Table 2-calibrated
+//!   synthetic workload generators,
+//! * the substrates they are built on: [`devs`] (discrete-event kernel),
+//!   [`net`] (cluster network), [`cluster`] (node hardware), [`zipf`]
+//!   (popularity laws), and [`util`] (time/RNG/stats).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cluster_server_eval::prelude::*;
+//!
+//! // Synthesize a small Clarknet-like workload, then compare L2S with the
+//! // traditional locality-oblivious server on an 8-node cluster whose
+//! // per-node cache holds a quarter of the working set — the regime
+//! // where distribution policy decides everything.
+//! let trace = TraceSpec::clarknet().scaled(2_000, 20_000).generate(7);
+//! let config = SimConfig::quick(8, trace.working_set_kb() / 4.0);
+//!
+//! let l2s = simulate(&config, PolicyKind::L2s, &trace);
+//! let trad = simulate(&config, PolicyKind::Traditional, &trace);
+//! assert!(l2s.throughput_rps > trad.throughput_rps);
+//! ```
+
+pub use l2s_cluster as cluster;
+pub use l2s_devs as devs;
+pub use l2s_model as model;
+pub use l2s_net as net;
+pub use l2s_sim as sim;
+pub use l2s_trace as trace;
+pub use l2s_util as util;
+pub use l2s_zipf as zipf;
+
+/// The request-distribution policies (the paper's core contribution).
+pub use l2s as policy;
+
+/// The most commonly used items, for `use cluster_server_eval::prelude::*`.
+pub mod prelude {
+    pub use l2s::PolicyKind;
+    pub use l2s_model::{ModelParams, QueueModel, ServerKind};
+    pub use l2s_sim::{simulate, SimConfig, SimReport};
+    pub use l2s_trace::{Trace, TraceSpec};
+    pub use l2s_util::{DetRng, SimDuration, SimTime};
+    pub use l2s_zipf::{ZipfLaw, ZipfSampler};
+}

@@ -1,0 +1,79 @@
+//! End-to-end tests of the `clusterlab` CLI binary.
+
+use std::process::Command;
+
+fn clusterlab(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_clusterlab"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn model_subcommand_reports_bound_and_bottleneck() {
+    let out = clusterlab(&["model", "--nodes", "16", "--hit", "0.8", "--size", "4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("throughput bound"), "{text}");
+    assert!(text.contains("bottleneck"), "{text}");
+    assert!(text.contains("LocalityConscious"), "{text}");
+}
+
+#[test]
+fn model_oblivious_kind_selectable() {
+    let out = clusterlab(&["model", "--kind", "lo", "--hit", "0.5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("LocalityOblivious"), "{text}");
+    assert!(text.contains("forwarded (Q)    : 0.000"), "{text}");
+}
+
+#[test]
+fn trace_subcommand_prints_statistics() {
+    let out = clusterlab(&[
+        "trace", "--trace", "rutgers", "--files", "500", "--requests", "5000",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("files           : 500"), "{text}");
+    assert!(text.contains("requests        : 5000"), "{text}");
+    assert!(text.contains("zipf alpha"), "{text}");
+}
+
+#[test]
+fn simulate_subcommand_runs_a_small_cluster() {
+    let out = clusterlab(&[
+        "simulate", "--trace", "calgary", "--nodes", "4", "--policy", "l2s", "--files", "400",
+        "--requests", "5000", "--cache-mb", "4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("completed         : 5000"), "{text}");
+    assert!(text.contains("throughput"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = clusterlab(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown subcommand"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn unknown_policy_is_a_clean_error() {
+    let out = clusterlab(&["simulate", "--policy", "quantum"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown policy"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = clusterlab(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"), "{text}");
+    assert!(text.contains("clusterlab simulate"), "{text}");
+}

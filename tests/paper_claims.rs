@@ -1,0 +1,141 @@
+//! Scaled-down checks of the paper's headline claims. Each test mirrors
+//! one quantitative statement from the abstract or Section 5.2; the
+//! full-scale reproductions live in the `l2s-bench` binaries, these
+//! guard the qualitative shape at test speed.
+
+use cluster_server_eval::model::{throughput_increase_surface, ModelParams};
+use cluster_server_eval::prelude::*;
+
+fn workload(seed: u64) -> Trace {
+    // Working set far larger than one node's cache.
+    TraceSpec::clarknet().scaled(2_500, 50_000).generate(seed)
+}
+
+fn config(nodes: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(nodes);
+    cfg.cache_kb = 3_000.0;
+    cfg.max_requests = Some(30_000);
+    cfg
+}
+
+#[test]
+fn claim_model_gain_up_to_several_fold_on_16_nodes() {
+    // "locality-conscious distribution on a 16-node cluster can increase
+    // server throughput ... by up to 7-fold".
+    let hits: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+    let sizes: Vec<f64> = vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let surface = throughput_increase_surface(&ModelParams::default(), &hits, &sizes);
+    let (peak, _, _) = surface.peak();
+    assert!(
+        (5.0..12.0).contains(&peak),
+        "peak model gain {peak} not in the several-fold band"
+    );
+}
+
+#[test]
+fn claim_l2s_outperforms_lard_and_traditional() {
+    // "outperforming and significantly outscaling both the LARD and
+    // traditional servers" — the paper quantifies this at 16 nodes
+    // (L2S beats LARD by 33-141% depending on the trace).
+    let trace = workload(1);
+    let cfg = config(16);
+    let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
+    let lard = simulate(&cfg, PolicyKind::Lard, &trace);
+    let trad = simulate(&cfg, PolicyKind::Traditional, &trace);
+    assert!(l2s.throughput_rps > lard.throughput_rps, "L2S {} !> LARD {}", l2s.throughput_rps, lard.throughput_rps);
+    assert!(l2s.throughput_rps > trad.throughput_rps * 1.5, "L2S {} !>> trad {}", l2s.throughput_rps, trad.throughput_rps);
+}
+
+#[test]
+fn claim_lard_flattens_with_scale_l2s_keeps_scaling() {
+    // "The LARD server performs well for clusters of up to 8 or 12
+    // nodes, but flattens out ... as the connection establishment
+    // overhead at the front-end node becomes a serious bottleneck."
+    let trace = workload(2);
+    // Past the front-end ceiling, adding nodes buys LARD almost nothing:
+    // compare 16 to 24 nodes (the paper observes the flattening setting
+    // in by 12-16 nodes).
+    let lard16 = simulate(&config(16), PolicyKind::Lard, &trace);
+    let lard24 = simulate(&config(24), PolicyKind::Lard, &trace);
+    let l2s16 = simulate(&config(16), PolicyKind::L2s, &trace);
+    let l2s24 = simulate(&config(24), PolicyKind::L2s, &trace);
+
+    let lard_scaling = lard24.throughput_rps / lard16.throughput_rps;
+    let l2s_scaling = l2s24.throughput_rps / l2s16.throughput_rps;
+    assert!(
+        lard_scaling < 1.2,
+        "LARD should flatten past 16 nodes (16->24 scaling {lard_scaling})"
+    );
+    assert!(
+        l2s_scaling > lard_scaling,
+        "L2S (x{l2s_scaling}) should outscale LARD (x{lard_scaling})"
+    );
+}
+
+#[test]
+fn claim_traditional_idle_constant_l2s_idle_improves() {
+    // "the CPU idle times of the traditional server stay roughly
+    // constant as we increase the number of cluster nodes ... the L2S
+    // idle times always improve".
+    let trace = workload(3);
+    let trad4 = simulate(&config(4), PolicyKind::Traditional, &trace);
+    let trad16 = simulate(&config(16), PolicyKind::Traditional, &trace);
+    assert!(
+        (trad4.cpu_idle - trad16.cpu_idle).abs() < 0.15,
+        "traditional idle moved: {} -> {}",
+        trad4.cpu_idle,
+        trad16.cpu_idle
+    );
+    let l2s4 = simulate(&config(4), PolicyKind::L2s, &trace);
+    assert!(
+        l2s4.cpu_idle < trad4.cpu_idle,
+        "L2S ({}) should idle less than traditional ({})",
+        l2s4.cpu_idle,
+        trad4.cpu_idle
+    );
+}
+
+#[test]
+fn claim_l2s_forwards_fewer_requests_than_lard() {
+    // "for clusters of up to 4 nodes L2S forwards at least 15% fewer
+    // requests than the LARD server".
+    let trace = workload(4);
+    let cfg = config(4);
+    let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
+    let lard = simulate(&cfg, PolicyKind::Lard, &trace);
+    assert!(lard.forwarded_fraction > 0.999);
+    assert!(
+        l2s.forwarded_fraction < lard.forwarded_fraction - 0.15,
+        "L2S forwards {:.1}%, LARD {:.1}%",
+        l2s.forwarded_fraction * 100.0,
+        lard.forwarded_fraction * 100.0
+    );
+}
+
+#[test]
+fn claim_memory_growth_helps_traditional_most() {
+    // "increasing the size of the memories improves the performance of
+    // the traditional server tremendously ... affects the other two
+    // servers much less significantly".
+    let trace = workload(5);
+    // Small = 1/6 of the working set per node (aggregate still covers it
+    // for the locality-conscious servers); large = 3x that. Mirrors the
+    // paper's 32 MB -> 128 MB comparison where L2S/LARD miss rates are
+    // already low at the small size.
+    let ws = trace.working_set_kb();
+    let gain = |kind: PolicyKind| {
+        let mut small = config(8);
+        small.cache_kb = ws / 6.0;
+        let mut large = config(8);
+        large.cache_kb = ws / 2.0;
+        simulate(&large, kind, &trace).throughput_rps
+            / simulate(&small, kind, &trace).throughput_rps
+    };
+    let trad_gain = gain(PolicyKind::Traditional);
+    let l2s_gain = gain(PolicyKind::L2s);
+    assert!(
+        trad_gain > l2s_gain,
+        "traditional gain {trad_gain} should exceed L2S gain {l2s_gain}"
+    );
+    assert!(trad_gain > 1.5, "traditional barely improved: {trad_gain}");
+}

@@ -1,0 +1,126 @@
+//! Policy/simulator integration across every Table 2 workload shape.
+
+use cluster_server_eval::prelude::*;
+
+fn quick_config(nodes: usize, cache_kb: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(nodes);
+    cfg.cache_kb = cache_kb;
+    cfg.max_requests = Some(20_000);
+    cfg.warmup = false;
+    cfg
+}
+
+#[test]
+fn all_policies_complete_all_paper_workload_shapes() {
+    for (i, spec) in TraceSpec::paper_presets().into_iter().enumerate() {
+        let trace = spec.scaled(800, 20_000).generate(100 + i as u64);
+        let cfg = quick_config(4, 2_000.0);
+        for kind in PolicyKind::all() {
+            let report = simulate(&cfg, kind, &trace);
+            assert_eq!(
+                report.completed, 20_000,
+                "{} lost requests on {}",
+                kind.name(),
+                spec.name
+            );
+            assert!(report.throughput_rps > 0.0);
+            assert!((0.0..=1.0).contains(&report.miss_rate));
+            assert!((0.0..=1.0).contains(&report.forwarded_fraction));
+            assert!((0.0..=1.0).contains(&report.cpu_idle));
+        }
+    }
+}
+
+#[test]
+fn per_node_completions_sum_to_total() {
+    let trace = TraceSpec::rutgers().scaled(600, 15_000).generate(7);
+    let cfg = quick_config(4, 2_000.0);
+    for kind in PolicyKind::all() {
+        let report = simulate(&cfg, kind, &trace);
+        let sum: u64 = report.per_node.iter().map(|n| n.completed).sum();
+        assert_eq!(sum, report.completed, "{}", kind.name());
+    }
+}
+
+#[test]
+fn locality_policies_aggregate_cache_capacity() {
+    // With a working set ~4x one node's cache, the locality-conscious
+    // policies should show much lower aggregate miss rates on 8 nodes.
+    let trace = TraceSpec::clarknet().scaled(1_500, 25_000).generate(8);
+    let ws = trace.working_set_kb();
+    let cfg = quick_config(8, ws / 4.0);
+    let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
+    let pure = simulate(&cfg, PolicyKind::PureLocality, &trace);
+    let trad = simulate(&cfg, PolicyKind::Traditional, &trace);
+    assert!(
+        l2s.miss_rate < trad.miss_rate / 2.0,
+        "l2s {} vs trad {}",
+        l2s.miss_rate,
+        trad.miss_rate
+    );
+    assert!(
+        pure.miss_rate < trad.miss_rate / 2.0,
+        "pure-locality {} vs trad {}",
+        pure.miss_rate,
+        trad.miss_rate
+    );
+}
+
+#[test]
+fn round_robin_balances_but_misses_like_traditional() {
+    let trace = TraceSpec::calgary().scaled(1_000, 20_000).generate(9);
+    let cfg = quick_config(4, 2_000.0);
+    let rr = simulate(&cfg, PolicyKind::RoundRobin, &trace);
+    let trad = simulate(&cfg, PolicyKind::Traditional, &trace);
+    // Both are locality-oblivious: similar miss rates.
+    assert!(
+        (rr.miss_rate - trad.miss_rate).abs() < 0.08,
+        "rr {} vs trad {}",
+        rr.miss_rate,
+        trad.miss_rate
+    );
+    // Round-robin spreads completions evenly.
+    assert!(rr.completion_imbalance() < 0.05, "{}", rr.completion_imbalance());
+}
+
+#[test]
+fn pure_locality_suffers_load_imbalance_on_skewed_traffic() {
+    // alpha > 1 concentrates traffic on few files; static partitioning
+    // then concentrates it on few nodes — the imbalance the paper warns
+    // about for strict locality.
+    let trace = TraceSpec::calgary().scaled(1_000, 20_000).generate(10);
+    let cfg = quick_config(8, 20_000.0);
+    let pure = simulate(&cfg, PolicyKind::PureLocality, &trace);
+    let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
+    assert!(
+        pure.completion_imbalance() > l2s.completion_imbalance(),
+        "pure {} should be more imbalanced than l2s {}",
+        pure.completion_imbalance(),
+        l2s.completion_imbalance()
+    );
+}
+
+#[test]
+fn control_traffic_stays_bounded() {
+    let trace = TraceSpec::nasa().scaled(800, 20_000).generate(11);
+    let cfg = quick_config(8, 3_000.0);
+    for kind in PolicyKind::all() {
+        let report = simulate(&cfg, kind, &trace);
+        assert!(
+            report.control_msgs_per_request < 2.0 * cfg.nodes as f64,
+            "{}: {} control msgs/request",
+            kind.name(),
+            report.control_msgs_per_request
+        );
+    }
+}
+
+#[test]
+fn facade_prelude_round_trip() {
+    // The doc-quickstart path through the facade crate.
+    let trace = TraceSpec::clarknet().scaled(500, 10_000).generate(12);
+    let base = SimConfig::quick(4, 1_500.0);
+    let l2s = simulate(&base, PolicyKind::L2s, &trace);
+    let trad = simulate(&base, PolicyKind::Traditional, &trace);
+    assert!(l2s.throughput_rps > trad.throughput_rps);
+}

@@ -1,0 +1,101 @@
+//! Calibration of the synthetic Table 2 traces against everything the
+//! paper reports about them.
+
+use cluster_server_eval::prelude::*;
+use cluster_server_eval::trace::TraceStats;
+
+/// Capped-size generation used by these tests (full populations, fewer
+/// requests, so the suite stays fast).
+fn capped(spec: &TraceSpec) -> Trace {
+    let mut spec = spec.clone();
+    spec.num_requests = spec.num_requests.min(250_000);
+    spec.generate(42)
+}
+
+#[test]
+fn table2_statistics_match() {
+    for spec in TraceSpec::paper_presets() {
+        let trace = capped(&spec);
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.num_files, spec.num_files, "{}", spec.name);
+        assert!(
+            (stats.avg_file_kb / spec.avg_file_kb - 1.0).abs() < 0.03,
+            "{}: avg file {} vs {}",
+            spec.name,
+            stats.avg_file_kb,
+            spec.avg_file_kb
+        );
+        assert!(
+            (stats.avg_request_kb / spec.avg_request_kb - 1.0).abs() < 0.15,
+            "{}: avg request {} vs {}",
+            spec.name,
+            stats.avg_request_kb,
+            spec.avg_request_kb
+        );
+        assert!(
+            (stats.alpha - spec.alpha).abs() < 0.25,
+            "{}: alpha {} vs {}",
+            spec.name,
+            stats.alpha,
+            spec.alpha
+        );
+    }
+}
+
+#[test]
+fn working_sets_span_the_papers_range() {
+    // Section 5.1: "the traces' working sets are fairly small (from 288
+    // MBytes to 717 MBytes)". Full-scale request streams reach the whole
+    // population; verify the population sizes land in that range.
+    for spec in TraceSpec::paper_presets() {
+        let trace = spec.scaled(spec.num_files, 1).generate(1);
+        let total_mb = trace.files().total_kb() / 1024.0;
+        assert!(
+            (250.0..800.0).contains(&total_mb),
+            "{}: population {total_mb:.0} MB outside the paper's band",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn sequential_32mb_miss_rates_in_papers_band() {
+    // Section 5.1: "These characteristics and simulation setup produce
+    // cache miss rates between 9 and 28% assuming a sequential server
+    // with 32 MBytes of main memory." Allow a small margin at the top
+    // for the capped request streams.
+    for spec in TraceSpec::paper_presets() {
+        let trace = capped(&spec);
+        let config = SimConfig {
+            max_requests: Some(200_000),
+            ..SimConfig::paper_default(1)
+        };
+        let report = simulate(&config, PolicyKind::Traditional, &trace);
+        assert!(
+            (0.06..0.33).contains(&report.miss_rate),
+            "{}: sequential 32 MB miss rate {:.1}% outside the paper's 9-28% band",
+            spec.name,
+            report.miss_rate * 100.0
+        );
+    }
+}
+
+#[test]
+fn temporal_locality_lowers_miss_rates() {
+    // The recency component exists precisely to land in that band; turning
+    // it off must raise the sequential miss rate.
+    let mut with = TraceSpec::rutgers();
+    with.num_requests = 150_000;
+    let mut without = with.clone();
+    without.temporal = 0.0;
+    let config = SimConfig {
+        max_requests: None,
+        ..SimConfig::paper_default(1)
+    };
+    let miss_with = simulate(&config, PolicyKind::Traditional, &with.generate(7)).miss_rate;
+    let miss_without = simulate(&config, PolicyKind::Traditional, &without.generate(7)).miss_rate;
+    assert!(
+        miss_with < miss_without - 0.1,
+        "temporal locality had no effect: {miss_with} vs {miss_without}"
+    );
+}
