@@ -34,10 +34,7 @@ fn bench_fifo_resource(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 100;
-            black_box(r.schedule(
-                SimTime::from_nanos(t),
-                SimDuration::from_nanos(150),
-            ))
+            black_box(r.schedule(SimTime::from_nanos(t), SimDuration::from_nanos(150)))
         })
     });
 }

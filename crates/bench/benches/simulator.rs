@@ -11,11 +11,7 @@ fn bench_simulate(c: &mut Criterion) {
     let trace = TraceSpec::calgary().scaled(2_000, 20_000).generate(7);
     let mut group = c.benchmark_group("simulate_20k_requests");
     group.sample_size(10);
-    for kind in [
-        PolicyKind::Traditional,
-        PolicyKind::Lard,
-        PolicyKind::L2s,
-    ] {
+    for kind in [PolicyKind::Traditional, PolicyKind::Lard, PolicyKind::L2s] {
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
             &kind,

@@ -12,13 +12,7 @@ use l2s_trace::TraceSpec;
 use l2s_util::csv::{results_dir, CsvTable};
 
 fn main() {
-    let mut table = CsvTable::new([
-        "trace",
-        "policy",
-        "cache",
-        "throughput_rps",
-        "miss_rate",
-    ]);
+    let mut table = CsvTable::new(["trace", "policy", "cache", "throughput_rps", "miss_rate"]);
     let nodes = 8;
 
     for spec in [TraceSpec::calgary(), TraceSpec::clarknet()] {

@@ -15,7 +15,10 @@ fn main() {
         let trace = paper_trace(&spec);
         let cells = sweep(&trace, &PAPER_NODE_COUNTS, &policies, paper_config);
         println!("\n{} trace — forwarded requests (%):", spec.name);
-        println!("{:>6} {:>10} {:>10} {:>12}", "nodes", "l2s", "lard", "l2s saves");
+        println!(
+            "{:>6} {:>10} {:>10} {:>12}",
+            "nodes", "l2s", "lard", "l2s saves"
+        );
         for &n in &PAPER_NODE_COUNTS {
             let get = |p: PolicyKind| {
                 cells

@@ -22,7 +22,10 @@ fn main() {
                 cfg.cache_kb = cache_mb * 1024.0;
                 cfg
             });
-            println!("\n{} trace, {cache_mb:.0} MB caches — throughput (r/s):", spec.name);
+            println!(
+                "\n{} trace, {cache_mb:.0} MB caches — throughput (r/s):",
+                spec.name
+            );
             println!(
                 "{:>6} {:>10} {:>10} {:>12}",
                 "nodes", "l2s", "lard", "traditional"

@@ -33,7 +33,10 @@ fn main() {
 
     let mut table = CsvTable::new(["knob", "value", "throughput_rps", "relative"]);
     let mut record = |knob: &str, value: String, thr: f64| {
-        println!("  {knob:>22} = {value:<8} -> {thr:>8.0} r/s ({:+.1}%)", (thr / base - 1.0) * 100.0);
+        println!(
+            "  {knob:>22} = {value:<8} -> {thr:>8.0} r/s ({:+.1}%)",
+            (thr / base - 1.0) * 100.0
+        );
         table.row([
             knob.to_string(),
             value,
@@ -81,7 +84,11 @@ fn main() {
         let mut cfg = base_cfg;
         cfg.l2s.t_high = t_high;
         cfg.l2s.t_low = t_low;
-        record("thresholds T/t", format!("{t_high}/{t_low}"), run(&cfg, &trace));
+        record(
+            "thresholds T/t",
+            format!("{t_high}/{t_low}"),
+            run(&cfg, &trace),
+        );
     }
 
     let path = results_dir().join("exp_sensitivity.csv");

@@ -22,8 +22,16 @@ fn main() {
     println!("Table 2: WWW server trace characteristics (paper target -> generated)");
     println!(
         "{:>9} {:>9} {:>10} {:>12} {:>11} {:>11} {:>13} {:>7} {:>9} {:>8}",
-        "trace", "files", "avgfileKB", "(generated)", "requests", "avgreqKB", "(generated)",
-        "alpha", "(est.)", "ws MB"
+        "trace",
+        "files",
+        "avgfileKB",
+        "(generated)",
+        "requests",
+        "avgreqKB",
+        "(generated)",
+        "alpha",
+        "(est.)",
+        "ws MB"
     );
     for spec in TraceSpec::paper_presets() {
         let trace = paper_trace(&spec);

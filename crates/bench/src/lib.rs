@@ -2,7 +2,7 @@
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
 //! paper (see DESIGN.md's experiment index). This library holds the
-//! common machinery: node sweeps run in parallel with crossbeam scoped
+//! common machinery: node sweeps run in parallel with std scoped
 //! threads, the analytic "model" line of Figures 7–10, scale control,
 //! and output helpers.
 //!
@@ -16,6 +16,7 @@
 //! CSV output (default `results/`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use l2s::PolicyKind;
 use l2s_model::{ModelParams, QueueModel, ServerKind};
@@ -23,7 +24,6 @@ use l2s_sim::{simulate, SimConfig, SimReport};
 use l2s_trace::{Trace, TraceSpec, TraceStats};
 use l2s_util::ascii::{line_chart, Series};
 use l2s_util::csv::{results_dir, CsvTable};
-use parking_lot::Mutex;
 use std::path::PathBuf;
 
 /// The cluster sizes of Figures 7–10.
@@ -35,7 +35,9 @@ pub const PAPER_POLICIES: [PolicyKind; 3] =
 
 /// Whether full-fidelity mode was requested via `L2S_BENCH_FULL=1`.
 pub fn full_fidelity() -> bool {
-    std::env::var("L2S_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("L2S_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Request cap for simulation runs (`None` in full-fidelity mode).
@@ -50,11 +52,9 @@ pub fn request_cap() -> Option<usize> {
 /// Deterministic per-trace generation seed.
 pub fn trace_seed(spec: &TraceSpec) -> u64 {
     // Stable hash of the trace name.
-    spec.name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-        })
+    spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 /// Generates a Table 2 trace at harness scale.
@@ -87,7 +87,6 @@ pub fn sweep<F>(
 where
     F: Fn(usize) -> SimConfig + Sync,
 {
-    let cells: Mutex<Vec<SweepCell>> = Mutex::new(Vec::new());
     let jobs: Vec<(usize, PolicyKind)> = node_counts
         .iter()
         .flat_map(|&n| policies.iter().map(move |&p| (n, p)))
@@ -98,26 +97,39 @@ where
         .unwrap_or(4)
         .min(jobs.len().max(1));
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(n, policy)) = jobs.get(i) else {
-                    break;
-                };
-                let config = configure(n);
-                let report = simulate(&config, policy, trace);
-                cells.lock().push(SweepCell {
-                    nodes: n,
-                    policy,
-                    report,
-                });
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    let mut cells = cells.into_inner();
+    // Workers pull jobs off a shared counter and keep their results local;
+    // the scope then merges per-worker vectors, so no lock is needed and a
+    // worker panic is re-raised on the calling thread.
+    let mut cells: Vec<SweepCell> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(n, policy)) = jobs.get(i) else {
+                            break;
+                        };
+                        let config = configure(n);
+                        let report = simulate(&config, policy, trace);
+                        local.push(SweepCell {
+                            nodes: n,
+                            policy,
+                            report,
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
     let order = |p: PolicyKind| policies.iter().position(|&q| q == p).unwrap_or(usize::MAX);
     cells.sort_by_key(|c| (c.nodes, order(c.policy)));
     cells

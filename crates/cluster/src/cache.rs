@@ -1,6 +1,9 @@
 //! A byte-capacity LRU cache of whole files.
 
 use crate::FileId;
+use l2s_util::invariant;
+// lint-allow hash-iter: the index is keyed lookup only (never iterated);
+// ordering of its entries can never influence simulation results.
 use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
@@ -144,7 +147,12 @@ impl LruCache {
         let mut evicted = Vec::new();
         while self.used_kb + kb > self.capacity_kb {
             let lru = self.tail;
-            debug_assert_ne!(lru, NIL, "capacity accounting out of sync");
+            invariant!(
+                lru != NIL,
+                "cache accounting out of sync: {used} KB used of {cap} KB but no LRU victim",
+                used = self.used_kb,
+                cap = self.capacity_kb
+            );
             let victim = self.slots[lru].file;
             self.remove_slot(lru);
             self.stats.evictions += 1;
@@ -155,6 +163,12 @@ impl LruCache {
         self.index.insert(file, slot);
         self.used_kb += kb;
         self.stats.insertions += 1;
+        invariant!(
+            self.used_kb <= self.capacity_kb + 1e-9,
+            "cache byte conservation violated: {used} KB resident exceeds capacity {cap} KB",
+            used = self.used_kb,
+            cap = self.capacity_kb
+        );
         evicted
     }
 
@@ -234,6 +248,11 @@ impl LruCache {
         self.unlink(slot);
         let file = self.slots[slot].file;
         self.used_kb -= self.slots[slot].kb;
+        invariant!(
+            self.used_kb > -1e-6,
+            "cache byte conservation violated: removing {file} left {used} KB resident",
+            used = self.used_kb
+        );
         if self.used_kb < 0.0 {
             self.used_kb = 0.0; // guard against float drift
         }

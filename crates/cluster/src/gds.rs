@@ -10,7 +10,8 @@
 //! appropriate when the goal is maximizing hit *count*.
 
 use crate::{CacheStats, FileId};
-use std::collections::{BTreeSet, HashMap};
+use l2s_util::invariant;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Priority key ordered as `(priority bits, file)`. Priorities are
 /// non-negative finite floats, so their IEEE-754 bit patterns order
@@ -23,7 +24,7 @@ pub struct GdsCache {
     capacity_kb: f64,
     used_kb: f64,
     aging: f64,
-    entries: HashMap<FileId, (f64, f64)>, // file -> (kb, priority)
+    entries: BTreeMap<FileId, (f64, f64)>, // file -> (kb, priority)
     queue: BTreeSet<PriKey>,
     stats: CacheStats,
 }
@@ -39,7 +40,7 @@ impl GdsCache {
             capacity_kb,
             used_kb: 0.0,
             aging: 0.0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             queue: BTreeSet::new(),
             stats: CacheStats::default(),
         }
@@ -137,9 +138,21 @@ impl GdsCache {
         }
         let mut evicted = Vec::new();
         while self.used_kb + kb > self.capacity_kb {
-            let &(pri_bits, victim) = self.queue.iter().next().expect("accounting out of sync");
+            let Some(&(pri_bits, victim)) = self.queue.first() else {
+                invariant!(
+                    false,
+                    "GDS accounting out of sync: {used} KB resident but the priority queue is empty",
+                    used = self.used_kb
+                );
+                break;
+            };
             self.queue.remove(&(pri_bits, victim));
-            let (vkb, vpri) = self.entries.remove(&victim).expect("queue/map in sync");
+            let removed = self.entries.remove(&victim);
+            invariant!(
+                removed.is_some(),
+                "GDS queue/map desync: victim {victim} has no entry"
+            );
+            let Some((vkb, vpri)) = removed else { break };
             self.used_kb -= vkb;
             self.aging = self.aging.max(vpri);
             self.stats.evictions += 1;
@@ -150,6 +163,12 @@ impl GdsCache {
         self.entries.insert(file, (kb, pri));
         self.used_kb += kb;
         self.stats.insertions += 1;
+        invariant!(
+            self.used_kb <= self.capacity_kb + 1e-9,
+            "GDS byte conservation violated: {used} KB resident exceeds capacity {cap} KB",
+            used = self.used_kb,
+            cap = self.capacity_kb
+        );
         evicted
     }
 }
@@ -175,7 +194,7 @@ mod tests {
         let mut c = GdsCache::new(100.0);
         c.insert(1, 80.0); // large: H = 1/80
         c.insert(2, 10.0); // small: H = 1/10
-        // A new insert that needs room evicts the large file first.
+                           // A new insert that needs room evicts the large file first.
         let evicted = c.insert(3, 50.0);
         assert_eq!(evicted, vec![1], "large file evicted first");
         assert!(c.contains(2) && c.contains(3));
@@ -185,8 +204,8 @@ mod tests {
     fn aging_lets_new_files_displace_stale_small_ones() {
         let mut c = GdsCache::new(20.0);
         c.insert(1, 10.0); // H = 0.1
-        // Evictions raise L; eventually even files larger than old
-        // residents get in because L grows.
+                           // Evictions raise L; eventually even files larger than old
+                           // residents get in because L grows.
         for f in 2..50u32 {
             c.insert(f, 15.0);
         }

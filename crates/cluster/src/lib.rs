@@ -15,6 +15,7 @@
 //!   accounting.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cache;
 mod costs;

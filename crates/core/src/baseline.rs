@@ -2,7 +2,7 @@
 
 use crate::{argmin, Assignment, Distributor, NodeId, PolicyKind};
 use l2s_cluster::FileId;
-use l2s_util::SimTime;
+use l2s_util::{invariant, SimTime};
 
 /// The paper's **traditional** cluster server: a load-balancing switch
 /// assigns each new request to the node with the fewest open connections
@@ -54,7 +54,10 @@ impl Distributor for Traditional {
     }
 
     fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
-        debug_assert!(self.loads[node] > 0, "completion without assignment");
+        invariant!(
+            self.loads[node] > 0,
+            "load conservation violated: completion on node {node} without an open connection"
+        );
         self.loads[node] -= 1;
         0
     }
@@ -113,7 +116,10 @@ impl Distributor for RoundRobin {
     }
 
     fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
-        debug_assert!(self.loads[node] > 0);
+        invariant!(
+            self.loads[node] > 0,
+            "load conservation violated: completion on node {node} without an open connection"
+        );
         self.loads[node] -= 1;
         0
     }
@@ -178,7 +184,10 @@ impl Distributor for PureLocality {
     }
 
     fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
-        debug_assert!(self.loads[node] > 0);
+        invariant!(
+            self.loads[node] > 0,
+            "load conservation violated: completion on node {node} without an open connection"
+        );
         self.loads[node] -= 1;
         0
     }

@@ -26,8 +26,8 @@
 
 use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
 use l2s_cluster::FileId;
-use l2s_util::{SimDuration, SimTime};
-use std::collections::HashMap;
+use l2s_util::{invariant, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// L2S tuning parameters; defaults are the paper's Section 5.1 values.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -78,7 +78,7 @@ pub struct L2s {
     true_loads: Vec<u32>,
     views: Vec<Vec<u32>>,
     last_broadcast: Vec<u32>,
-    sets: HashMap<FileId, ServerSet>,
+    sets: BTreeMap<FileId, ServerSet>,
     next_arrival: usize,
     /// Rotating tie-break cursor for least-loaded selections.
     tie_cursor: usize,
@@ -98,7 +98,7 @@ impl L2s {
             true_loads: vec![0; n],
             views: vec![vec![0; n]; n],
             last_broadcast: vec![0; n],
-            sets: HashMap::new(),
+            sets: BTreeMap::new(),
             next_arrival: 0,
             tie_cursor: 0,
             outbox: Vec::new(),
@@ -185,14 +185,16 @@ impl Distributor for L2s {
                     // are overloaded: replicate onto the least-loaded
                     // node overall.
                     let m = argmin_rotating(&all_nodes, |k| view_row[k], &mut self.tie_cursor);
-                    let set = self.sets.get_mut(&file).expect("present");
-                    if !set.members.contains(&m) {
-                        set.members.push(m);
-                        set.last_modified = now;
-                        msgs += (self.nodes - 1) as u32;
-                        for o in 0..self.nodes {
-                            if o != initial {
-                                self.outbox.push((initial, o));
+                    // The set was just looked up; re-borrow mutably to grow it.
+                    if let Some(set) = self.sets.get_mut(&file) {
+                        if !set.members.contains(&m) {
+                            set.members.push(m);
+                            set.last_modified = now;
+                            msgs += (self.nodes - 1) as u32;
+                            for o in 0..self.nodes {
+                                if o != initial {
+                                    self.outbox.push((initial, o));
+                                }
                             }
                         }
                     }
@@ -234,27 +236,29 @@ impl Distributor for L2s {
                 && view_row[service] < cfg.t_low
                 && now.saturating_since(set.last_modified) > cfg.shrink_after
             {
-                let most = *set
+                // Keep the node that is about to serve the request: prune
+                // the most-loaded member among the others (the set has more
+                // than one member here, so a victim always exists).
+                let victim = set
                     .members
                     .iter()
+                    .filter(|&&m| m != service)
                     .max_by_key(|&&m| (view_row[m], m))
-                    .expect("non-empty");
-                // Keep the node that is about to serve the request.
-                let victim = if most == service {
-                    *set.members
-                        .iter()
-                        .filter(|&&m| m != service)
-                        .max_by_key(|&&m| (view_row[m], m))
-                        .expect("len > 1")
-                } else {
-                    most
-                };
-                set.members.retain(|&m| m != victim);
-                set.last_modified = now;
-                msgs += (self.nodes - 1) as u32;
-                for o in 0..self.nodes {
-                    if o != initial {
-                        self.outbox.push((initial, o));
+                    .copied()
+                    .or_else(|| {
+                        set.members
+                            .iter()
+                            .max_by_key(|&&m| (view_row[m], m))
+                            .copied()
+                    });
+                if let Some(victim) = victim {
+                    set.members.retain(|&m| m != victim);
+                    set.last_modified = now;
+                    msgs += (self.nodes - 1) as u32;
+                    for o in 0..self.nodes {
+                        if o != initial {
+                            self.outbox.push((initial, o));
+                        }
                     }
                 }
             }
@@ -306,7 +310,10 @@ impl Distributor for L2s {
     }
 
     fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
-        debug_assert!(self.true_loads[node] > 0, "completion without assignment");
+        invariant!(
+            self.true_loads[node] > 0,
+            "load conservation violated: completion on node {node} without an open connection"
+        );
         self.true_loads[node] -= 1;
         self.views[node][node] = self.true_loads[node];
         self.note_load_change(node)
@@ -527,8 +534,8 @@ mod tests {
     fn continuation_at_non_member_runs_the_normal_algorithm() {
         let mut s = l2s(4);
         s.assign(SimTime::ZERO, 0, 7); // node 0 owns file 7
-        // Node 2 holds the connection but is not in 7's set: the request
-        // is forwarded to the owner and the set stays clean.
+                                       // Node 2 holds the connection but is not in 7's set: the request
+                                       // is forwarded to the owner and the set stays clean.
         let a = s.assign_continuation(SimTime::ZERO, 2, 7);
         assert_eq!(a.service, 0);
         assert!(a.forwarded);
@@ -553,6 +560,9 @@ mod tests {
             let a = s.assign(SimTime::ZERO, initial, f);
             used[a.service] = true;
         }
-        assert!(used.iter().all(|&u| u), "round-robin DNS spreads first requests");
+        assert!(
+            used.iter().all(|&u| u),
+            "round-robin DNS spreads first requests"
+        );
     }
 }

@@ -26,8 +26,8 @@
 
 use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
 use l2s_cluster::FileId;
-use l2s_util::{SimDuration, SimTime};
-use std::collections::HashMap;
+use l2s_util::{invariant, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// LARD tuning parameters; defaults are the values of Pai et al. that
 /// the paper adopts ("the same execution parameters as determined by
@@ -108,7 +108,7 @@ pub struct Lard {
     viewed_loads: Vec<u32>,
     /// Completions not yet reported to the front-end, per back-end.
     unreported: Vec<u32>,
-    sets: HashMap<FileId, ServerSet>,
+    sets: BTreeMap<FileId, ServerSet>,
     /// Rotating tie-break cursor for least-loaded selections.
     tie_cursor: usize,
     /// Control messages emitted since the last drain.
@@ -148,7 +148,7 @@ impl Lard {
             true_loads: vec![0; n],
             viewed_loads: vec![0; n],
             unreported: vec![0; n],
-            sets: HashMap::new(),
+            sets: BTreeMap::new(),
             tie_cursor: 0,
             outbox: Vec::new(),
         }
@@ -166,7 +166,10 @@ impl Lard {
     /// Members of `file`'s server set (empty if never requested). For
     /// tests and analysis.
     pub fn server_set(&self, file: FileId) -> &[NodeId] {
-        self.sets.get(&file).map(|s| s.members.as_slice()).unwrap_or(&[])
+        self.sets
+            .get(&file)
+            .map(|s| s.members.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -221,8 +224,8 @@ impl Distributor for Lard {
                 let n = argmin_rotating(&set.members, |m| loads[m], cursor);
                 let m = argmin_rotating(&back_ends, |i| loads[i], cursor);
                 let mut chosen = n;
-                let overloaded = loads[n] > cfg.t_high && loads[m] < cfg.t_low
-                    || loads[n] >= 2 * cfg.t_high;
+                let overloaded =
+                    loads[n] > cfg.t_high && loads[m] < cfg.t_low || loads[n] >= 2 * cfg.t_high;
                 if overloaded {
                     match self.mode {
                         LardMode::Replicated => {
@@ -246,19 +249,16 @@ impl Distributor for Lard {
                 if set.members.len() > 1
                     && now.saturating_since(set.last_modified) > cfg.shrink_after
                 {
-                    let most = *set
-                        .members
-                        .iter()
-                        .max_by_key(|&&mm| (loads[mm], mm))
-                        .expect("non-empty");
-                    set.members.retain(|&mm| mm != most);
-                    set.last_modified = now;
-                    if chosen == most {
-                        chosen = *set
-                            .members
-                            .iter()
-                            .min_by_key(|&&mm| (loads[mm], mm))
-                            .expect("non-empty");
+                    if let Some(&most) = set.members.iter().max_by_key(|&&mm| (loads[mm], mm)) {
+                        set.members.retain(|&mm| mm != most);
+                        set.last_modified = now;
+                        if chosen == most {
+                            if let Some(&least) =
+                                set.members.iter().min_by_key(|&&mm| (loads[mm], mm))
+                            {
+                                chosen = least;
+                            }
+                        }
                     }
                 }
                 chosen
@@ -308,7 +308,10 @@ impl Distributor for Lard {
     }
 
     fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
-        debug_assert!(self.true_loads[node] > 0, "completion without assignment");
+        invariant!(
+            self.true_loads[node] > 0,
+            "load conservation violated: completion on node {node} without an open connection"
+        );
         self.true_loads[node] -= 1;
         self.unreported[node] += 1;
         if self.unreported[node] >= self.config.report_batch {
@@ -509,7 +512,11 @@ mod tests {
     fn dispatcher_variant_accepts_on_back_ends() {
         let mut l = Lard::dispatcher(4, LardConfig::default());
         let arrivals: Vec<_> = (0..6).map(|_| l.arrival_node()).collect();
-        assert_eq!(arrivals, vec![1, 2, 3, 1, 2, 3], "round-robin over serving nodes");
+        assert_eq!(
+            arrivals,
+            vec![1, 2, 3, 1, 2, 3],
+            "round-robin over serving nodes"
+        );
         let a = l.assign(SimTime::ZERO, 1, 9);
         assert_ne!(a.service, 0, "dispatcher itself never serves");
         assert_eq!(a.control_msgs, 2, "query + reply to the dispatcher");

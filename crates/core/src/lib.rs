@@ -27,14 +27,15 @@
 //! switch costs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod baseline;
-mod lard;
 mod l2s_policy;
+mod lard;
 
 pub use baseline::{PureLocality, RoundRobin, Traditional};
-pub use lard::{Lard, LardConfig};
 pub use l2s_policy::{L2s, L2sConfig};
+pub use lard::{Lard, LardConfig};
 
 use l2s_cluster::FileId;
 use l2s_util::SimTime;
@@ -182,6 +183,8 @@ pub trait Distributor {
 }
 
 /// Shared helper: index of the minimum value, lowest index winning ties.
+/// Returns 0 for an empty iterator (policies always have at least one
+/// node, enforced by their constructors).
 pub(crate) fn argmin<T: PartialOrd + Copy>(values: impl Iterator<Item = (usize, T)>) -> usize {
     let mut best: Option<(usize, T)> = None;
     for (i, v) in values {
@@ -191,7 +194,7 @@ pub(crate) fn argmin<T: PartialOrd + Copy>(values: impl Iterator<Item = (usize, 
             _ => {}
         }
     }
-    best.expect("argmin of empty iterator").0
+    best.map(|(i, _)| i).unwrap_or(0)
 }
 
 /// Least-loaded choice with *rotating* tie-breaking.

@@ -7,7 +7,12 @@ use proptest::prelude::*;
 
 /// Drives a policy through a random arrival/completion schedule and
 /// checks the protocol invariants at every step.
-fn drive(kind: PolicyKind, nodes: usize, ops: &[(u32, bool)], seed: u64) -> Result<(), TestCaseError> {
+fn drive(
+    kind: PolicyKind,
+    nodes: usize,
+    ops: &[(u32, bool)],
+    seed: u64,
+) -> Result<(), TestCaseError> {
     let mut policy = kind.build(nodes);
     let mut rng = DetRng::new(seed);
     let mut in_flight: Vec<(usize, u32)> = Vec::new();
@@ -30,7 +35,11 @@ fn drive(kind: PolicyKind, nodes: usize, ops: &[(u32, bool)], seed: u64) -> Resu
             in_flight.push((a.service, file));
         }
         let total: u64 = (0..nodes).map(|i| policy.open_connections(i) as u64).sum();
-        prop_assert_eq!(total as usize, in_flight.len(), "connection accounting drifted");
+        prop_assert_eq!(
+            total as usize,
+            in_flight.len(),
+            "connection accounting drifted"
+        );
     }
     policy.drain_messages(&mut outbox);
     // Every drained message has valid endpoints, and the counts the

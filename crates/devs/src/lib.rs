@@ -19,6 +19,7 @@
 //! loop.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod queue;
 mod resource;

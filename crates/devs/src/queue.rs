@@ -1,6 +1,6 @@
 //! The future-event list.
 
-use l2s_util::{SimDuration, SimTime};
+use l2s_util::{invariant, SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -38,7 +38,8 @@ impl<E> Ord for Entry<E> {
 /// A future-event list with an embedded simulation clock.
 ///
 /// The clock advances only through [`EventQueue::pop`]; scheduling an
-/// event in the past is a causality violation and panics.
+/// event in the past is a causality violation, checked by `invariant!`
+/// (debug builds always; release builds under `strict-invariants`).
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
@@ -70,9 +71,10 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
-    /// If `at` is earlier than the current clock.
+    /// If `at` is earlier than the current clock (checked in debug builds
+    /// and, under `strict-invariants`, in release builds too).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
+        invariant!(
             at >= self.now,
             "causality violation: scheduling at {at} before now {now}",
             now = self.now
@@ -95,7 +97,12 @@ impl<E> EventQueue<E> {
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
+        invariant!(
+            entry.time >= self.now,
+            "clock monotonicity violated: popped {at} behind now {now}",
+            at = entry.time,
+            now = self.now
+        );
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
@@ -167,6 +174,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "causality violation")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     fn scheduling_in_the_past_panics() {
         let mut q = EventQueue::new();
         q.schedule(t(50), ());

@@ -1,0 +1,582 @@
+//! `l2s-lint` — the workspace's in-tree determinism and invariant lint.
+//!
+//! The simulator's headline guarantee is bit-for-bit reproducibility: the
+//! same seed and configuration must produce the same figures on every
+//! machine. That guarantee is easy to break silently — one iterated
+//! `HashMap`, one wall-clock read, one entropy-seeded generator — so this
+//! crate enforces the determinism rules statically, as a dependency-free
+//! binary that CI (and `cargo run -p l2s-lint`) runs over the source tree.
+//!
+//! # Rules
+//!
+//! | id | scope | checks |
+//! |----|-------|--------|
+//! | `hash-iter` | determinism crates | no `HashMap`/`HashSet`: their iteration order is randomized per-process, which breaks replay; use `BTreeMap`/`BTreeSet` (keyed-only uses may be allowlisted) |
+//! | `wall-clock` | determinism crates | no `std::time::Instant`/`SystemTime`: simulation time must come from the event queue |
+//! | `entropy` | whole workspace | no `thread_rng`, `rand::random`, `from_entropy`, or `OsRng`: all randomness flows from explicit seeds |
+//! | `panic` | library sources | no `.unwrap()`/`.expect()`/`panic!`-family calls in library code (binaries, tests, and allowlisted harness code exempt); use `Result`, `invariant!`, or `assert!` for real preconditions |
+//! | `lint-attrs` | every crate | each `lib.rs` carries `#![warn(missing_docs)]` and `#![forbid(unsafe_code)]` |
+//!
+//! Scanning is line-based and deliberately simple: comment lines are
+//! skipped, and everything at or after a `#[cfg(test)]` marker in a file is
+//! treated as test code. `src/bin/` directories and `src/main.rs` are
+//! binary targets and exempt from the `panic` rule's scope (they are still
+//! subject to the determinism rules when inside a determinism crate).
+//!
+//! # Allowlist
+//!
+//! Vetted exceptions live in `lint-allow.txt` at the repository root, one
+//! per line: `<rule-id> <path> <justification>`. The justification is
+//! mandatory; unused entries are reported so the file cannot rot.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources feed simulation results and therefore must be
+/// deterministic (hash-iteration and wall-clock rules apply).
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "util", "devs", "net", "zipf", "trace", "cluster", "core", "model", "sim",
+];
+
+// The needles are assembled with `concat!` from split halves so that this
+// file never contains the forbidden token itself — otherwise the lint
+// would flag its own source when scanning the workspace.
+const HASH_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!("Hash", "Map"),
+        "hash maps iterate in randomized order; use BTreeMap (allowlist keyed-only uses)",
+    ),
+    (
+        concat!("Hash", "Set"),
+        "hash sets iterate in randomized order; use BTreeSet (allowlist keyed-only uses)",
+    ),
+];
+
+const WALL_CLOCK_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!("Inst", "ant"),
+        "wall-clock reads are nondeterministic; simulation time comes from the event queue",
+    ),
+    (
+        concat!("System", "Time"),
+        "wall-clock reads are nondeterministic; simulation time comes from the event queue",
+    ),
+];
+
+const ENTROPY_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!("thread_", "rng"),
+        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
+    ),
+    (
+        concat!("rand::rand", "om"),
+        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
+    ),
+    (
+        concat!("from_", "entropy"),
+        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
+    ),
+    (
+        concat!("Os", "Rng"),
+        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
+    ),
+];
+
+const PANIC_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!(".unw", "rap()"),
+        "library code must not abort; return a Result or use invariant!",
+    ),
+    (
+        concat!(".exp", "ect("),
+        "library code must not abort; return a Result or use invariant!",
+    ),
+    (
+        concat!("pan", "ic!("),
+        "library code must not abort; return a Result or use invariant!",
+    ),
+    (
+        concat!("unreach", "able!("),
+        "library code must not abort; restructure so the branch is impossible by type",
+    ),
+    (
+        concat!("to", "do!("),
+        "unfinished code must not ship in library crates",
+    ),
+    (
+        concat!("unimpl", "emented!("),
+        "unfinished code must not ship in library crates",
+    ),
+];
+
+const ATTR_MISSING_DOCS: &str = "#![warn(missing_docs)]";
+const ATTR_FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
+
+/// One lint finding, pointing at a repository-relative `path:line`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repository-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`hash-iter`, `wall-clock`, `entropy`, `panic`,
+    /// `lint-attrs`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One vetted exception from `lint-allow.txt`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being excepted.
+    pub rule: String,
+    /// Repository-relative file the exception applies to.
+    pub path: String,
+    /// Why the exception is sound (mandatory).
+    pub justification: String,
+    used: bool,
+}
+
+/// The parsed allowlist. Entries suppress all diagnostics of their rule in
+/// their file; each records whether it actually suppressed anything.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An allowlist with no exceptions.
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parses the `lint-allow.txt` format: one `<rule> <path>
+    /// <justification>` entry per line; `#` comments and blank lines are
+    /// ignored. A missing justification is an error — exceptions must be
+    /// argued, not just declared.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(rule), Some(path), Some(justification)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "lint-allow.txt:{}: expected `<rule> <path> <justification>`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let justification = justification.trim();
+            if justification.is_empty() {
+                return Err(format!(
+                    "lint-allow.txt:{}: entry for {rule} {path} has no justification",
+                    idx + 1
+                ));
+            }
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                justification: justification.to_string(),
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True when `rule` is excepted in `path`; marks the entry as used.
+    fn permits(&mut self, rule: &str, path: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule && e.path == path {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that suppressed nothing in the last run — stale exceptions
+    /// that should be deleted.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used).collect()
+    }
+}
+
+/// A crate to be linted: its display name and its `src` directory.
+struct CrateSrc {
+    name: String,
+    src: PathBuf,
+}
+
+/// Lints the workspace rooted at `root` and returns all diagnostics not
+/// suppressed by `allow`, sorted by `(path, line, rule)`. Errors are I/O
+/// problems (unreadable tree), not findings.
+pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> Result<Vec<Diagnostic>, String> {
+    let crates = discover_crates(root)?;
+    let mut raw = Vec::new();
+
+    for krate in &crates {
+        let deterministic = DETERMINISM_CRATES.contains(&krate.name.as_str());
+        check_lib_attrs(root, krate, &mut raw)?;
+        for file in rust_sources(&krate.src)? {
+            let rel = rel_path(root, &file);
+            let text = read(&file)?;
+            let is_binary = is_binary_target(&file);
+            let mut rules: Vec<(&'static str, &[(&str, &str)])> = Vec::new();
+            if deterministic {
+                rules.push(("hash-iter", HASH_NEEDLES));
+                rules.push(("wall-clock", WALL_CLOCK_NEEDLES));
+            }
+            rules.push(("entropy", ENTROPY_NEEDLES));
+            if !is_binary {
+                rules.push(("panic", PANIC_NEEDLES));
+            }
+            scan_file(&rel, &text, &rules, &mut raw);
+        }
+    }
+
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !allow.permits(d.rule, &d.path))
+        .collect();
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// The workspace's crates: every directory under `crates/`, plus the root
+/// package (named `root`, sources in `src/`).
+fn discover_crates(root: &Path) -> Result<Vec<CrateSrc>, String> {
+    let mut crates = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    for name in names {
+        crates.push(CrateSrc {
+            src: crates_dir.join(&name).join("src"),
+            name,
+        });
+    }
+    crates.push(CrateSrc {
+        name: "root".to_string(),
+        src: root.join("src"),
+    });
+    Ok(crates)
+}
+
+/// Every `lib.rs` must opt into the workspace's documentation and safety
+/// attributes.
+fn check_lib_attrs(root: &Path, krate: &CrateSrc, out: &mut Vec<Diagnostic>) -> Result<(), String> {
+    let lib = krate.src.join("lib.rs");
+    if !lib.is_file() {
+        return Ok(());
+    }
+    let text = read(&lib)?;
+    let rel = rel_path(root, &lib);
+    for attr in [ATTR_MISSING_DOCS, ATTR_FORBID_UNSAFE] {
+        if !text.contains(attr) {
+            out.push(Diagnostic {
+                path: rel.clone(),
+                line: 1,
+                rule: "lint-attrs",
+                message: format!("crate `{}` is missing the `{attr}` attribute", krate.name),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Applies line-based needle rules to one file. Comment lines are skipped;
+/// once `#[cfg(test)]` appears, the rest of the file is test code and
+/// exempt (the workspace keeps test modules at the bottom of each file).
+fn scan_file(
+    rel: &str,
+    text: &str,
+    rules: &[(&'static str, &[(&str, &str)])],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut in_test = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            in_test = true;
+        }
+        if in_test || line.trim_start().starts_with("//") {
+            continue;
+        }
+        for (rule, needles) in rules {
+            for (needle, message) in needles.iter() {
+                if line.contains(needle) {
+                    out.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: idx + 1,
+                        rule,
+                        message: format!("`{needle}`: {message}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// All `.rs` files under `src`, recursively, in sorted order. `src/bin/`
+/// is descended into (determinism rules still apply there); binary-target
+/// detection happens per file via [`is_binary_target`].
+fn rust_sources(src: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    if !src.is_dir() {
+        return Ok(files);
+    }
+    let mut stack = vec![src.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut children = Vec::new();
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            children.push(entry.path());
+        }
+        children.sort();
+        for child in children {
+            if child.is_dir() {
+                stack.push(child);
+            } else if child.extension().is_some_and(|e| e == "rs") {
+                files.push(child);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// True for compilation roots of binary targets (`src/main.rs`,
+/// `src/bin/**`), which are exempt from the `panic` rule: a CLI aborting
+/// on bad input is acceptable, a library doing so is not.
+fn is_binary_target(path: &Path) -> bool {
+    if path.file_name().is_some_and(|n| n == "main.rs") {
+        return true;
+    }
+    path.components().any(|c| c.as_os_str() == "bin")
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// Builds a throwaway fake workspace under the OS temp dir and returns
+    /// its root. Callers clean up via `TempWorkspace`'s `Drop`.
+    struct TempWorkspace {
+        root: PathBuf,
+    }
+
+    impl TempWorkspace {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("l2s-lint-test-{}-{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(root.join("crates")).unwrap();
+            TempWorkspace { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+        }
+    }
+
+    impl Drop for TempWorkspace {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const CLEAN_LIB: &str =
+        "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\npub fn f() {}\n";
+
+    #[test]
+    fn reintroduced_hash_map_in_core_fails_with_file_and_line() {
+        let ws = TempWorkspace::new("hashmap");
+        ws.write("crates/core/Cargo.toml", "[package]\nname = \"l2s\"\n");
+        ws.write(
+            "crates/core/src/lib.rs",
+            concat!(
+                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n",
+                "//! Docs.\n",
+                "use std::collections::Hash",
+                "Map;\n",
+                "/// State.\npub struct S { m: Hash",
+                "Map<u32, u32> }\n",
+            ),
+        );
+        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].path, "crates/core/src/lib.rs");
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[0].rule, "hash-iter");
+        assert_eq!(diags[1].line, 6);
+        // The rendered form carries file:line for editors.
+        assert!(diags[0]
+            .to_string()
+            .starts_with("crates/core/src/lib.rs:4: [hash-iter]"));
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_are_flagged() {
+        let ws = TempWorkspace::new("clock");
+        ws.write("crates/sim/Cargo.toml", "[package]\nname = \"l2s-sim\"\n");
+        ws.write(
+            "crates/sim/src/lib.rs",
+            concat!(
+                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
+                "/// T.\npub fn t() { let _ = std::time::Inst",
+                "ant::now(); }\n",
+                "/// R.\npub fn r() { let _ = rand::thread_",
+                "rng(); }\n",
+            ),
+        );
+        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"wall-clock"), "{diags:?}");
+        assert!(rules.contains(&"entropy"), "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_but_not_in_bin_or_tests() {
+        let ws = TempWorkspace::new("panic");
+        ws.write("crates/net/Cargo.toml", "[package]\nname = \"l2s-net\"\n");
+        ws.write(
+            "crates/net/src/lib.rs",
+            concat!(
+                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
+                "/// F.\npub fn f(v: Option<u32>) -> u32 { v.unw",
+                "rap() }\n",
+                "// comment mentioning .unw",
+                "rap() is fine\n",
+                "#[cfg(test)]\nmod tests { fn g() { None::<u32>.unw",
+                "rap(); } }\n",
+            ),
+        );
+        ws.write(
+            "crates/net/src/bin/tool.rs",
+            concat!("fn main() { None::<u32>.unw", "rap(); }\n"),
+        );
+        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "panic");
+        assert_eq!(diags[0].path, "crates/net/src/lib.rs");
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn missing_lint_attrs_are_reported_per_crate() {
+        let ws = TempWorkspace::new("attrs");
+        ws.write("crates/zipf/Cargo.toml", "[package]\nname = \"l2s-zipf\"\n");
+        ws.write("crates/zipf/src/lib.rs", "//! Docs.\npub fn f() {}\n");
+        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "lint-attrs"));
+        assert!(diags.iter().any(|d| d.message.contains("missing_docs")));
+        assert!(diags.iter().any(|d| d.message.contains("unsafe_code")));
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_tracks_usage() {
+        let ws = TempWorkspace::new("allow");
+        ws.write("crates/cluster/Cargo.toml", "[package]\nname = \"c\"\n");
+        ws.write(
+            "crates/cluster/src/lib.rs",
+            concat!(
+                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
+                "/// S.\npub struct S { m: std::collections::Hash",
+                "Map<u32, u32> }\n",
+            ),
+        );
+        let mut allow = Allowlist::parse(concat!(
+            "# comment\n",
+            "hash-iter crates/cluster/src/lib.rs keyed lookup only\n",
+            "panic crates/never/src/lib.rs stale entry\n",
+        ))
+        .unwrap();
+        let diags = lint_workspace(&ws.root, &mut allow).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        let unused: Vec<&str> = allow.unused().iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(unused, vec!["crates/never/src/lib.rs"]);
+    }
+
+    #[test]
+    fn allowlist_rejects_missing_justification() {
+        assert!(Allowlist::parse("hash-iter crates/x/src/lib.rs\n").is_err());
+        assert!(Allowlist::parse("hash-iter crates/x/src/lib.rs   \n").is_err());
+    }
+
+    #[test]
+    fn non_determinism_crates_may_use_hash_containers() {
+        let ws = TempWorkspace::new("scope");
+        ws.write("crates/lint/Cargo.toml", "[package]\nname = \"l2s-lint\"\n");
+        ws.write(
+            "crates/lint/src/lib.rs",
+            concat!(
+                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
+                "/// S.\npub struct S { m: std::collections::Hash",
+                "Map<u32, u32> }\n",
+            ),
+        );
+        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn the_real_repository_passes_with_its_checked_in_allowlist() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let allow_text = fs::read_to_string(root.join("lint-allow.txt")).unwrap();
+        let mut allow = Allowlist::parse(&allow_text).unwrap();
+        let diags = lint_workspace(root, &mut allow).unwrap();
+        assert!(diags.is_empty(), "lint violations in tree: {diags:#?}");
+        let unused: Vec<_> = allow.unused();
+        assert!(unused.is_empty(), "stale allowlist entries: {unused:?}");
+    }
+}

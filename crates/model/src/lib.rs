@@ -24,6 +24,7 @@
 //! `Q = (N-1)(1-h)/N`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod mm1;
 mod model;
@@ -34,6 +35,6 @@ pub use mm1::Mm1;
 pub use model::{Demands, Derived, QueueModel, Solution, StationLoad};
 pub use params::{ModelParams, ServerKind};
 pub use surface::{
-    default_axes, memory_sweep, replication_sweep, throughput_increase_surface,
-    throughput_surface, Surface,
+    default_axes, memory_sweep, replication_sweep, throughput_increase_surface, throughput_surface,
+    Surface,
 };

@@ -70,9 +70,11 @@ pub fn throughput_surface(
                 .map(|&s| {
                     let mut p = *base;
                     p.avg_file_kb = s;
+                    // Invalid sweep points surface as NaN cells rather
+                    // than aborting the whole surface.
                     QueueModel::new(p)
-                        .expect("swept parameters stay valid")
-                        .max_throughput(kind, h)
+                        .map(|m| m.max_throughput(kind, h))
+                        .unwrap_or(f64::NAN)
                 })
                 .collect()
         })
@@ -136,12 +138,13 @@ pub fn replication_sweep(
 ) -> Vec<(f64, f64, f64)> {
     replications
         .iter()
-        .map(|&r| {
+        .filter_map(|&r| {
             let mut p = *base;
             p.replication = r;
-            let m = QueueModel::new(p).expect("swept parameters stay valid");
+            // Invalid sweep points are skipped rather than aborting.
+            let m = QueueModel::new(p).ok()?;
             let d = m.derived_from_hlo(ServerKind::LocalityConscious, hlo);
-            (r, d.forward_fraction, m.max_throughput_derived(&d))
+            Some((r, d.forward_fraction, m.max_throughput_derived(&d)))
         })
         .collect()
 }
@@ -204,14 +207,11 @@ mod tests {
         let base = ModelParams::default();
         let (hits, sizes) = default_axes(15, 10);
         let mb = 1024.0;
-        let sweep = memory_sweep(
-            &base,
-            &[128.0 * mb, 256.0 * mb, 512.0 * mb],
-            &hits,
-            &sizes,
+        let sweep = memory_sweep(&base, &[128.0 * mb, 256.0 * mb, 512.0 * mb], &hits, &sizes);
+        assert!(
+            sweep[0].1 >= sweep[1].1 && sweep[1].1 >= sweep[2].1,
+            "gains should fall with memory: {sweep:?}"
         );
-        assert!(sweep[0].1 >= sweep[1].1 && sweep[1].1 >= sweep[2].1,
-            "gains should fall with memory: {sweep:?}");
         // At 512 MB the paper still reports a ~6.5x peak.
         assert!(sweep[2].1 > 4.0, "512 MB gain = {}", sweep[2].1);
     }

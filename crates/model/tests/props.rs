@@ -12,14 +12,16 @@ fn arb_params() -> impl Strategy<Value = ModelParams> {
         1_000.0f64..1_000_000.0,
         0.5f64..256.0,
     )
-        .prop_map(|(nodes, replication, alpha, cache_kb, avg_file_kb)| ModelParams {
-            nodes,
-            replication,
-            alpha,
-            cache_kb,
-            avg_file_kb,
-            ..ModelParams::default()
-        })
+        .prop_map(
+            |(nodes, replication, alpha, cache_kb, avg_file_kb)| ModelParams {
+                nodes,
+                replication,
+                alpha,
+                cache_kb,
+                avg_file_kb,
+                ..ModelParams::default()
+            },
+        )
 }
 
 proptest! {

@@ -18,6 +18,7 @@
 //!   sensitivity study (E15 in DESIGN.md).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use l2s_devs::{DelayStation, FifoResource};
 use l2s_util::{SimDuration, SimTime};

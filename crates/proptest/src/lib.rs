@@ -1,0 +1,259 @@
+//! Minimal, fully deterministic property-testing harness.
+//!
+//! The workspace's test suites were written against the `proptest` crate,
+//! but this build environment has no route to a crates.io registry, so this
+//! in-tree shim provides the subset of the `proptest` API the suites use:
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`), range /
+//! tuple / collection / `prop_map` strategies, `any::<T>()`, and the
+//! `prop_assert!` family.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the exact inputs that failed;
+//!   it does not search for a smaller counterexample.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   fully qualified name, so runs are byte-for-byte reproducible across
+//!   machines and invocations — in keeping with the repository's
+//!   determinism rules (there is deliberately no entropy source here).
+//! - **String "regex" strategies** support only the printable-character
+//!   class used in this workspace (`\PC{m,n}`); anything else falls back to
+//!   bounded ASCII.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy, VecStrategy};
+
+/// Namespaced strategy constructors mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::AnyBool;
+        /// Uniformly random booleans.
+        pub const ANY: AnyBool = AnyBool;
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests over sampled inputs.
+///
+/// Mirrors `proptest::proptest!`: each `fn name(pat in strategy, ..)` item
+/// becomes a `#[test]` (the attribute is written explicitly by the caller)
+/// that samples its arguments `cases` times and runs the body on each
+/// sample. An optional leading `#![proptest_config(expr)]` overrides the
+/// per-test case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$attr:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!($cfg; $(#[$attr])* fn $name($($p in $s),+) $body);)*
+    };
+    ($($(#[$attr:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!($crate::ProptestConfig::default();
+            $(#[$attr])* fn $name($($p in $s),+) $body);)*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one property function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($cfg:expr; $(#[$attr:meta])* fn $name:ident($($p:pat in $s:expr),+) $body:block) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::runner::Rng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(256);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                let vals = ($($crate::Strategy::sample(&$s, &mut rng),)+);
+                let desc = format!("{:?}", &vals);
+                let outcome = {
+                    let ($($p,)+) = vals;
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        {
+                            $body
+                        }
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        ::std::panic!(
+                            "property '{}' failed after {} passing case(s)\n  inputs: {}\n  {}",
+                            stringify!($name),
+                            accepted,
+                            desc,
+                            msg
+                        );
+                    }
+                }
+            }
+            ::std::assert!(
+                accepted > 0,
+                "property '{}' rejected every generated input ({} attempts)",
+                stringify!($name),
+                attempts
+            );
+        }
+    };
+}
+
+/// Fails the current test case (returns `TestCaseError::Fail`) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current test case (does not count toward the case budget)
+/// when the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..5, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (1usize..4, 10u64..20),
+            mapped in (0u32..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 10);
+            prop_assert_eq!(mapped % 2, 0);
+        }
+
+        #[test]
+        fn assume_discards_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn printable_strings_have_bounded_len(s in "\\PC{0,30}") {
+            prop_assert!(s.chars().count() <= 30);
+            prop_assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_override_is_accepted(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn same_test_name_gives_same_stream() {
+        let mut a = crate::runner::Rng::from_name("mod::case");
+        let mut b = crate::runner::Rng::from_name("mod::case");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_test_names_diverge() {
+        let mut a = crate::runner::Rng::from_name("mod::case_a");
+        let mut b = crate::runner::Rng::from_name("mod::case_b");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

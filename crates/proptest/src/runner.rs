@@ -1,0 +1,131 @@
+//! Test-case execution support: the per-test RNG, configuration, and the
+//! error type threaded through `prop_assert!` / `prop_assume!`.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config` in the
+/// one field the workspace uses.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// The shim default is 48 cases — smaller than upstream proptest's 256
+    /// so the full workspace property suite stays fast, while still large
+    /// enough to exercise the generators' tails.
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated; carries a human-readable explanation.
+    Fail(String),
+    /// The case was discarded by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result type for property bodies that use `?` on fallible helpers.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The harness generator: xoshiro256++ seeded from the test's name via
+/// FNV-1a and SplitMix64, so every property test has a fixed, independent,
+/// platform-stable input stream.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds a generator from an arbitrary name (typically
+    /// `module_path!() + "::" + test_name`).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable 64-bit digest.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = h;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform integer in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift; the tiny modulo bias is irrelevant for test-input
+        // generation.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

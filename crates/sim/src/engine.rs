@@ -7,7 +7,7 @@ use l2s_devs::EventQueue;
 use l2s_net::Fabric;
 use l2s_trace::Trace;
 use l2s_util::stats::quantile;
-use l2s_util::{DetRng, OnlineStats, SimDuration, SimTime};
+use l2s_util::{invariant, DetRng, OnlineStats, SimDuration, SimTime};
 
 /// Index into the in-flight request slab.
 type ReqId = u32;
@@ -183,7 +183,11 @@ impl<'t> Engine<'t> {
                 }
             }
         }
-        debug_assert_eq!(self.outstanding, 0, "requests left in flight");
+        invariant!(
+            self.outstanding == 0,
+            "drain invariant violated: {n} request(s) left in flight",
+            n = self.outstanding
+        );
     }
 
     /// Open-loop mode: schedules the next client arrival, if the trace
@@ -278,12 +282,16 @@ impl<'t> Engine<'t> {
         match ev {
             Ev::NicIn(id) => {
                 let node = self.slab[id as usize].initial;
-                let done = self.nodes[node].ni_in.schedule(now, self.config.costs.ni_in());
+                let done = self.nodes[node]
+                    .ni_in
+                    .schedule(now, self.config.costs.ni_in());
                 self.queue.schedule(done, Ev::Parse(id));
             }
             Ev::Parse(id) => {
                 let node = self.slab[id as usize].initial;
-                let done = self.nodes[node].cpu.schedule(now, self.config.costs.parse());
+                let done = self.nodes[node]
+                    .cpu
+                    .schedule(now, self.config.costs.parse());
                 self.queue.schedule(done, Ev::Decide(id));
             }
             Ev::Decide(id) => {
@@ -396,7 +404,10 @@ impl<'t> Engine<'t> {
                     (r.service, r.kb)
                 };
                 let home = dfs_home(self.slab[id as usize].file, self.config.nodes);
-                debug_assert_ne!(home, node);
+                invariant!(
+                    home != node,
+                    "DFS miss routed to its own home: node {node} fetching locally"
+                );
                 let done = self.nodes[home]
                     .disk
                     .schedule(now, self.config.costs.disk_read(kb));
@@ -448,6 +459,10 @@ impl<'t> Engine<'t> {
                     .response_s
                     .push(now.saturating_since(injected).as_secs_f64());
                 let conn_remaining = self.slab[id as usize].conn_remaining;
+                invariant!(
+                    self.outstanding > 0,
+                    "request accounting underflow: completion with none outstanding"
+                );
                 self.outstanding -= 1;
                 self.release(id);
                 if conn_remaining > 0 && self.next_request < self.limit {
@@ -554,9 +569,9 @@ impl<'t> Engine<'t> {
             })
             .collect();
 
-        let (hits, misses) = per_node
-            .iter()
-            .fold((0u64, 0u64), |(h, m), n| (h + n.cache_hits, m + n.cache_misses));
+        let (hits, misses) = per_node.iter().fold((0u64, 0u64), |(h, m), n| {
+            (h + n.cache_hits, m + n.cache_misses)
+        });
         let lookups = hits + misses;
 
         let idle: f64 = if serving.is_empty() {
@@ -864,6 +879,10 @@ mod tests {
         assert!(report.mean_response_s > 0.0);
         assert!(report.p99_response_s >= report.mean_response_s * 0.5);
         // Nothing should take longer than a few seconds of simulated time.
-        assert!(report.p99_response_s < 10.0, "p99 = {}", report.p99_response_s);
+        assert!(
+            report.p99_response_s < 10.0,
+            "p99 = {}",
+            report.p99_response_s
+        );
     }
 }

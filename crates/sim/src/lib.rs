@@ -28,6 +28,7 @@
 //! idle time, forwarded fraction, control-message traffic).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod config;
 mod engine;

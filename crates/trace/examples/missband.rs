@@ -6,29 +6,56 @@ fn main() {
         let trace = spec.generate(42);
         let mut cache = l2s_cache_sim::Lru::new(32.0 * 1024.0);
         // warm once, then measure
-        for &f in trace.requests() { cache.access(f, trace.files().size_kb(f)); }
-        cache.hits = 0; cache.misses = 0;
-        for &f in trace.requests() { cache.access(f, trace.files().size_kb(f)); }
-        println!("{:>9}: miss = {:.1}%  (avg_req {:.1} KB, alpha target {:.2})",
-            spec.name, 100.0 * cache.misses as f64 / (cache.hits + cache.misses) as f64,
-            trace.avg_request_kb(), spec.alpha);
+        for &f in trace.requests() {
+            cache.access(f, trace.files().size_kb(f));
+        }
+        cache.hits = 0;
+        cache.misses = 0;
+        for &f in trace.requests() {
+            cache.access(f, trace.files().size_kb(f));
+        }
+        println!(
+            "{:>9}: miss = {:.1}%  (avg_req {:.1} KB, alpha target {:.2})",
+            spec.name,
+            100.0 * cache.misses as f64 / (cache.hits + cache.misses) as f64,
+            trace.avg_request_kb(),
+            spec.alpha
+        );
     }
 }
 
 mod l2s_cache_sim {
     use std::collections::HashMap;
     pub struct Lru {
-        cap: f64, used: f64, tick: u64,
-        pub hits: u64, pub misses: u64,
+        cap: f64,
+        used: f64,
+        tick: u64,
+        pub hits: u64,
+        pub misses: u64,
         map: HashMap<u32, (f64, u64)>,
     }
     impl Lru {
-        pub fn new(cap: f64) -> Self { Lru { cap, used: 0.0, tick: 0, hits: 0, misses: 0, map: HashMap::new() } }
+        pub fn new(cap: f64) -> Self {
+            Lru {
+                cap,
+                used: 0.0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                map: HashMap::new(),
+            }
+        }
         pub fn access(&mut self, f: u32, kb: f64) {
             self.tick += 1;
-            if let Some(e) = self.map.get_mut(&f) { e.1 = self.tick; self.hits += 1; return; }
+            if let Some(e) = self.map.get_mut(&f) {
+                e.1 = self.tick;
+                self.hits += 1;
+                return;
+            }
             self.misses += 1;
-            if kb > self.cap { return; }
+            if kb > self.cap {
+                return;
+            }
             while self.used + kb > self.cap {
                 let (&victim, _) = self.map.iter().min_by_key(|(_, &(_, t))| t).unwrap();
                 let (vkb, _) = self.map.remove(&victim).unwrap();

@@ -7,7 +7,7 @@
 //! requests with a known, positive size are kept.
 
 use crate::{FileSet, Trace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One parsed access-log line.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,7 +65,7 @@ pub fn parse_line(line: &str) -> Option<LogEntry> {
 /// requests. A file's size is the largest size ever reported for its
 /// path (logs record partial transfers as smaller byte counts).
 pub fn parse_log(name: &str, text: &str) -> Trace {
-    let mut path_ids: HashMap<String, u32> = HashMap::new();
+    let mut path_ids: BTreeMap<String, u32> = BTreeMap::new();
     let mut sizes_kb: Vec<f64> = Vec::new();
     let mut requests: Vec<u32> = Vec::new();
 
@@ -130,7 +130,10 @@ host6 - - [01/Mar/2000:00:00:07 -0500] "GET /index.html HTTP/1.0" 304 0
         assert_eq!(parse_line(""), None);
         assert_eq!(parse_line("not a log line"), None);
         assert_eq!(parse_line(r#"h - - [d] "GET" 200 5"#), None);
-        assert_eq!(parse_line(r#"h - - [d] "GET /x HTTP/1.0" notanumber 5"#), None);
+        assert_eq!(
+            parse_line(r#"h - - [d] "GET /x HTTP/1.0" notanumber 5"#),
+            None
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! request only 19.7 KB).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod clf;
 mod stats;

@@ -174,9 +174,7 @@ impl TraceSpec {
         let mut cursor = 0usize;
         let mut requests: Vec<u32> = Vec::with_capacity(self.num_requests);
         for _ in 0..self.num_requests {
-            let file = if self.temporal > 0.0
-                && !recent.is_empty()
-                && req_rng.chance(self.temporal)
+            let file = if self.temporal > 0.0 && !recent.is_empty() && req_rng.chance(self.temporal)
             {
                 recent[req_rng.index(recent.len())]
             } else {

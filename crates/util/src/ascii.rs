@@ -30,7 +30,10 @@ impl Series {
 pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let (width, height) = (width.max(16), height.max(5));
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }

@@ -6,18 +6,22 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — fixed-point simulation time in integer
 //!   nanoseconds, so event ordering is exact and platform independent.
-//! * [`rng::DetRng`] — a deterministic, seedable xoshiro256++ generator (also
-//!   usable through the `rand` traits) plus the handful of distributions the
-//!   simulator and trace generators need.
+//! * [`rng::DetRng`] — a deterministic, seedable xoshiro256++ generator plus
+//!   the handful of distributions the simulator and trace generators need.
+//! * [`invariant!`](crate::invariant!) — simulation-correctness checks that
+//!   are `debug_assert!`s normally and always-on checks under the
+//!   `strict-invariants` feature.
 //! * [`stats`] — online summary statistics, percentiles, and histograms.
 //! * [`csv`] — a minimal CSV writer used by the experiment harness.
 //! * [`ascii`] — terminal line charts and heat maps so every figure binary
 //!   can render the paper's plots without a plotting dependency.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ascii;
 pub mod csv;
+pub mod invariant;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,13 +1,11 @@
 //! Deterministic random number generation.
 //!
 //! Experiments must be exactly reproducible from a seed, across platforms
-//! and across `rand` releases, so the workspace carries its own
+//! and across library releases, so the workspace carries its own
 //! xoshiro256++ implementation (public domain algorithm by Blackman &
-//! Vigna) seeded through SplitMix64. [`DetRng`] also implements
-//! [`rand::Rng`] (via the infallible `TryRng`) so it can drive any `rand`
-//! distribution when needed.
-
-use rand::rand_core::{Infallible, TryRng};
+//! Vigna) seeded through SplitMix64, with no dependency on external RNG
+//! crates. [`DetRng`] provides the distributions the simulator needs
+//! directly (uniform, exponential, normal, lognormal, bounded Pareto).
 
 /// A deterministic xoshiro256++ generator.
 ///
@@ -42,10 +40,7 @@ impl DetRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -149,27 +144,13 @@ impl DetRng {
             slice.swap(i, j);
         }
     }
-}
 
-impl TryRng for DetRng {
-    type Error = Infallible;
-
-    #[inline]
-    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-        Ok((DetRng::next_u64(self) >> 32) as u32)
-    }
-
-    #[inline]
-    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-        Ok(DetRng::next_u64(self))
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+    /// Fills `dest` with pseudorandom bytes (little-endian u64 chunks).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let bytes = DetRng::next_u64(self).to_le_bytes();
+            let bytes = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-        Ok(())
     }
 }
 
@@ -250,7 +231,10 @@ mod tests {
         let n = 200_000;
         let mean = (0..n).map(|_| r.lognormal(mu, sigma)).sum::<f64>() / n as f64;
         let expect = (mu + sigma * sigma / 2.0_f64).exp();
-        assert!((mean / expect - 1.0).abs() < 0.02, "mean = {mean}, expect = {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.02,
+            "mean = {mean}, expect = {expect}"
+        );
     }
 
     #[test]
@@ -270,7 +254,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
     }
 
     #[test]
@@ -287,7 +275,6 @@ mod tests {
     fn fill_bytes_fills_odd_lengths() {
         let mut r = DetRng::new(37);
         let mut buf = [0u8; 13];
-        use rand::Rng as _;
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
     }

@@ -301,9 +301,6 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
         assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.000us");
         assert_eq!(format!("{}", SimDuration::from_millis(14)), "14.000ms");
-        assert_eq!(
-            format!("{}", SimDuration::from_secs_f64(2.0)),
-            "2.000000s"
-        );
+        assert_eq!(format!("{}", SimDuration::from_secs_f64(2.0)), "2.000000s");
     }
 }

@@ -21,6 +21,7 @@
 //! * [`ZipfSampler`] — CDF-table sampling of ranks.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use l2s_util::DetRng;
 
@@ -214,7 +215,9 @@ impl ZipfSampler {
         }
         // Guard against floating-point round-off leaving the last entry
         // fractionally below 1.
-        *cdf.last_mut().expect("files >= 1") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         ZipfSampler { cdf }
     }
 

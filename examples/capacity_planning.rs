@@ -52,21 +52,18 @@ fn main() {
     }
 
     // Where does each cluster bottleneck at its operating point?
-    let model = QueueModel::new(ModelParams {
-        nodes: 16,
-        ..base
-    })
-    .expect("valid parameters");
+    let model = QueueModel::new(ModelParams { nodes: 16, ..base }).expect("valid parameters");
     for kind in [ServerKind::LocalityConscious, ServerKind::LocalityOblivious] {
         let bound = model.max_throughput(kind, hlo);
         let solution = model
             .solve(kind, hlo, bound * 0.95)
             .expect("below saturation");
+        let bottleneck = solution.bottleneck().expect("solver emits stations");
         println!(
             "\n{kind:?} at 16 nodes: bound {bound:.0} r/s, bottleneck = {} \
              (utilization {:.0}%), mean response {:.1} ms at 95% load",
-            solution.bottleneck().name,
-            solution.bottleneck().utilization * 100.0,
+            bottleneck.name,
+            bottleneck.utilization * 100.0,
             solution.response_s * 1e3
         );
     }

@@ -24,7 +24,10 @@ fn main() {
     let mut config = SimConfig::paper_default(8);
     config.cache_kb = trace.working_set_kb() / 4.0;
 
-    println!("\n{:>14} {:>12} {:>10} {:>10} {:>10}", "policy", "throughput", "miss", "forwarded", "cpu idle");
+    println!(
+        "\n{:>14} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "throughput", "miss", "forwarded", "cpu idle"
+    );
     for kind in [PolicyKind::Traditional, PolicyKind::Lard, PolicyKind::L2s] {
         let report = simulate(&config, kind, &trace);
         println!(

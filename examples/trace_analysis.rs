@@ -31,7 +31,10 @@ fn print_stats(label: &str, stats: &TraceStats) {
     println!("  requests        : {}", stats.num_requests);
     println!("  avg file size   : {:.1} KB", stats.avg_file_kb);
     println!("  avg request size: {:.1} KB", stats.avg_request_kb);
-    println!("  working set     : {:.1} MB", stats.working_set_kb / 1024.0);
+    println!(
+        "  working set     : {:.1} MB",
+        stats.working_set_kb / 1024.0
+    );
     println!("  Zipf alpha (fit): {:.2}", stats.alpha);
 }
 
@@ -46,10 +49,7 @@ fn main() {
     };
 
     let trace = clf::parse_log(&name, &text);
-    println!(
-        "parsed {} complete GET requests from {name}\n",
-        trace.len()
-    );
+    println!("parsed {} complete GET requests from {name}\n", trace.len());
     print_stats("real log", &TraceStats::compute(&trace));
 
     // Now generate a synthetic Calgary (Table 2 row 1) at reduced scale

@@ -1,7 +1,7 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every paper table/figure. Quick mode by default;
 # L2S_BENCH_FULL=1 for full-fidelity runs.
-set -e
+set -euo pipefail
 mkdir -p results/logs
 for bin in fig03_oblivious_surface fig04_conscious_surface fig05_throughput_increase \
            exp_memory_sweep exp_replication table2_traces \

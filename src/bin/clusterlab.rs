@@ -139,7 +139,10 @@ fn policy_by_name(name: &str) -> Result<PolicyKind, String> {
         .find(|k| k.name() == name)
         .ok_or_else(|| {
             let names: Vec<&str> = PolicyKind::all().iter().map(|k| k.name()).collect();
-            format!("unknown policy {name:?} (expected one of {})", names.join("|"))
+            format!(
+                "unknown policy {name:?} (expected one of {})",
+                names.join("|")
+            )
         })
 }
 
@@ -178,11 +181,12 @@ fn cmd_model(p: &args::Parsed) -> Result<(), String> {
     println!("forwarded (Q)    : {:.3}", derived.forward_fraction);
     println!("throughput bound : {bound:.0} requests/s");
     if let Some(solution) = model.solve_derived(&derived, bound * 0.95) {
+        let bottleneck = solution.bottleneck().expect("solver emits stations");
         println!(
             "at 95% load      : {:.2} ms mean response, bottleneck = {} ({:.0}% busy)",
             solution.response_s * 1e3,
-            solution.bottleneck().name,
-            solution.bottleneck().utilization * 100.0
+            bottleneck.name,
+            bottleneck.utilization * 100.0
         );
     }
     Ok(())
@@ -200,11 +204,20 @@ fn cmd_simulate(p: &args::Parsed) -> Result<(), String> {
     println!("policy            : {}", report.policy);
     println!("nodes             : {}", report.nodes);
     println!("completed         : {}", report.completed);
-    println!("throughput        : {:.0} requests/s", report.throughput_rps);
+    println!(
+        "throughput        : {:.0} requests/s",
+        report.throughput_rps
+    );
     println!("miss rate         : {:.2}%", report.miss_rate * 100.0);
-    println!("forwarded         : {:.2}%", report.forwarded_fraction * 100.0);
+    println!(
+        "forwarded         : {:.2}%",
+        report.forwarded_fraction * 100.0
+    );
     println!("cpu idle          : {:.2}%", report.cpu_idle * 100.0);
-    println!("router utilization: {:.2}%", report.router_utilization * 100.0);
+    println!(
+        "router utilization: {:.2}%",
+        report.router_utilization * 100.0
+    );
     println!("mean response     : {:.2} ms", report.mean_response_s * 1e3);
     println!("p99 response      : {:.2} ms", report.p99_response_s * 1e3);
     println!(

@@ -30,6 +30,9 @@
 //! assert!(l2s.throughput_rps > trad.throughput_rps);
 //! ```
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use l2s_cluster as cluster;
 pub use l2s_devs as devs;
 pub use l2s_model as model;

@@ -31,7 +31,13 @@ fn model_oblivious_kind_selectable() {
 #[test]
 fn trace_subcommand_prints_statistics() {
     let out = clusterlab(&[
-        "trace", "--trace", "rutgers", "--files", "500", "--requests", "5000",
+        "trace",
+        "--trace",
+        "rutgers",
+        "--files",
+        "500",
+        "--requests",
+        "5000",
     ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
@@ -43,10 +49,25 @@ fn trace_subcommand_prints_statistics() {
 #[test]
 fn simulate_subcommand_runs_a_small_cluster() {
     let out = clusterlab(&[
-        "simulate", "--trace", "calgary", "--nodes", "4", "--policy", "l2s", "--files", "400",
-        "--requests", "5000", "--cache-mb", "4",
+        "simulate",
+        "--trace",
+        "calgary",
+        "--nodes",
+        "4",
+        "--policy",
+        "l2s",
+        "--files",
+        "400",
+        "--requests",
+        "5000",
+        "--cache-mb",
+        "4",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("completed         : 5000"), "{text}");
     assert!(text.contains("throughput"), "{text}");

@@ -1,0 +1,93 @@
+//! Determinism regression: the same seed and configuration must produce
+//! bit-identical results on every run. This is the property the l2s-lint
+//! rules (no hash iteration, no wall clock, no entropy) exist to protect,
+//! checked end-to-end through the full engine.
+
+use cluster_server_eval::prelude::*;
+use cluster_server_eval::util::csv::CsvTable;
+
+fn run_once(kind: PolicyKind) -> (SimReport, String) {
+    let trace = TraceSpec::clarknet().scaled(600, 8_000).generate(42);
+    let config = SimConfig::quick(6, trace.working_set_kb() / 4.0);
+    let report = simulate(&config, kind, &trace);
+
+    // Render the same CSV the experiment harness would write, so the
+    // comparison covers float formatting as well as the raw numbers.
+    let mut table = CsvTable::new([
+        "policy",
+        "completed",
+        "throughput_rps",
+        "miss_rate",
+        "forwarded",
+        "control_msgs",
+        "mean_response_s",
+        "p99_response_s",
+    ]);
+    table.row([
+        report.policy.to_string(),
+        report.completed.to_string(),
+        format!("{:.9}", report.throughput_rps),
+        format!("{:.9}", report.miss_rate),
+        format!("{:.9}", report.forwarded_fraction),
+        format!("{:.9}", report.control_msgs_per_request),
+        format!("{:.9}", report.mean_response_s),
+        format!("{:.9}", report.p99_response_s),
+    ]);
+    for n in &report.per_node {
+        table.row([
+            format!("node{}", n.node),
+            n.completed.to_string(),
+            format!("{:.9}", n.cpu_utilization),
+            format!("{:.9}", n.disk_utilization),
+            n.cache_hits.to_string(),
+            n.cache_misses.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    (report, table.to_csv_string())
+}
+
+#[test]
+fn identical_seeds_produce_byte_identical_reports() {
+    for kind in PolicyKind::all() {
+        let (report_a, csv_a) = run_once(kind);
+        let (report_b, csv_b) = run_once(kind);
+        assert_eq!(
+            report_a,
+            report_b,
+            "{}: reports diverged across identical runs",
+            kind.name()
+        );
+        assert_eq!(
+            csv_a,
+            csv_b,
+            "{}: rendered CSV diverged across identical runs",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn trace_generation_is_deterministic() {
+    let a = TraceSpec::clarknet().scaled(600, 8_000).generate(7);
+    let b = TraceSpec::clarknet().scaled(600, 8_000).generate(7);
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.working_set_kb(), b.working_set_kb());
+    assert_eq!(
+        a.requests(),
+        b.requests(),
+        "request streams diverged for equal seeds"
+    );
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    let a = TraceSpec::clarknet().scaled(600, 8_000).generate(1);
+    let b = TraceSpec::clarknet().scaled(600, 8_000).generate(2);
+    assert_ne!(
+        a.requests(),
+        b.requests(),
+        "seed is not reaching the generator"
+    );
+}

@@ -86,7 +86,7 @@ fn oblivious_model_tracks_traditional_server_bottleneck() {
         model.derived_from_population(ServerKind::LocalityOblivious, stats.num_files as f64);
     let lambda = model.max_throughput_derived(&derived) * 0.99;
     let solution = model.solve_derived(&derived, lambda).expect("stable");
-    assert_eq!(solution.bottleneck().name, "disk");
+    assert_eq!(solution.bottleneck().expect("stations").name, "disk");
 
     let report = simulate(&config, PolicyKind::Traditional, &trace);
     let max_disk = report

@@ -42,8 +42,18 @@ fn claim_l2s_outperforms_lard_and_traditional() {
     let l2s = simulate(&cfg, PolicyKind::L2s, &trace);
     let lard = simulate(&cfg, PolicyKind::Lard, &trace);
     let trad = simulate(&cfg, PolicyKind::Traditional, &trace);
-    assert!(l2s.throughput_rps > lard.throughput_rps, "L2S {} !> LARD {}", l2s.throughput_rps, lard.throughput_rps);
-    assert!(l2s.throughput_rps > trad.throughput_rps * 1.5, "L2S {} !>> trad {}", l2s.throughput_rps, trad.throughput_rps);
+    assert!(
+        l2s.throughput_rps > lard.throughput_rps,
+        "L2S {} !> LARD {}",
+        l2s.throughput_rps,
+        lard.throughput_rps
+    );
+    assert!(
+        l2s.throughput_rps > trad.throughput_rps * 1.5,
+        "L2S {} !>> trad {}",
+        l2s.throughput_rps,
+        trad.throughput_rps
+    );
 }
 
 #[test]

@@ -18,7 +18,8 @@ fn all_policies_complete_all_paper_workload_shapes() {
         for kind in PolicyKind::all() {
             let report = simulate(&cfg, kind, &trace);
             assert_eq!(
-                report.completed, 20_000,
+                report.completed,
+                20_000,
                 "{} lost requests on {}",
                 kind.name(),
                 spec.name
@@ -80,7 +81,11 @@ fn round_robin_balances_but_misses_like_traditional() {
         trad.miss_rate
     );
     // Round-robin spreads completions evenly.
-    assert!(rr.completion_imbalance() < 0.05, "{}", rr.completion_imbalance());
+    assert!(
+        rr.completion_imbalance() < 0.05,
+        "{}",
+        rr.completion_imbalance()
+    );
 }
 
 #[test]

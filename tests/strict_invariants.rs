@@ -1,0 +1,40 @@
+//! Proves the `strict-invariants` feature compiles the `invariant!`
+//! checks into *every* build profile. Run as
+//! `cargo test --release --features strict-invariants` — in a plain
+//! release build these tests are compiled out, because without the
+//! feature the checks are `debug_assert!`s and would not fire.
+
+#![cfg(feature = "strict-invariants")]
+
+use cluster_server_eval::devs::EventQueue;
+use cluster_server_eval::policy::{Distributor, Traditional};
+use cluster_server_eval::util::SimTime;
+
+#[test]
+#[should_panic(expected = "causality violation")]
+fn scheduling_in_the_past_aborts_even_in_release() {
+    let mut q = EventQueue::new();
+    q.schedule(SimTime::from_nanos(100), ());
+    q.pop();
+    q.schedule(SimTime::from_nanos(99), ());
+}
+
+#[test]
+#[should_panic(expected = "load conservation violated")]
+fn completion_without_assignment_aborts_even_in_release() {
+    let mut policy = Traditional::new(4);
+    // Node 2 never had a request assigned; completing one there breaks
+    // per-node load conservation.
+    policy.complete(SimTime::ZERO, 2, 0);
+}
+
+#[test]
+fn clean_runs_pass_with_checks_armed() {
+    use cluster_server_eval::prelude::*;
+    let trace = TraceSpec::clarknet().scaled(300, 4_000).generate(11);
+    let config = SimConfig::quick(4, trace.working_set_kb() / 4.0);
+    for kind in PolicyKind::all() {
+        let report = simulate(&config, kind, &trace);
+        assert_eq!(report.completed as usize, trace.len().min(4_000));
+    }
+}
