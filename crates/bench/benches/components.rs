@@ -88,8 +88,8 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| {
             f = (f + 1) % 1_000;
             let n = p.arrival_node();
-            let a = p.assign(now, n, f);
-            p.complete(now, a.service, f);
+            let a = p.assign(now, n, f.into());
+            p.complete(now, a.service, f.into());
             black_box(a.service)
         })
     });
@@ -99,8 +99,8 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| {
             f = (f + 1) % 1_000;
             let n = p.arrival_node();
-            let a = p.assign(now, n, f);
-            p.complete(now, a.service, f);
+            let a = p.assign(now, n, f.into());
+            p.complete(now, a.service, f.into());
             black_box(a.service)
         })
     });
@@ -111,8 +111,8 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| {
             f = (f + 1) % 1_000;
             let n = p.arrival_node();
-            let a = p.assign(now, n, f);
-            p.complete(now, a.service, f);
+            let a = p.assign(now, n, f.into());
+            p.complete(now, a.service, f.into());
             p.drain_messages(&mut buf);
             buf.clear();
             black_box(a.service)

@@ -1,0 +1,6 @@
+//! Regenerates every paper table/figure in one process, sharing the
+//! memoized traces across experiments (`run_experiments.sh` invokes
+//! this). Quick mode by default; `L2S_BENCH_FULL=1` for full fidelity.
+fn main() {
+    l2s_bench::run_experiment(l2s_bench::run_all_figures);
+}

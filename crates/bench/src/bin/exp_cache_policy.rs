@@ -4,58 +4,6 @@
 //! experiment swaps the per-node policy and reports the effect per
 //! server organization.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace};
-use l2s_cluster::CachePolicy;
-use l2s_sim::simulate;
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let mut table = CsvTable::new(["trace", "policy", "cache", "throughput_rps", "miss_rate"]);
-    let nodes = 8;
-
-    for spec in [TraceSpec::calgary(), TraceSpec::clarknet()] {
-        let trace = paper_trace(&spec);
-        println!("\n{} trace, {nodes} nodes:", spec.name);
-        println!(
-            "{:>14} {:>10} {:>12} {:>10}",
-            "policy", "cache", "throughput", "miss"
-        );
-        for kind in [PolicyKind::Traditional, PolicyKind::L2s] {
-            for cache in [CachePolicy::Lru, CachePolicy::GreedyDualSize] {
-                let mut cfg = paper_config(nodes);
-                cfg.cache_policy = cache;
-                let r = simulate(&cfg, kind, &trace);
-                let cache_name = match cache {
-                    CachePolicy::Lru => "lru",
-                    CachePolicy::GreedyDualSize => "gds",
-                };
-                println!(
-                    "{:>14} {:>10} {:>8.0} r/s {:>9.1}%",
-                    kind.name(),
-                    cache_name,
-                    r.throughput_rps,
-                    r.miss_rate * 100.0
-                );
-                table.row([
-                    spec.name.clone(),
-                    kind.name().to_string(),
-                    cache_name.to_string(),
-                    format!("{:.1}", r.throughput_rps),
-                    format!("{:.5}", r.miss_rate),
-                ]);
-            }
-        }
-    }
-
-    let path = results_dir().join("exp_cache_policy.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(GDS trades byte hit rate for object hit rate: it can lower the *miss count* \
-         on the\n traditional server's thrashing caches, but under locality-conscious \
-         distribution the\n aggregate cache already fits the working set and the policies \
-         converge)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_cache_policy::run);
 }

@@ -3,52 +3,6 @@
 //! L2S forwarding at least ~15 % fewer requests up to 4 nodes and ~8–25 %
 //! fewer at 16 nodes depending on the trace.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace, sweep, PAPER_NODE_COUNTS};
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let policies = [PolicyKind::L2s, PolicyKind::Lard];
-    let mut table = CsvTable::new(["trace", "nodes", "policy", "forwarded_fraction"]);
-    for spec in TraceSpec::paper_presets() {
-        let trace = paper_trace(&spec);
-        let cells = sweep(&trace, &PAPER_NODE_COUNTS, &policies, paper_config);
-        println!("\n{} trace — forwarded requests (%):", spec.name);
-        println!(
-            "{:>6} {:>10} {:>10} {:>12}",
-            "nodes", "l2s", "lard", "l2s saves"
-        );
-        for &n in &PAPER_NODE_COUNTS {
-            let get = |p: PolicyKind| {
-                cells
-                    .iter()
-                    .find(|c| c.nodes == n && c.policy == p)
-                    .map(|c| c.report.forwarded_fraction)
-                    .unwrap_or(f64::NAN)
-            };
-            let (l2s, lard) = (get(PolicyKind::L2s), get(PolicyKind::Lard));
-            println!(
-                "{n:>6} {:>9.1}% {:>9.1}% {:>11.1}%",
-                l2s * 100.0,
-                lard * 100.0,
-                (lard - l2s) * 100.0
-            );
-            for (p, v) in [(PolicyKind::L2s, l2s), (PolicyKind::Lard, lard)] {
-                table.row([
-                    spec.name.clone(),
-                    n.to_string(),
-                    p.name().to_string(),
-                    format!("{v:.5}"),
-                ]);
-            }
-        }
-    }
-    let path = results_dir().join("exp_forwarding.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(paper: LARD forwards 100%; L2S forwards >=15% fewer up to 4 nodes and \
-         ~8-25% fewer at 16 nodes)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_forwarding::run);
 }

@@ -4,59 +4,6 @@
 //! 8–12 nodes then worsening as the front-end bottlenecks, and L2S
 //! steadily approaching full utilization.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace, sweep, PAPER_NODE_COUNTS, PAPER_POLICIES};
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let mut table = CsvTable::new(["trace", "nodes", "policy", "cpu_idle"]);
-    for spec in TraceSpec::paper_presets() {
-        let trace = paper_trace(&spec);
-        let cells = sweep(&trace, &PAPER_NODE_COUNTS, &PAPER_POLICIES, paper_config);
-        println!("\n{} trace — mean serving-node CPU idle (%):", spec.name);
-        println!(
-            "{:>6} {:>10} {:>10} {:>12}",
-            "nodes", "l2s", "lard", "traditional"
-        );
-        for &n in &PAPER_NODE_COUNTS {
-            let get = |p: PolicyKind| {
-                cells
-                    .iter()
-                    .find(|c| c.nodes == n && c.policy == p)
-                    .map(|c| c.report.cpu_idle)
-                    .unwrap_or(f64::NAN)
-            };
-            let (l2s, lard, trad) = (
-                get(PolicyKind::L2s),
-                get(PolicyKind::Lard),
-                get(PolicyKind::Traditional),
-            );
-            println!(
-                "{n:>6} {:>9.1}% {:>9.1}% {:>11.1}%",
-                l2s * 100.0,
-                lard * 100.0,
-                trad * 100.0
-            );
-            for (p, v) in [
-                (PolicyKind::L2s, l2s),
-                (PolicyKind::Lard, lard),
-                (PolicyKind::Traditional, trad),
-            ] {
-                table.row([
-                    spec.name.clone(),
-                    n.to_string(),
-                    p.name().to_string(),
-                    format!("{v:.5}"),
-                ]);
-            }
-        }
-    }
-    let path = results_dir().join("exp_idle_times.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(paper: traditional ~constant; LARD improves to 8-12 nodes then degrades; \
-         L2S keeps improving)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_idle_times::run);
 }

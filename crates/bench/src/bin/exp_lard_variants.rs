@@ -15,58 +15,6 @@
 //! node, still has a central point of failure, and pays a two-way
 //! message per request — L2S should match or beat it.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace, sweep, PAPER_NODE_COUNTS};
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let policies = [
-        PolicyKind::Lard,
-        PolicyKind::LardBasic,
-        PolicyKind::LardDispatcher,
-        PolicyKind::L2s,
-    ];
-    let mut table = CsvTable::new(["trace", "nodes", "policy", "throughput_rps", "miss_rate"]);
-    for spec in [TraceSpec::calgary(), TraceSpec::clarknet()] {
-        let trace = paper_trace(&spec);
-        let cells = sweep(&trace, &PAPER_NODE_COUNTS, &policies, paper_config);
-        println!("\n{} trace — throughput (requests/s):", spec.name);
-        println!(
-            "{:>6} {:>10} {:>11} {:>16} {:>10}",
-            "nodes", "lard", "lard-basic", "lard-dispatcher", "l2s"
-        );
-        for &n in &PAPER_NODE_COUNTS {
-            let get = |p: PolicyKind| {
-                cells
-                    .iter()
-                    .find(|c| c.nodes == n && c.policy == p)
-                    .map(|c| (c.report.throughput_rps, c.report.miss_rate))
-                    .unwrap_or((f64::NAN, f64::NAN))
-            };
-            let rows: Vec<(PolicyKind, (f64, f64))> =
-                policies.iter().map(|&p| (p, get(p))).collect();
-            println!(
-                "{n:>6} {:>10.0} {:>11.0} {:>16.0} {:>10.0}",
-                rows[0].1 .0, rows[1].1 .0, rows[2].1 .0, rows[3].1 .0
-            );
-            for (p, (thr, miss)) in rows {
-                table.row([
-                    spec.name.clone(),
-                    n.to_string(),
-                    p.name().to_string(),
-                    format!("{thr:.1}"),
-                    format!("{miss:.5}"),
-                ]);
-            }
-        }
-    }
-    let path = results_dir().join("exp_lard_variants.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(expected: lard-basic <= lard (replication helps hot files); lard-dispatcher \
-         breaks the ~4k r/s\n front-end ceiling but keeps a wasted node and per-request \
-         round trip; l2s stays on top)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_lard_variants::run);
 }

@@ -4,69 +4,6 @@
 //! are already low), and never lifts LARD past its front-end ceiling —
 //! so traditional can overtake LARD at large memories and cluster sizes.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace, sweep, PAPER_POLICIES};
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let node_counts = [4usize, 8, 16];
-    let caches_mb = [32.0, 64.0, 128.0];
-    let mut table = CsvTable::new(["trace", "cache_mb", "nodes", "policy", "throughput_rps"]);
-
-    for spec in [TraceSpec::calgary(), TraceSpec::rutgers()] {
-        let trace = paper_trace(&spec);
-        for &cache_mb in &caches_mb {
-            let cells = sweep(&trace, &node_counts, &PAPER_POLICIES, |n| {
-                let mut cfg = paper_config(n);
-                cfg.cache_kb = cache_mb * 1024.0;
-                cfg
-            });
-            println!(
-                "\n{} trace, {cache_mb:.0} MB caches — throughput (r/s):",
-                spec.name
-            );
-            println!(
-                "{:>6} {:>10} {:>10} {:>12}",
-                "nodes", "l2s", "lard", "traditional"
-            );
-            for &n in &node_counts {
-                let get = |p: PolicyKind| {
-                    cells
-                        .iter()
-                        .find(|c| c.nodes == n && c.policy == p)
-                        .map(|c| c.report.throughput_rps)
-                        .unwrap_or(f64::NAN)
-                };
-                let (l2s, lard, trad) = (
-                    get(PolicyKind::L2s),
-                    get(PolicyKind::Lard),
-                    get(PolicyKind::Traditional),
-                );
-                println!("{n:>6} {l2s:>10.0} {lard:>10.0} {trad:>12.0}");
-                for (p, v) in [
-                    (PolicyKind::L2s, l2s),
-                    (PolicyKind::Lard, lard),
-                    (PolicyKind::Traditional, trad),
-                ] {
-                    table.row([
-                        spec.name.clone(),
-                        format!("{cache_mb:.0}"),
-                        n.to_string(),
-                        p.name().to_string(),
-                        format!("{v:.1}"),
-                    ]);
-                }
-            }
-        }
-    }
-
-    let path = results_dir().join("exp_memory_sim.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(paper: larger memories lift the traditional server dramatically, LARD and \
-         L2S only slightly;\n LARD's ~5000 r/s front-end ceiling is memory-independent, \
-         letting traditional overtake it\n at 128 MB and >= 8 nodes on some traces)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_memory_sim::run);
 }

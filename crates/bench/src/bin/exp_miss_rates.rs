@@ -4,60 +4,6 @@
 //! ahead) at 16 nodes as its wasted front-end cache becomes a smaller
 //! fraction of the total.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace, sweep, PAPER_NODE_COUNTS, PAPER_POLICIES};
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let mut table = CsvTable::new(["trace", "nodes", "policy", "miss_rate"]);
-    for spec in TraceSpec::paper_presets() {
-        let trace = paper_trace(&spec);
-        let cells = sweep(&trace, &PAPER_NODE_COUNTS, &PAPER_POLICIES, paper_config);
-        println!("\n{} trace — cache miss rate (%):", spec.name);
-        println!(
-            "{:>6} {:>10} {:>10} {:>12}",
-            "nodes", "l2s", "lard", "traditional"
-        );
-        for &n in &PAPER_NODE_COUNTS {
-            let get = |p: PolicyKind| {
-                cells
-                    .iter()
-                    .find(|c| c.nodes == n && c.policy == p)
-                    .map(|c| c.report.miss_rate)
-                    .unwrap_or(f64::NAN)
-            };
-            let (l2s, lard, trad) = (
-                get(PolicyKind::L2s),
-                get(PolicyKind::Lard),
-                get(PolicyKind::Traditional),
-            );
-            println!(
-                "{n:>6} {:>9.1}% {:>9.1}% {:>11.1}%",
-                l2s * 100.0,
-                lard * 100.0,
-                trad * 100.0
-            );
-            for (p, v) in [
-                (PolicyKind::L2s, l2s),
-                (PolicyKind::Lard, lard),
-                (PolicyKind::Traditional, trad),
-            ] {
-                table.row([
-                    spec.name.clone(),
-                    n.to_string(),
-                    p.name().to_string(),
-                    format!("{v:.5}"),
-                ]);
-            }
-        }
-    }
-    let path = results_dir().join("exp_miss_rates.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(paper: traditional stays at its single-cache miss rate regardless of \
-         cluster size;\n L2S lowest at few nodes; LARD comparable or slightly lower \
-         than L2S at 16 nodes)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_miss_rates::run);
 }

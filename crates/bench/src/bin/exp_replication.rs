@@ -2,49 +2,6 @@
 //! paper settles on 15 %) cuts the forwarded fraction `Q` sharply while
 //! giving up little aggregate cache capacity.
 
-use l2s_model::{ModelParams, QueueModel, ServerKind};
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let replications = [0.0, 0.05, 0.10, 0.15, 0.25, 0.50, 1.0];
-    let mut table = CsvTable::new([
-        "replication",
-        "hlo",
-        "hit_rate",
-        "replicated_hit",
-        "forward_fraction",
-        "max_throughput_rps",
-    ]);
-
-    println!("Section 3.2 replication study (model, 16 nodes, default S = 16 KB):");
-    for &hlo in &[0.3, 0.6, 0.8] {
-        println!("\n  locality-oblivious hit rate axis = {hlo:.1}:");
-        println!(
-            "  {:>5} {:>8} {:>8} {:>8} {:>12}",
-            "R", "H_lc", "h", "Q", "bound (r/s)"
-        );
-        for &r in &replications {
-            let params = ModelParams {
-                replication: r,
-                ..ModelParams::default()
-            };
-            let model = QueueModel::new(params).expect("valid params");
-            let d = model.derived_from_hlo(ServerKind::LocalityConscious, hlo);
-            let x = model.max_throughput_derived(&d);
-            table.row_f64([r, hlo, d.hit_rate, d.replicated_hit, d.forward_fraction, x]);
-            println!(
-                "  {:>5.2} {:>8.3} {:>8.3} {:>8.3} {:>12.0}",
-                r, d.hit_rate, d.replicated_hit, d.forward_fraction, x
-            );
-        }
-    }
-
-    let path = results_dir().join("exp_replication.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(paper: ~15% replication robustly balances load and reduces forwarding \
-         while barely denting the aggregate cache; R = 1 degenerates to the \
-         locality-oblivious server)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_replication::run);
 }

@@ -5,98 +5,6 @@
 //! called out in DESIGN.md. The paper's finding: L2S is "only slightly
 //! affected by reasonable parameters" in all four dimensions.
 
-use l2s::PolicyKind;
-use l2s_bench::{paper_config, paper_trace, request_cap};
-use l2s_sim::{simulate, SimConfig};
-use l2s_trace::TraceSpec;
-use l2s_util::csv::{results_dir, CsvTable};
-
-fn run(cfg: &SimConfig, trace: &l2s_trace::Trace) -> f64 {
-    simulate(cfg, PolicyKind::L2s, trace).throughput_rps
-}
-
 fn main() {
-    let spec = TraceSpec::calgary();
-    let trace = paper_trace(&spec);
-    let nodes = 16;
-    let base_cfg = paper_config(nodes);
-    let base = run(&base_cfg, &trace);
-    println!(
-        "L2S sensitivity on the {} trace, {nodes} nodes (baseline {base:.0} r/s{}):\n",
-        spec.name,
-        if request_cap().is_some() {
-            ", quick mode"
-        } else {
-            ""
-        }
-    );
-
-    let mut table = CsvTable::new(["knob", "value", "throughput_rps", "relative"]);
-    let mut record = |knob: &str, value: String, thr: f64| {
-        println!(
-            "  {knob:>22} = {value:<8} -> {thr:>8.0} r/s ({:+.1}%)",
-            (thr / base - 1.0) * 100.0
-        );
-        table.row([
-            knob.to_string(),
-            value,
-            format!("{thr:.1}"),
-            format!("{:.4}", thr / base),
-        ]);
-    };
-
-    // Broadcast threshold (paper default 4).
-    for delta in [1u32, 2, 4, 8, 16] {
-        let mut cfg = base_cfg;
-        cfg.l2s.broadcast_delta = delta;
-        record("broadcast threshold", delta.to_string(), run(&cfg, &trace));
-    }
-    println!();
-
-    // Messaging overhead scaling (CPU + NI per-message costs).
-    for scale in [0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = base_cfg;
-        cfg.costs.msg_cpu_s *= scale;
-        cfg.costs.msg_ni_s *= scale;
-        record("message overhead x", format!("{scale}"), run(&cfg, &trace));
-    }
-    println!();
-
-    // Network switch latency scaling.
-    for scale in [1.0, 10.0, 100.0] {
-        let mut cfg = base_cfg;
-        cfg.net = cfg.net.scale_latency(scale);
-        record("switch latency x", format!("{scale}"), run(&cfg, &trace));
-    }
-    println!();
-
-    // Link/NI bandwidth scaling.
-    for scale in [0.25, 0.5, 1.0, 2.0] {
-        let mut cfg = base_cfg;
-        cfg.net = cfg.net.scale_bandwidth(scale);
-        cfg.costs.ni_out_kb_per_s *= scale;
-        record("network bandwidth x", format!("{scale}"), run(&cfg, &trace));
-    }
-    println!();
-
-    // Ablation: the L2S thresholds themselves.
-    for (t_high, t_low) in [(10u32, 5u32), (20, 10), (40, 20), (80, 40)] {
-        let mut cfg = base_cfg;
-        cfg.l2s.t_high = t_high;
-        cfg.l2s.t_low = t_low;
-        record(
-            "thresholds T/t",
-            format!("{t_high}/{t_low}"),
-            run(&cfg, &trace),
-        );
-    }
-
-    let path = results_dir().join("exp_sensitivity.csv");
-    table.write_to(&path).expect("write CSV");
-    println!(
-        "\n(paper: L2S is only slightly affected by reasonable broadcast frequencies, \
-         messaging overheads,\n and network latency/bandwidth; the largest sensitivity \
-         is to severe bandwidth reduction)"
-    );
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_sensitivity::run);
 }

@@ -2,37 +2,6 @@
 //! over the (hit rate, average file size) plane, 16 nodes, 128 MB
 //! memories.
 
-use l2s_model::{default_axes, throughput_surface, ModelParams, ServerKind};
-use l2s_util::ascii::heat_map;
-use l2s_util::csv::{results_dir, CsvTable};
-
 fn main() {
-    let (hits, sizes) = default_axes(25, 16);
-    let base = ModelParams::default();
-    let surface = throughput_surface(&base, ServerKind::LocalityConscious, &hits, &sizes);
-
-    let mut table = CsvTable::new(["hit_rate", "avg_size_kb", "throughput_rps"]);
-    for (i, &h) in hits.iter().enumerate() {
-        for (j, &s) in sizes.iter().enumerate() {
-            table.row_f64([h, s, surface.values[i][j]]);
-        }
-    }
-    let path = results_dir().join("fig04_conscious_surface.csv");
-    table.write_to(&path).expect("write CSV");
-
-    let labels: Vec<String> = hits.iter().map(|h| format!("hit {h:.2}")).collect();
-    println!(
-        "{}",
-        heat_map(
-            "Figure 4: locality-conscious throughput (reqs/s), rows = hit rate, cols = 4..128 KB",
-            &surface.values,
-            &labels,
-            "avg file size (4 KB left .. 128 KB right)",
-        )
-    );
-    let (peak, at_hit, at_size) = surface.peak();
-    println!("peak throughput: {peak:.0} reqs/s at hit rate {at_hit:.2}, {at_size:.0} KB files");
-    println!("(paper: same ~2.5e4 peak as Figure 3 but sustained over a much larger region —");
-    println!(" significant already above ~50% hit rate and below ~96 KB)");
-    println!("CSV: {}", path.display());
+    l2s_bench::run_experiment(l2s_bench::experiments::fig04_conscious_surface::run);
 }

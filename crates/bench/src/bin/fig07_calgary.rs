@@ -1,4 +1,4 @@
 //! Figure 7: throughput vs cluster size for the Calgary trace.
 fn main() {
-    l2s_bench::run_paper_figure("fig07_calgary", &l2s_trace::TraceSpec::calgary());
+    l2s_bench::run_experiment(l2s_bench::experiments::fig07_calgary);
 }

@@ -1,4 +1,4 @@
 //! Figure 8: throughput vs cluster size for the Clarknet trace.
 fn main() {
-    l2s_bench::run_paper_figure("fig08_clarknet", &l2s_trace::TraceSpec::clarknet());
+    l2s_bench::run_experiment(l2s_bench::experiments::fig08_clarknet);
 }

@@ -1,4 +1,4 @@
 //! Figure 9: throughput vs cluster size for the NASA trace.
 fn main() {
-    l2s_bench::run_paper_figure("fig09_nasa", &l2s_trace::TraceSpec::nasa());
+    l2s_bench::run_experiment(l2s_bench::experiments::fig09_nasa);
 }

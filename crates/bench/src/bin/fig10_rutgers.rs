@@ -1,4 +1,4 @@
 //! Figure 10: throughput vs cluster size for the Rutgers trace.
 fn main() {
-    l2s_bench::run_paper_figure("fig10_rutgers", &l2s_trace::TraceSpec::rutgers());
+    l2s_bench::run_experiment(l2s_bench::experiments::fig10_rutgers);
 }

@@ -1,0 +1,67 @@
+//! Substrate ablation: the distributed file system. The paper's cluster
+//! (Section 2) shares all disks through a DFS but charges misses a
+//! single local-disk rate `µd`; this experiment compares that local-read
+//! assumption against an explicit remote-home DFS where a miss fetches
+//! the file from its home node's disk across the network.
+//!
+//! Locality-conscious servers are barely affected (their miss rates are
+//! tiny, and a file's server set gravitates to wherever it was first
+//! requested, not its disk home), while the traditional server — paying
+//! the DFS on every one of its many misses — loses noticeably.
+
+use crate::{paper_config, paper_trace};
+use l2s::PolicyKind;
+use l2s_sim::simulate;
+use l2s_trace::TraceSpec;
+use l2s_util::csv::{results_dir, CsvTable};
+
+/// Runs the experiment; errors are I/O or model failures.
+pub fn run() -> Result<(), String> {
+    let spec = TraceSpec::rutgers();
+    let trace = paper_trace(&spec);
+    let mut table = CsvTable::new(["policy", "nodes", "dfs", "throughput_rps", "miss_rate"]);
+
+    for nodes in [4usize, 8, 16] {
+        println!("\n{} trace, {nodes} nodes — throughput (r/s):", spec.name);
+        println!(
+            "{:>14} {:>12} {:>12} {:>8}",
+            "policy", "local disk", "remote DFS", "loss"
+        );
+        for kind in [PolicyKind::Traditional, PolicyKind::Lard, PolicyKind::L2s] {
+            let mut local = paper_config(nodes);
+            local.dfs_remote = false;
+            let mut remote = local;
+            remote.dfs_remote = true;
+            let lr = simulate(&local, kind, &trace);
+            let rr = simulate(&remote, kind, &trace);
+            println!(
+                "{:>14} {:>12.0} {:>12.0} {:>7.1}%",
+                kind.name(),
+                lr.throughput_rps,
+                rr.throughput_rps,
+                (1.0 - rr.throughput_rps / lr.throughput_rps) * 100.0
+            );
+            for (mode, r) in [("local", &lr), ("remote", &rr)] {
+                table.row([
+                    kind.name().to_string(),
+                    nodes.to_string(),
+                    mode.to_string(),
+                    format!("{:.1}", r.throughput_rps),
+                    format!("{:.5}", r.miss_rate),
+                ]);
+            }
+        }
+    }
+
+    let path = results_dir().join("exp_dfs.csv");
+    table
+        .write_to(&path)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!(
+        "\n(the paper's single-µd charge is a good approximation precisely for the \
+         locality-conscious\n servers it advocates; the traditional server's miss volume \
+         makes the DFS boundary visible)"
+    );
+    println!("CSV: {}", path.display());
+    Ok(())
+}

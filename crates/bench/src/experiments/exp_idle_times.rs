@@ -1,0 +1,66 @@
+//! Section 5.2 idle-time study: mean CPU idle fraction of the serving
+//! nodes per system and cluster size. The paper observes traditional
+//! idle times roughly constant in cluster size, LARD improving up to
+//! 8–12 nodes then worsening as the front-end bottlenecks, and L2S
+//! steadily approaching full utilization.
+
+use crate::{paper_config, paper_trace, sweep, PAPER_NODE_COUNTS, PAPER_POLICIES};
+use l2s::PolicyKind;
+use l2s_trace::TraceSpec;
+use l2s_util::csv::{results_dir, CsvTable};
+
+/// Runs the experiment; errors are I/O or model failures.
+pub fn run() -> Result<(), String> {
+    let mut table = CsvTable::new(["trace", "nodes", "policy", "cpu_idle"]);
+    for spec in TraceSpec::paper_presets() {
+        let trace = paper_trace(&spec);
+        let cells = sweep(&trace, &PAPER_NODE_COUNTS, &PAPER_POLICIES, paper_config);
+        println!("\n{} trace — mean serving-node CPU idle (%):", spec.name);
+        println!(
+            "{:>6} {:>10} {:>10} {:>12}",
+            "nodes", "l2s", "lard", "traditional"
+        );
+        for &n in &PAPER_NODE_COUNTS {
+            let get = |p: PolicyKind| {
+                cells
+                    .iter()
+                    .find(|c| c.nodes == n && c.policy == p)
+                    .map(|c| c.report.cpu_idle)
+                    .unwrap_or(f64::NAN)
+            };
+            let (l2s, lard, trad) = (
+                get(PolicyKind::L2s),
+                get(PolicyKind::Lard),
+                get(PolicyKind::Traditional),
+            );
+            println!(
+                "{n:>6} {:>9.1}% {:>9.1}% {:>11.1}%",
+                l2s * 100.0,
+                lard * 100.0,
+                trad * 100.0
+            );
+            for (p, v) in [
+                (PolicyKind::L2s, l2s),
+                (PolicyKind::Lard, lard),
+                (PolicyKind::Traditional, trad),
+            ] {
+                table.row([
+                    spec.name.clone(),
+                    n.to_string(),
+                    p.name().to_string(),
+                    format!("{v:.5}"),
+                ]);
+            }
+        }
+    }
+    let path = results_dir().join("exp_idle_times.csv");
+    table
+        .write_to(&path)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!(
+        "\n(paper: traditional ~constant; LARD improves to 8-12 nodes then degrades; \
+         L2S keeps improving)"
+    );
+    println!("CSV: {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Table 2: characteristics of the four WWW traces — the paper's values
+//! next to what the synthetic generator actually produces.
+
+use crate::{paper_trace, trace_seed};
+use l2s_trace::{TraceSpec, TraceStats};
+use l2s_util::csv::{results_dir, CsvTable};
+
+/// Runs the experiment; errors are I/O or model failures.
+pub fn run() -> Result<(), String> {
+    let mut table = CsvTable::new([
+        "trace",
+        "num_files",
+        "avg_file_kb_paper",
+        "avg_file_kb_generated",
+        "num_requests",
+        "avg_req_kb_paper",
+        "avg_req_kb_generated",
+        "alpha_paper",
+        "alpha_estimated",
+        "working_set_mb",
+    ]);
+
+    println!("Table 2: WWW server trace characteristics (paper target -> generated)");
+    println!(
+        "{:>9} {:>9} {:>10} {:>12} {:>11} {:>11} {:>13} {:>7} {:>9} {:>8}",
+        "trace",
+        "files",
+        "avgfileKB",
+        "(generated)",
+        "requests",
+        "avgreqKB",
+        "(generated)",
+        "alpha",
+        "(est.)",
+        "ws MB"
+    );
+    for spec in TraceSpec::paper_presets() {
+        let trace = paper_trace(&spec);
+        let stats = TraceStats::compute(&trace);
+        println!(
+            "{:>9} {:>9} {:>10.1} {:>12.1} {:>11} {:>11.1} {:>13.1} {:>7.2} {:>9.2} {:>8.0}",
+            spec.name,
+            stats.num_files,
+            spec.avg_file_kb,
+            stats.avg_file_kb,
+            stats.num_requests,
+            spec.avg_request_kb,
+            stats.avg_request_kb,
+            spec.alpha,
+            stats.alpha,
+            stats.working_set_kb / 1024.0
+        );
+        table.row([
+            spec.name.clone(),
+            stats.num_files.to_string(),
+            format!("{:.1}", spec.avg_file_kb),
+            format!("{:.1}", stats.avg_file_kb),
+            stats.num_requests.to_string(),
+            format!("{:.1}", spec.avg_request_kb),
+            format!("{:.1}", stats.avg_request_kb),
+            format!("{:.2}", spec.alpha),
+            format!("{:.2}", stats.alpha),
+            format!("{:.0}", stats.working_set_kb / 1024.0),
+        ]);
+        let _ = trace_seed(&spec);
+    }
+
+    let path = results_dir().join("table2_traces.csv");
+    table
+        .write_to(&path)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!(
+        "\n(paper Table 2: Calgary 8397/42.9/567895/19.7/1.08, Clarknet \
+         35885/11.6/3053525/11.9/0.78,\n NASA 5500/53.7/3147719/47.0/0.91, \
+         Rutgers 24098/30.5/535021/26.2/0.79;\n working sets 288-717 MB)"
+    );
+    println!("CSV: {}", path.display());
+    Ok(())
+}

@@ -1,10 +1,13 @@
 //! Experiment harness shared by the figure/table binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md's experiment index). This library holds the
-//! common machinery: node sweeps run in parallel with std scoped
-//! threads, the analytic "model" line of Figures 7–10, scale control,
-//! and output helpers.
+//! paper (see DESIGN.md's experiment index); the actual experiment
+//! bodies live in [`experiments`], so the `all_figures` binary can run
+//! every experiment in one process — sharing memoized traces — while
+//! the per-figure binaries stay available for selective reruns. This
+//! library holds the common machinery: node sweeps run in parallel with
+//! std scoped threads, the analytic "model" line of Figures 7–10, scale
+//! control, and output helpers.
 //!
 //! # Scale control
 //!
@@ -18,13 +21,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod experiments;
+
 use l2s::PolicyKind;
 use l2s_model::{ModelParams, QueueModel, ServerKind};
 use l2s_sim::{simulate, SimConfig, SimReport};
 use l2s_trace::{Trace, TraceSpec, TraceStats};
 use l2s_util::ascii::{line_chart, Series};
 use l2s_util::csv::{results_dir, CsvTable};
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The cluster sizes of Figures 7–10.
 pub const PAPER_NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 12, 16];
@@ -57,9 +64,43 @@ pub fn trace_seed(spec: &TraceSpec) -> u64 {
     })
 }
 
-/// Generates a Table 2 trace at harness scale.
-pub fn paper_trace(spec: &TraceSpec) -> Trace {
-    spec.generate(trace_seed(spec))
+/// Bit-exact memoization key for a [`TraceSpec`]: the name plus every
+/// numeric field rendered via `to_bits`, so two specs share a cached
+/// trace only when generation would be identical.
+fn trace_key(spec: &TraceSpec) -> String {
+    format!(
+        "{}|{}|{:016x}|{}|{:016x}|{:016x}|{:016x}|{:016x}|{}",
+        spec.name,
+        spec.num_files,
+        spec.avg_file_kb.to_bits(),
+        spec.num_requests,
+        spec.avg_request_kb.to_bits(),
+        spec.alpha.to_bits(),
+        spec.size_sigma.to_bits(),
+        spec.temporal.to_bits(),
+        spec.temporal_window,
+    )
+}
+
+/// Generates a Table 2 trace at harness scale, memoized per spec.
+///
+/// Trace generation is the single largest fixed cost of an experiment
+/// run, and the experiments reuse a handful of Table 2 specs; running
+/// them in one process (the `all_figures` binary) makes each distinct
+/// spec pay generation once. The cache key is bit-exact over every spec
+/// field, so memoization cannot change what any experiment sees —
+/// `spec.generate(trace_seed(spec))` is deterministic in the spec.
+pub fn paper_trace(spec: &TraceSpec) -> Arc<Trace> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, Arc<Trace>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let key = trace_key(spec);
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(trace) = cache.get(&key) {
+        return Arc::clone(trace);
+    }
+    let trace = Arc::new(spec.generate(trace_seed(spec)));
+    cache.insert(key, Arc::clone(&trace));
+    trace
 }
 
 /// One cell of a node sweep.
@@ -148,7 +189,11 @@ pub fn paper_config(nodes: usize) -> SimConfig {
 /// of a locality-conscious server with 15 % replication, instantiated
 /// with the trace's measured population, Zipf exponent, and mean
 /// requested-file size.
-pub fn model_line(stats: &TraceStats, node_counts: &[usize], cache_kb: f64) -> Vec<(usize, f64)> {
+pub fn model_line(
+    stats: &TraceStats,
+    node_counts: &[usize],
+    cache_kb: f64,
+) -> Result<Vec<(usize, f64)>, String> {
     node_counts
         .iter()
         .map(|&n| {
@@ -160,23 +205,37 @@ pub fn model_line(stats: &TraceStats, node_counts: &[usize], cache_kb: f64) -> V
                 avg_file_kb: stats.avg_request_kb,
                 ..ModelParams::default()
             };
-            let model = QueueModel::new(params).expect("valid model parameters");
+            let model = QueueModel::new(params)?;
             let derived = model
                 .derived_from_population(ServerKind::LocalityConscious, stats.num_files as f64);
-            (n, model.max_throughput_derived(&derived))
+            Ok((n, model.max_throughput_derived(&derived)))
         })
         .collect()
 }
 
-/// Renders and writes one Figures 7–10 style experiment: simulated
-/// throughput for the three servers plus the model bound, as CSV and an
-/// ASCII chart. Returns the path written and the chart text.
+/// [`write_throughput_figure_to`] with the default results directory
+/// (`$L2S_RESULTS_DIR`, else `results/`).
 pub fn write_throughput_figure(
     fig: &str,
     spec: &TraceSpec,
     cells: &[SweepCell],
     model: &[(usize, f64)],
-) -> (PathBuf, String) {
+) -> std::io::Result<(PathBuf, String)> {
+    write_throughput_figure_to(&results_dir(), fig, spec, cells, model)
+}
+
+/// Renders and writes one Figures 7–10 style experiment: simulated
+/// throughput for the three servers plus the model bound, as CSV and an
+/// ASCII chart under `dir`. Returns the path written and the chart
+/// text. Taking the directory explicitly keeps tests and embedders free
+/// of process-global environment mutation.
+pub fn write_throughput_figure_to(
+    dir: &Path,
+    fig: &str,
+    spec: &TraceSpec,
+    cells: &[SweepCell],
+    model: &[(usize, f64)],
+) -> std::io::Result<(PathBuf, String)> {
     let mut table = CsvTable::new(["nodes", "model", "l2s", "lard", "traditional"]);
     let mut series: Vec<Series> = vec![
         Series::new("model", Vec::new()),
@@ -204,8 +263,8 @@ pub fn write_throughput_figure(
             s.points.push((n as f64, v));
         }
     }
-    let path = results_dir().join(format!("{fig}.csv"));
-    table.write_to(&path).expect("write figure CSV");
+    let path = dir.join(format!("{fig}.csv"));
+    table.write_to(&path)?;
     let chart = line_chart(
         &format!(
             "{fig}: throughput (requests/s) vs nodes — {} trace",
@@ -215,12 +274,12 @@ pub fn write_throughput_figure(
         64,
         20,
     );
-    (path, chart)
+    Ok((path, chart))
 }
 
 /// Runs one complete Figures 7–10 experiment (sweep + model line +
 /// outputs) and prints the chart plus the paper's headline comparisons.
-pub fn run_paper_figure(fig: &str, spec: &TraceSpec) {
+pub fn run_paper_figure(fig: &str, spec: &TraceSpec) -> Result<(), String> {
     println!(
         "== {fig}: {} trace ({} files, {} requests{}) ==",
         spec.name,
@@ -242,14 +301,19 @@ pub fn run_paper_figure(fig: &str, spec: &TraceSpec) {
         stats.working_set_kb / 1024.0
     );
     let cells = sweep(&trace, &PAPER_NODE_COUNTS, &PAPER_POLICIES, paper_config);
-    let model = model_line(&stats, &PAPER_NODE_COUNTS, paper_config(1).cache_kb);
-    let (path, chart) = write_throughput_figure(fig, spec, &cells, &model);
+    let model = model_line(&stats, &PAPER_NODE_COUNTS, paper_config(1).cache_kb)?;
+    let (path, chart) = write_throughput_figure(fig, spec, &cells, &model)
+        .map_err(|e| format!("write {fig} outputs: {e}"))?;
     println!("{chart}");
 
-    let at16 = |p: PolicyKind| cell(&cells, 16, p).report.throughput_rps;
-    let l2s = at16(PolicyKind::L2s);
-    let lard = at16(PolicyKind::Lard);
-    let trad = at16(PolicyKind::Traditional);
+    let at16 = |p: PolicyKind| {
+        cell(&cells, 16, p)
+            .map(|c| c.report.throughput_rps)
+            .ok_or_else(|| format!("{fig}: missing 16-node {} cell", p.name()))
+    };
+    let l2s = at16(PolicyKind::L2s)?;
+    let lard = at16(PolicyKind::Lard)?;
+    let trad = at16(PolicyKind::Traditional)?;
     let bound = model.last().map(|&(_, x)| x).unwrap_or(f64::NAN);
     println!("  at 16 nodes: L2S {l2s:.0} r/s, LARD {lard:.0} r/s, traditional {trad:.0} r/s");
     println!(
@@ -259,14 +323,38 @@ pub fn run_paper_figure(fig: &str, spec: &TraceSpec) {
         l2s / bound * 100.0
     );
     println!("  CSV: {}", path.display());
+    Ok(())
 }
 
-/// Convenience accessor: the cell for `(nodes, policy)`.
-pub fn cell(cells: &[SweepCell], nodes: usize, policy: PolicyKind) -> &SweepCell {
+/// Convenience accessor: the cell for `(nodes, policy)`, if the sweep
+/// produced one.
+pub fn cell(cells: &[SweepCell], nodes: usize, policy: PolicyKind) -> Option<&SweepCell> {
     cells
         .iter()
         .find(|c| c.nodes == nodes && c.policy == policy)
-        .expect("cell present")
+}
+
+/// Binary entry-point shim: runs an experiment and turns an `Err` into
+/// a nonzero exit with the message on stderr. Keeps the `src/bin/`
+/// wrappers one line each.
+pub fn run_experiment(run: fn() -> Result<(), String>) {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Runs every experiment in [`experiments::ALL`] in this process, in
+/// the same order as the historical `run_experiments.sh`, sharing the
+/// memoized traces. Stops at the first failure, naming the experiment.
+pub fn run_all_figures() -> Result<(), String> {
+    let total = experiments::ALL.len();
+    for (i, (name, run)) in experiments::ALL.iter().enumerate() {
+        println!("=== [{}/{total}] {name} ===", i + 1);
+        run().map_err(|e| format!("{name}: {e}"))?;
+        println!();
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -320,29 +408,50 @@ mod tests {
     fn model_line_grows_with_nodes() {
         let trace = TraceSpec::calgary().scaled(2_000, 50_000).generate(3);
         let stats = TraceStats::compute(&trace);
-        let line = model_line(&stats, &[1, 4, 16], 32.0 * 1024.0);
+        let line = model_line(&stats, &[1, 4, 16], 32.0 * 1024.0).unwrap();
         assert_eq!(line.len(), 3);
         assert!(line[0].1 < line[1].1 && line[1].1 < line[2].1);
     }
 
     #[test]
     fn figure_writer_emits_csv_and_chart() {
+        // The directory is threaded explicitly — mutating
+        // L2S_RESULTS_DIR here would race other tests in this binary,
+        // which run concurrently and read the same process environment.
         let dir = std::env::temp_dir().join("l2s-bench-test");
-        std::env::set_var("L2S_RESULTS_DIR", &dir);
+        std::fs::create_dir_all(&dir).unwrap();
         let spec = TraceSpec::calgary().scaled(200, 2_000);
         let trace = spec.generate(4);
         let cells = sweep(&trace, &[1, 2], &PAPER_POLICIES, |n| {
             SimConfig::quick(n, 1_000.0)
         });
         let stats = TraceStats::compute(&trace);
-        let model = model_line(&stats, &[1, 2], 1_000.0);
-        let (path, chart) = write_throughput_figure("figtest", &spec, &cells, &model);
+        let model = model_line(&stats, &[1, 2], 1_000.0).unwrap();
+        let (path, chart) =
+            write_throughput_figure_to(&dir, "figtest", &spec, &cells, &model).unwrap();
         assert!(path.exists());
         assert!(chart.contains("figtest"));
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.starts_with("nodes,model,l2s,lard,traditional"));
         assert_eq!(csv.lines().count(), 3);
-        std::env::remove_var("L2S_RESULTS_DIR");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paper_trace_memoizes_per_spec() {
+        let spec = TraceSpec::calgary().scaled(100, 1_000);
+        let a = paper_trace(&spec);
+        let b = paper_trace(&spec);
+        assert!(Arc::ptr_eq(&a, &b), "same spec must share one trace");
+        let other = TraceSpec::calgary().scaled(100, 1_001);
+        let c = paper_trace(&other);
+        assert!(!Arc::ptr_eq(&a, &c), "different specs must not collide");
+        // Memoization must be invisible: the cached trace is exactly
+        // what direct generation produces.
+        assert_eq!(
+            a.requests(),
+            spec.generate(trace_seed(&spec)).requests(),
+            "cached trace must equal direct generation"
+        );
     }
 }

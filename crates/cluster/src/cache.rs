@@ -2,11 +2,11 @@
 
 use crate::FileId;
 use l2s_util::invariant;
-// lint-allow hash-iter: the index is keyed lookup only (never iterated);
-// ordering of its entries can never influence simulation results.
-use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
+
+/// Sentinel in the dense file->slot index for "not resident".
+const NO_SLOT: u32 = u32::MAX;
 
 #[derive(Clone, Debug)]
 struct Slot {
@@ -47,15 +47,28 @@ impl CacheStats {
 /// Files larger than the capacity are never cached (they stream from
 /// disk every time), matching how a real server's unified buffer cache
 /// behaves for oversized objects.
+///
+/// The recency list is an intrusive doubly-linked list over a slot pool,
+/// located through a *dense* file->slot index (`Vec<u32>` keyed by the
+/// interned [`FileId`] — file ids are consecutive small integers, so the
+/// index is a flat array rather than a map). Every operation is O(1)
+/// with no per-request allocation or hashing.
 #[derive(Clone, Debug)]
 pub struct LruCache {
     capacity_kb: f64,
     used_kb: f64,
     slots: Vec<Slot>,
     free: Vec<usize>,
-    index: HashMap<FileId, usize>,
+    /// `index[file.index()]` is the slot holding `file`, or [`NO_SLOT`].
+    /// Grows on demand to the highest file id seen.
+    index: Vec<u32>,
+    /// Resident-file count (the index holds no len of its own).
+    live: usize,
     head: usize, // most recently used
     tail: usize, // least recently used
+    /// Victims of the latest `insert`, reused across calls so eviction
+    /// never allocates.
+    evicted: Vec<FileId>,
     stats: CacheStats,
 }
 
@@ -71,10 +84,21 @@ impl LruCache {
             used_kb: 0.0,
             slots: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: Vec::new(),
+            live: 0,
             head: NIL,
             tail: NIL,
+            evicted: Vec::new(),
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Slot of `file`, or `None` when not resident.
+    #[inline]
+    fn slot_of(&self, file: FileId) -> Option<usize> {
+        match self.index.get(file.index()) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
         }
     }
 
@@ -90,12 +114,12 @@ impl LruCache {
 
     /// Number of resident files.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.live
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.live == 0
     }
 
     /// Cumulative statistics.
@@ -109,14 +133,14 @@ impl LruCache {
     }
 
     /// Whether `file` is resident, without touching recency or stats.
-    pub fn contains(&self, file: FileId) -> bool {
-        self.index.contains_key(&file)
+    pub fn contains(&self, file: impl Into<FileId>) -> bool {
+        self.slot_of(file.into()).is_some()
     }
 
     /// Looks up `file`: on a hit, moves it to the MRU position and
     /// returns `true`; on a miss returns `false`. Updates statistics.
-    pub fn touch(&mut self, file: FileId) -> bool {
-        match self.index.get(&file).copied() {
+    pub fn touch(&mut self, file: impl Into<FileId>) -> bool {
+        match self.slot_of(file.into()) {
             Some(slot) => {
                 self.stats.hits += 1;
                 self.unlink(slot);
@@ -131,20 +155,22 @@ impl LruCache {
     }
 
     /// Inserts `file` of `kb` KB at the MRU position, evicting LRU files
-    /// until it fits. Returns the evicted files. A file already resident
+    /// until it fits. Returns the evicted files (a borrow of internal
+    /// scratch, valid until the next `insert`). A file already resident
     /// is just refreshed (touch without stats). A file larger than the
     /// whole cache is not cached and evicts nothing.
-    pub fn insert(&mut self, file: FileId, kb: f64) -> Vec<FileId> {
+    pub fn insert(&mut self, file: impl Into<FileId>, kb: f64) -> &[FileId] {
+        let file = file.into();
         assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
-        if let Some(&slot) = self.index.get(&file) {
+        self.evicted.clear();
+        if let Some(slot) = self.slot_of(file) {
             self.unlink(slot);
             self.push_front(slot);
-            return Vec::new();
+            return &self.evicted;
         }
         if kb > self.capacity_kb {
-            return Vec::new();
+            return &self.evicted;
         }
-        let mut evicted = Vec::new();
         while self.used_kb + kb > self.capacity_kb {
             let lru = self.tail;
             invariant!(
@@ -156,11 +182,15 @@ impl LruCache {
             let victim = self.slots[lru].file;
             self.remove_slot(lru);
             self.stats.evictions += 1;
-            evicted.push(victim);
+            self.evicted.push(victim);
         }
         let slot = self.alloc(file, kb);
         self.push_front(slot);
-        self.index.insert(file, slot);
+        if self.index.len() <= file.index() {
+            self.index.resize(file.index() + 1, NO_SLOT);
+        }
+        self.index[file.index()] = slot as u32;
+        self.live += 1;
         self.used_kb += kb;
         self.stats.insertions += 1;
         invariant!(
@@ -169,12 +199,12 @@ impl LruCache {
             used = self.used_kb,
             cap = self.capacity_kb
         );
-        evicted
+        &self.evicted
     }
 
     /// Removes `file` if resident; returns whether it was.
-    pub fn remove(&mut self, file: FileId) -> bool {
-        match self.index.get(&file).copied() {
+    pub fn remove(&mut self, file: impl Into<FileId>) -> bool {
+        match self.slot_of(file.into()) {
             Some(slot) => {
                 self.remove_slot(slot);
                 true
@@ -256,7 +286,8 @@ impl LruCache {
         if self.used_kb < 0.0 {
             self.used_kb = 0.0; // guard against float drift
         }
-        self.index.remove(&file);
+        self.index[file.index()] = NO_SLOT;
+        self.live -= 1;
         self.free.push(slot);
     }
 }
@@ -382,7 +413,7 @@ mod tests {
         let mut rng = l2s_util::DetRng::new(77);
         let mut c = LruCache::new(500.0);
         for _ in 0..20_000 {
-            let f = rng.below(200) as FileId;
+            let f = FileId::from_raw(rng.below(200) as u32);
             if rng.chance(0.5) {
                 c.touch(f);
             } else {

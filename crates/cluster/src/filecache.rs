@@ -69,7 +69,7 @@ impl FileCache {
     }
 
     /// Whether `file` is resident (no stats/recency side effects).
-    pub fn contains(&self, file: FileId) -> bool {
+    pub fn contains(&self, file: impl Into<FileId>) -> bool {
         match self {
             FileCache::Lru(c) => c.contains(file),
             FileCache::Gds(c) => c.contains(file),
@@ -77,15 +77,16 @@ impl FileCache {
     }
 
     /// Looks up `file`, refreshing its replacement state on a hit.
-    pub fn touch(&mut self, file: FileId) -> bool {
+    pub fn touch(&mut self, file: impl Into<FileId>) -> bool {
         match self {
             FileCache::Lru(c) => c.touch(file),
             FileCache::Gds(c) => c.touch(file),
         }
     }
 
-    /// Inserts `file` of `kb` KB; returns the evicted files.
-    pub fn insert(&mut self, file: FileId, kb: f64) -> Vec<FileId> {
+    /// Inserts `file` of `kb` KB; returns the evicted files (a borrow of
+    /// the underlying cache's scratch, valid until the next `insert`).
+    pub fn insert(&mut self, file: impl Into<FileId>, kb: f64) -> &[FileId] {
         match self {
             FileCache::Lru(c) => c.insert(file, kb),
             FileCache::Gds(c) => c.insert(file, kb),
@@ -148,7 +149,7 @@ mod tests {
             c.insert(3, 10.0);
             // Touch 1 so it is MRU for LRU purposes.
             c.touch(1);
-            c.insert(4, 30.0)
+            c.insert(4, 30.0).to_vec()
         };
         let lru_evicted = build(CachePolicy::Lru);
         let gds_evicted = build(CachePolicy::GreedyDualSize);

@@ -8,15 +8,39 @@
 //! priority with the current `L`. With unit cost (the variant
 //! implemented here, "GDS(1)"), small files are preferentially kept —
 //! appropriate when the goal is maximizing hit *count*.
+//!
+//! # Structure
+//!
+//! Per-file state lives in a dense `Vec` indexed by the interned
+//! [`FileId`]; the eviction order lives in a binary min-heap of
+//! `(priority bits, FileId)` keys with **lazy invalidation**: refreshing
+//! a priority pushes a new key and leaves the old one in the heap to be
+//! skipped when popped (a key is live iff its file is resident *and* the
+//! bits match the file's current priority). Every live entry's current
+//! key is always in the heap, so when eviction pops keys in ascending
+//! order and discards the stale ones, the first live key to surface is
+//! the true minimum over all live keys. The heap is compacted (rebuilt
+//! from the dense table in file order, deterministically) when stale
+//! keys outnumber live ones.
 
 use crate::{CacheStats, FileId};
 use l2s_util::invariant;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Priority key ordered as `(priority bits, file)`. Priorities are
 /// non-negative finite floats, so their IEEE-754 bit patterns order
 /// identically to their values.
 type PriKey = (u64, FileId);
+
+/// Dense per-file state. `resident == false` slots keep their last
+/// values but are ignored everywhere.
+#[derive(Clone, Copy, Debug, Default)]
+struct GdsEntry {
+    resident: bool,
+    kb: f64,
+    pri: f64,
+}
 
 /// A GreedyDual-Size(1) cache with a byte (KB) capacity.
 #[derive(Clone, Debug)]
@@ -24,8 +48,14 @@ pub struct GdsCache {
     capacity_kb: f64,
     used_kb: f64,
     aging: f64,
-    entries: BTreeMap<FileId, (f64, f64)>, // file -> (kb, priority)
-    queue: BTreeSet<PriKey>,
+    /// `entries[file.index()]` — grows on demand to the highest id seen.
+    entries: Vec<GdsEntry>,
+    /// Resident-file count.
+    live: usize,
+    /// Min-heap of possibly-stale priority keys (see module docs).
+    heap: BinaryHeap<Reverse<PriKey>>,
+    /// Victims of the latest `insert`, reused so eviction never allocates.
+    evicted: Vec<FileId>,
     stats: CacheStats,
 }
 
@@ -40,8 +70,10 @@ impl GdsCache {
             capacity_kb,
             used_kb: 0.0,
             aging: 0.0,
-            entries: BTreeMap::new(),
-            queue: BTreeSet::new(),
+            entries: Vec::new(),
+            live: 0,
+            heap: BinaryHeap::new(),
+            evicted: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -52,6 +84,46 @@ impl GdsCache {
 
     fn key(pri: f64, file: FileId) -> PriKey {
         (pri.to_bits(), file)
+    }
+
+    #[inline]
+    fn entry(&self, file: FileId) -> Option<&GdsEntry> {
+        self.entries.get(file.index()).filter(|e| e.resident)
+    }
+
+    fn ensure_slot(&mut self, file: FileId) -> &mut GdsEntry {
+        if self.entries.len() <= file.index() {
+            self.entries.resize(file.index() + 1, GdsEntry::default());
+        }
+        &mut self.entries[file.index()]
+    }
+
+    /// Re-keys `file` to its current-aging priority and records the new
+    /// key (the heap keeps the old key as a stale duplicate).
+    fn refresh(&mut self, file: FileId, kb: f64) {
+        let pri = self.priority(kb);
+        let e = self.ensure_slot(file);
+        e.resident = true;
+        e.kb = kb;
+        e.pri = pri;
+        self.heap.push(Reverse(Self::key(pri, file)));
+        self.maybe_compact();
+    }
+
+    /// Rebuilds the heap from the dense table once stale keys dominate.
+    /// Iteration is in dense file order, so the rebuild (and therefore
+    /// every subsequent pop) is deterministic.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() <= 2 * self.live + 64 {
+            return;
+        }
+        self.heap.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.resident {
+                self.heap
+                    .push(Reverse(Self::key(e.pri, FileId::from_raw(i as u32))));
+            }
+        }
     }
 
     /// Configured capacity in KB.
@@ -66,12 +138,12 @@ impl GdsCache {
 
     /// Number of resident files.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Cumulative statistics.
@@ -90,20 +162,19 @@ impl GdsCache {
     }
 
     /// Whether `file` is resident, without touching priority or stats.
-    pub fn contains(&self, file: FileId) -> bool {
-        self.entries.contains_key(&file)
+    pub fn contains(&self, file: impl Into<FileId>) -> bool {
+        self.entry(file.into()).is_some()
     }
 
     /// Looks up `file`: on a hit, refreshes its priority and returns
     /// `true`. Updates statistics.
-    pub fn touch(&mut self, file: FileId) -> bool {
-        match self.entries.get(&file).copied() {
-            Some((kb, old_pri)) => {
+    pub fn touch(&mut self, file: impl Into<FileId>) -> bool {
+        let file = file.into();
+        match self.entry(file) {
+            Some(e) => {
+                let kb = e.kb;
                 self.stats.hits += 1;
-                let new_pri = self.priority(kb);
-                self.queue.remove(&Self::key(old_pri, file));
-                self.queue.insert(Self::key(new_pri, file));
-                self.entries.insert(file, (kb, new_pri));
+                self.refresh(file, kb);
                 true
             }
             None => {
@@ -113,32 +184,45 @@ impl GdsCache {
         }
     }
 
-    /// Inserts `file` of `kb` KB, evicting minimum-priority files until
-    /// it fits. Returns the evicted files. Oversized files are not
-    /// cached.
-    pub fn insert(&mut self, file: FileId, kb: f64) -> Vec<FileId> {
-        assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
-        if let Some((old_kb, old_pri)) = self.entries.get(&file).copied() {
-            if (old_kb - kb).abs() < 1e-12 {
-                // Plain refresh.
-                self.queue.remove(&Self::key(old_pri, file));
-                let pri = self.priority(kb);
-                self.queue.insert(Self::key(pri, file));
-                self.entries.insert(file, (kb, pri));
-                return Vec::new();
+    /// Pops heap keys until the minimum *live* one surfaces, and returns
+    /// its file. `None` when no live key remains.
+    fn pop_min_live(&mut self) -> Option<FileId> {
+        while let Some(Reverse((bits, file))) = self.heap.pop() {
+            let is_current = self
+                .entries
+                .get(file.index())
+                .is_some_and(|e| e.resident && e.pri.to_bits() == bits);
+            if is_current {
+                return Some(file);
             }
-            // Size changed: drop the stale entry and insert fresh below,
-            // so growth goes through the eviction loop.
-            self.queue.remove(&Self::key(old_pri, file));
-            self.entries.remove(&file);
-            self.used_kb -= old_kb;
+        }
+        None
+    }
+
+    /// Inserts `file` of `kb` KB, evicting minimum-priority files until
+    /// it fits. Returns the evicted files (a borrow of internal scratch,
+    /// valid until the next `insert`). Oversized files are not cached.
+    pub fn insert(&mut self, file: impl Into<FileId>, kb: f64) -> &[FileId] {
+        let file = file.into();
+        assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
+        self.evicted.clear();
+        if let Some(e) = self.entry(file) {
+            if (e.kb - kb).abs() < 1e-12 {
+                // Plain refresh.
+                self.refresh(file, kb);
+                return &self.evicted;
+            }
+            // Size changed: drop the stale residency and insert fresh
+            // below, so growth goes through the eviction loop.
+            self.used_kb -= e.kb;
+            self.entries[file.index()].resident = false;
+            self.live -= 1;
         }
         if kb > self.capacity_kb {
-            return Vec::new();
+            return &self.evicted;
         }
-        let mut evicted = Vec::new();
         while self.used_kb + kb > self.capacity_kb {
-            let Some(&(pri_bits, victim)) = self.queue.first() else {
+            let Some(victim) = self.pop_min_live() else {
                 invariant!(
                     false,
                     "GDS accounting out of sync: {used} KB resident but the priority queue is empty",
@@ -146,21 +230,16 @@ impl GdsCache {
                 );
                 break;
             };
-            self.queue.remove(&(pri_bits, victim));
-            let removed = self.entries.remove(&victim);
-            invariant!(
-                removed.is_some(),
-                "GDS queue/map desync: victim {victim} has no entry"
-            );
-            let Some((vkb, vpri)) = removed else { break };
-            self.used_kb -= vkb;
-            self.aging = self.aging.max(vpri);
+            let e = &mut self.entries[victim.index()];
+            e.resident = false;
+            self.used_kb -= e.kb;
+            self.aging = self.aging.max(e.pri);
+            self.live -= 1;
             self.stats.evictions += 1;
-            evicted.push(victim);
+            self.evicted.push(victim);
         }
-        let pri = self.priority(kb);
-        self.queue.insert(Self::key(pri, file));
-        self.entries.insert(file, (kb, pri));
+        self.refresh(file, kb);
+        self.live += 1;
         self.used_kb += kb;
         self.stats.insertions += 1;
         invariant!(
@@ -169,7 +248,7 @@ impl GdsCache {
             used = self.used_kb,
             cap = self.capacity_kb
         );
-        evicted
+        &self.evicted
     }
 }
 
@@ -227,14 +306,22 @@ mod tests {
         let mut rng = l2s_util::DetRng::new(5);
         let mut c = GdsCache::new(300.0);
         for _ in 0..5_000 {
-            let f = rng.below(100) as FileId;
+            let f = FileId::from_raw(rng.below(100) as u32);
             if rng.chance(0.5) {
                 c.touch(f);
             } else {
                 c.insert(f, 1.0 + rng.f64() * 30.0);
             }
             assert!(c.used_kb() <= 300.0 + 1e-6);
-            assert_eq!(c.queue.len(), c.entries.len(), "queue/map desync");
+            // Lazy invalidation: the heap may hold stale keys, but
+            // compaction bounds them and every live entry stays keyed.
+            assert!(c.heap.len() >= c.len(), "live key missing from heap");
+            assert!(
+                c.heap.len() <= 2 * c.len() + 64,
+                "compaction failed to bound stale keys: {} keys for {} live",
+                c.heap.len(),
+                c.len()
+            );
         }
     }
 

@@ -29,6 +29,7 @@ pub use filecache::{CachePolicy, FileCache};
 pub use gds::GdsCache;
 pub use node::{build_nodes, NodeHardware};
 
-/// Identifies one file served by the cluster. Structurally identical to
-/// `l2s_trace::FileId` (both are `u32`), so traces plug in directly.
-pub type FileId = u32;
+/// Identifies one file served by the cluster — the dense interned index
+/// from `l2s-trace`, re-exported so traces plug in directly and per-file
+/// state here can be flat-`Vec`-indexed.
+pub use l2s_trace::FileId;

@@ -48,7 +48,8 @@ impl NodeHardware {
 
     /// Looks the file up in the cache (recording hit/miss) and, on a
     /// miss, inserts it after its disk read. Returns whether it hit.
-    pub fn access_file(&mut self, file: FileId, kb: f64) -> bool {
+    pub fn access_file(&mut self, file: impl Into<FileId>, kb: f64) -> bool {
+        let file = file.into();
         if self.cache.touch(file) {
             true
         } else {
@@ -59,13 +60,9 @@ impl NodeHardware {
 
     /// Warms the cache with one file reference without touching hit/miss
     /// statistics (used for the pre-measurement warm-up pass).
-    pub fn warm_file(&mut self, file: FileId, kb: f64) {
-        if !self.cache.contains(file) {
-            self.cache.insert(file, kb);
-        } else {
-            // Refresh recency.
-            self.cache.insert(file, kb);
-        }
+    pub fn warm_file(&mut self, file: impl Into<FileId>, kb: f64) {
+        // Insert refreshes replacement state when already resident.
+        self.cache.insert(file, kb);
     }
 
     /// CPU idle fraction over a measurement window.

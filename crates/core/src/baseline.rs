@@ -154,9 +154,9 @@ impl PureLocality {
     }
 
     /// The static owner of `file`.
-    pub fn owner(&self, file: FileId) -> NodeId {
+    pub fn owner(&self, file: impl Into<FileId>) -> NodeId {
         // Fibonacci hashing spreads sequential ids well.
-        let h = (file as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = (file.into().raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (h % self.loads.len() as u64) as NodeId
     }
 }
@@ -211,7 +211,7 @@ mod tests {
         // Load node 0 and 1.
         for _ in 0..2 {
             let n = t.arrival_node();
-            t.assign(SimTime::ZERO, n, 0);
+            t.assign(SimTime::ZERO, n, 0.into());
         }
         assert_eq!(t.open_connections(0), 1);
         assert_eq!(t.open_connections(1), 1);
@@ -223,11 +223,11 @@ mod tests {
     fn traditional_rebalances_after_completion() {
         let mut t = Traditional::new(2);
         let a = t.arrival_node();
-        t.assign(SimTime::ZERO, a, 0);
+        t.assign(SimTime::ZERO, a, 0.into());
         let b = t.arrival_node();
-        t.assign(SimTime::ZERO, b, 1);
+        t.assign(SimTime::ZERO, b, 1.into());
         assert_ne!(a, b);
-        t.complete(SimTime::ZERO, a, 0);
+        t.complete(SimTime::ZERO, a, 0.into());
         assert_eq!(t.arrival_node(), a, "freed node is least loaded again");
     }
 
@@ -236,7 +236,7 @@ mod tests {
         let mut t = Traditional::new(4);
         for f in 0..20u32 {
             let n = t.arrival_node();
-            let a = t.assign(SimTime::ZERO, n, f);
+            let a = t.assign(SimTime::ZERO, n, f.into());
             assert!(!a.forwarded);
             assert_eq!(a.control_msgs, 0);
         }
@@ -252,10 +252,10 @@ mod tests {
     #[test]
     fn pure_locality_is_sticky_per_file() {
         let mut p = PureLocality::new(4);
-        let first = p.assign(SimTime::ZERO, 0, 42).service;
+        let first = p.assign(SimTime::ZERO, 0, 42.into()).service;
         for _ in 0..10 {
             let initial = p.arrival_node();
-            let a = p.assign(SimTime::ZERO, initial, 42);
+            let a = p.assign(SimTime::ZERO, initial, 42.into());
             assert_eq!(a.service, first, "same file, same owner");
         }
     }
@@ -274,10 +274,10 @@ mod tests {
     fn pure_locality_forwarding_flag_tracks_owner() {
         let mut p = PureLocality::new(2);
         let owner = p.owner(7);
-        let a = p.assign(SimTime::ZERO, owner, 7);
+        let a = p.assign(SimTime::ZERO, owner, 7.into());
         assert!(!a.forwarded);
         let other = 1 - owner;
-        let b = p.assign(SimTime::ZERO, other, 7);
+        let b = p.assign(SimTime::ZERO, other, 7.into());
         assert!(b.forwarded);
     }
 
@@ -292,7 +292,7 @@ mod tests {
             for f in 0..5u32 {
                 let n = p.arrival_node();
                 assert_eq!(n, 0);
-                let a = p.assign(SimTime::ZERO, n, f);
+                let a = p.assign(SimTime::ZERO, n, f.into());
                 assert_eq!(a.service, 0);
                 assert!(!a.forwarded);
             }

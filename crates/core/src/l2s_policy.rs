@@ -27,7 +27,6 @@
 use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
 use l2s_cluster::FileId;
 use l2s_util::{invariant, SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// L2S tuning parameters; defaults are the paper's Section 5.1 values.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,10 +55,22 @@ impl Default for L2sConfig {
     }
 }
 
+/// Per-file server set, stored densely by interned [`FileId`]. Empty
+/// `members` means the file has never been requested (sets never shrink
+/// below one member once created).
 #[derive(Clone, Debug)]
 struct ServerSet {
     members: Vec<NodeId>,
     last_modified: SimTime,
+}
+
+impl Default for ServerSet {
+    fn default() -> Self {
+        ServerSet {
+            members: Vec::new(),
+            last_modified: SimTime::ZERO,
+        }
+    }
 }
 
 /// The L2S server.
@@ -78,10 +89,15 @@ pub struct L2s {
     true_loads: Vec<u32>,
     views: Vec<Vec<u32>>,
     last_broadcast: Vec<u32>,
-    sets: BTreeMap<FileId, ServerSet>,
+    /// `sets[file.index()]` — dense by interned file id, grown on demand
+    /// (or up front via `hint_files`).
+    sets: Vec<ServerSet>,
     next_arrival: usize,
     /// Rotating tie-break cursor for least-loaded selections.
     tie_cursor: usize,
+    /// All node ids, precomputed so whole-cluster argmin scans borrow
+    /// instead of collecting.
+    all_nodes: Vec<NodeId>,
     /// Control messages emitted since the last drain.
     outbox: Vec<(NodeId, NodeId)>,
 }
@@ -98,19 +114,27 @@ impl L2s {
             true_loads: vec![0; n],
             views: vec![vec![0; n]; n],
             last_broadcast: vec![0; n],
-            sets: BTreeMap::new(),
+            sets: Vec::new(),
             next_arrival: 0,
             tie_cursor: 0,
+            all_nodes: (0..n).collect(),
             outbox: Vec::new(),
         }
     }
 
     /// Members of `file`'s server set (empty if never requested).
-    pub fn server_set(&self, file: FileId) -> &[NodeId] {
+    pub fn server_set(&self, file: impl Into<FileId>) -> &[NodeId] {
         self.sets
-            .get(&file)
+            .get(file.into().index())
             .map(|s| s.members.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Grows the dense set table to cover `file`.
+    fn ensure_file(&mut self, file: FileId) {
+        if self.sets.len() <= file.index() {
+            self.sets.resize_with(file.index() + 1, ServerSet::default);
+        }
     }
 
     /// What `observer` currently believes `subject`'s load to be.
@@ -150,51 +174,70 @@ impl Distributor for L2s {
     fn arrival_node(&mut self) -> NodeId {
         // Round-robin DNS.
         let node = self.next_arrival;
-        self.next_arrival = (self.next_arrival + 1) % self.nodes;
+        self.next_arrival += 1;
+        if self.next_arrival == self.nodes {
+            self.next_arrival = 0;
+        }
         node
     }
 
+    fn hint_files(&mut self, n: usize) {
+        if self.sets.len() < n {
+            self.sets.resize_with(n, ServerSet::default);
+        }
+    }
+
     fn assign(&mut self, now: SimTime, initial: NodeId, file: FileId) -> Assignment {
+        self.ensure_file(file);
         let cfg = self.config;
+        let nodes = self.nodes;
         let mut msgs = 0u32;
-        let own_load = self.true_loads[initial];
+        // Disjoint borrows of the policy's tables so the hot path never
+        // clones the view row, the candidate list, or the server set.
+        let L2s {
+            true_loads,
+            views,
+            sets,
+            tie_cursor,
+            all_nodes,
+            outbox,
+            ..
+        } = self;
+        let own_load = true_loads[initial];
 
-        // The decision is taken on a snapshot of `initial`'s view of the
-        // world (its own load it knows exactly).
-        let view_row: Vec<u32> = (0..self.nodes)
-            .map(|k| {
-                if k == initial {
-                    self.true_loads[initial]
-                } else {
-                    self.views[initial][k]
-                }
-            })
-            .collect();
+        // The decision is taken on `initial`'s view of the world (its own
+        // load it knows exactly). Nothing below mutates loads or views
+        // until the decision is final, so reading through this closure is
+        // equivalent to snapshotting the row.
+        let view = |k: NodeId| {
+            if k == initial {
+                true_loads[initial]
+            } else {
+                views[initial][k]
+            }
+        };
 
-        let all_nodes: Vec<NodeId> = (0..self.nodes).collect();
-        let service = if let Some(set) = self.sets.get(&file) {
-            if set.members.contains(&initial) && own_load <= cfg.t_high {
+        let service = if !sets[file.index()].members.is_empty() {
+            let members = &sets[file.index()].members;
+            if members.contains(&initial) && own_load <= cfg.t_high {
                 initial
             } else {
-                let members = set.members.clone();
-                let n = argmin_rotating(&members, |m| view_row[m], &mut self.tie_cursor);
-                if view_row[n] <= cfg.t_high {
+                let n = argmin_rotating(members, &view, tie_cursor);
+                if view(n) <= cfg.t_high {
                     n
                 } else if own_load > cfg.t_high {
                     // Both the initial node and the least-loaded member
                     // are overloaded: replicate onto the least-loaded
                     // node overall.
-                    let m = argmin_rotating(&all_nodes, |k| view_row[k], &mut self.tie_cursor);
-                    // The set was just looked up; re-borrow mutably to grow it.
-                    if let Some(set) = self.sets.get_mut(&file) {
-                        if !set.members.contains(&m) {
-                            set.members.push(m);
-                            set.last_modified = now;
-                            msgs += (self.nodes - 1) as u32;
-                            for o in 0..self.nodes {
-                                if o != initial {
-                                    self.outbox.push((initial, o));
-                                }
+                    let m = argmin_rotating(all_nodes, &view, tie_cursor);
+                    let set = &mut sets[file.index()];
+                    if !set.members.contains(&m) {
+                        set.members.push(m);
+                        set.last_modified = now;
+                        msgs += (nodes - 1) as u32;
+                        for o in 0..nodes {
+                            if o != initial {
+                                outbox.push((initial, o));
                             }
                         }
                     }
@@ -211,19 +254,15 @@ impl Distributor for L2s {
             let chosen = if own_load <= cfg.t_high {
                 initial
             } else {
-                argmin_rotating(&all_nodes, |k| view_row[k], &mut self.tie_cursor)
+                argmin_rotating(all_nodes, &view, tie_cursor)
             };
-            self.sets.insert(
-                file,
-                ServerSet {
-                    members: vec![chosen],
-                    last_modified: now,
-                },
-            );
-            msgs += (self.nodes - 1) as u32;
-            for o in 0..self.nodes {
+            let set = &mut sets[file.index()];
+            set.members.push(chosen);
+            set.last_modified = now;
+            msgs += (nodes - 1) as u32;
+            for o in 0..nodes {
                 if o != initial {
-                    self.outbox.push((initial, o));
+                    outbox.push((initial, o));
                 }
             }
             chosen
@@ -231,44 +270,38 @@ impl Distributor for L2s {
 
         // Server-set shrinking: the assigned node is underloaded, the set
         // is replicated, and the set has been stable for a while.
-        if let Some(set) = self.sets.get_mut(&file) {
-            if set.members.len() > 1
-                && view_row[service] < cfg.t_low
-                && now.saturating_since(set.last_modified) > cfg.shrink_after
-            {
-                // Keep the node that is about to serve the request: prune
-                // the most-loaded member among the others (the set has more
-                // than one member here, so a victim always exists).
-                let victim = set
-                    .members
-                    .iter()
-                    .filter(|&&m| m != service)
-                    .max_by_key(|&&m| (view_row[m], m))
-                    .copied()
-                    .or_else(|| {
-                        set.members
-                            .iter()
-                            .max_by_key(|&&m| (view_row[m], m))
-                            .copied()
-                    });
-                if let Some(victim) = victim {
-                    set.members.retain(|&m| m != victim);
-                    set.last_modified = now;
-                    msgs += (self.nodes - 1) as u32;
-                    for o in 0..self.nodes {
-                        if o != initial {
-                            self.outbox.push((initial, o));
-                        }
+        let set = &mut sets[file.index()];
+        if set.members.len() > 1
+            && view(service) < cfg.t_low
+            && now.saturating_since(set.last_modified) > cfg.shrink_after
+        {
+            // Keep the node that is about to serve the request: prune
+            // the most-loaded member among the others (the set has more
+            // than one member here, so a victim always exists).
+            let victim = set
+                .members
+                .iter()
+                .filter(|&&m| m != service)
+                .max_by_key(|&&m| (view(m), m))
+                .copied()
+                .or_else(|| set.members.iter().max_by_key(|&&m| (view(m), m)).copied());
+            if let Some(victim) = victim {
+                set.members.retain(|&m| m != victim);
+                set.last_modified = now;
+                msgs += (nodes - 1) as u32;
+                for o in 0..nodes {
+                    if o != initial {
+                        outbox.push((initial, o));
                     }
                 }
             }
         }
 
-        self.true_loads[service] += 1;
-        self.views[service][service] = self.true_loads[service];
+        true_loads[service] += 1;
+        views[service][service] = true_loads[service];
         if service != initial {
             // The initial node saw its own hand-off.
-            self.views[initial][service] = self.views[initial][service].saturating_add(1);
+            views[initial][service] = views[initial][service].saturating_add(1);
         }
         msgs += self.note_load_change(service);
 
@@ -292,7 +325,7 @@ impl Distributor for L2s {
         let cfg = self.config;
         let in_set = self
             .sets
-            .get(&file)
+            .get(file.index())
             .map(|s| s.members.contains(&holder))
             .unwrap_or(false);
         if in_set && self.true_loads[holder] <= cfg.t_high {
@@ -344,7 +377,7 @@ mod tests {
     fn first_request_stays_local() {
         let mut s = l2s(4);
         let initial = s.arrival_node();
-        let a = s.assign(SimTime::ZERO, initial, 7);
+        let a = s.assign(SimTime::ZERO, initial, 7.into());
         assert_eq!(a.service, initial);
         assert!(!a.forwarded);
         assert_eq!(s.server_set(7), &[initial]);
@@ -356,9 +389,9 @@ mod tests {
     fn member_serves_its_own_requests_without_forwarding() {
         let mut s = l2s(4);
         let owner = s.arrival_node();
-        s.assign(SimTime::ZERO, owner, 7);
+        s.assign(SimTime::ZERO, owner, 7.into());
         // Same node receives the file again: serves locally.
-        let a = s.assign(SimTime::ZERO, owner, 7);
+        let a = s.assign(SimTime::ZERO, owner, 7.into());
         assert_eq!(a.service, owner);
         assert!(!a.forwarded);
     }
@@ -367,10 +400,10 @@ mod tests {
     fn non_member_forwards_to_the_set() {
         let mut s = l2s(4);
         let owner = s.arrival_node();
-        s.assign(SimTime::ZERO, owner, 7);
+        s.assign(SimTime::ZERO, owner, 7.into());
         let other = s.arrival_node();
         assert_ne!(other, owner);
-        let a = s.assign(SimTime::ZERO, other, 7);
+        let a = s.assign(SimTime::ZERO, other, 7.into());
         assert_eq!(a.service, owner, "request follows cache locality");
         assert!(a.forwarded);
     }
@@ -379,7 +412,7 @@ mod tests {
     /// first requests stay local), starting at file id `base`.
     fn seed_files(s: &mut L2s, node: NodeId, base: u32, count: u32) {
         for f in base..base + count {
-            let a = s.assign(SimTime::ZERO, node, f);
+            let a = s.assign(SimTime::ZERO, node, f.into());
             assert_eq!(a.service, node, "seed request should stay local");
         }
     }
@@ -389,7 +422,7 @@ mod tests {
     /// enough not to trigger replication).
     fn pump_via_forwards(s: &mut L2s, owner: NodeId, via: NodeId, base: u32, count: u32) {
         for i in 0..count {
-            let a = s.assign(SimTime::ZERO, via, base + (i % 5));
+            let a = s.assign(SimTime::ZERO, via, (base + (i % 5)).into());
             assert_eq!(a.service, owner);
         }
     }
@@ -400,7 +433,7 @@ mod tests {
         let mut s = l2s(2);
         // Node 0 owns file 7 plus a working set, pumped past T by
         // forwards from node 1.
-        s.assign(SimTime::ZERO, 0, 7);
+        s.assign(SimTime::ZERO, 0, 7.into());
         seed_files(&mut s, 0, 100, 5);
         pump_via_forwards(&mut s, 0, 1, 100, 22);
         assert!(s.open_connections(0) > cfg.t_high);
@@ -410,7 +443,7 @@ mod tests {
         assert_eq!(s.server_set(7).len(), 1);
         // Now a request for 7 lands on overloaded node 1 while the sole
         // member (node 0) is also overloaded: replication.
-        let a = s.assign(SimTime::ZERO, 1, 7);
+        let a = s.assign(SimTime::ZERO, 1, 7.into());
         assert_eq!(s.server_set(7).len(), 2, "replicated under dual overload");
         assert!(s.server_set(7).contains(&a.service));
     }
@@ -419,7 +452,7 @@ mod tests {
     fn no_replication_when_initial_is_underloaded() {
         let cfg = L2sConfig::default();
         let mut s = l2s(2);
-        s.assign(SimTime::ZERO, 0, 7);
+        s.assign(SimTime::ZERO, 0, 7.into());
         seed_files(&mut s, 0, 100, 5);
         pump_via_forwards(&mut s, 0, 1, 100, 22);
         assert!(s.open_connections(0) > cfg.t_high);
@@ -428,7 +461,7 @@ mod tests {
         // Node 1 is idle; it receives a request for 7. The set member is
         // overloaded but node 1 is not, so the request is still forwarded
         // (no replication).
-        let a = s.assign(SimTime::ZERO, 1, 7);
+        let a = s.assign(SimTime::ZERO, 1, 7.into());
         assert_eq!(a.service, 0);
         assert_eq!(s.server_set(7).len(), 1);
     }
@@ -437,25 +470,25 @@ mod tests {
     fn sets_shrink_when_underloaded_and_stale() {
         let mut s = l2s(2);
         // Build a replicated set by dual overload.
-        s.assign(SimTime::ZERO, 0, 7);
+        s.assign(SimTime::ZERO, 0, 7.into());
         for _ in 0..30 {
-            s.assign(SimTime::ZERO, 0, 7);
+            s.assign(SimTime::ZERO, 0, 7.into());
         }
         for _ in 0..30 {
-            s.assign(SimTime::ZERO, 1, 9);
+            s.assign(SimTime::ZERO, 1, 9.into());
         }
-        s.assign(SimTime::ZERO, 1, 7);
+        s.assign(SimTime::ZERO, 1, 7.into());
         assert_eq!(s.server_set(7).len(), 2);
         // Drain all load.
         for node in 0..2 {
             while s.open_connections(node) > 0 {
-                s.complete(SimTime::ZERO, node, 7);
+                s.complete(SimTime::ZERO, node, 7.into());
             }
         }
         // Well past the shrink interval, an underloaded assignment prunes
         // the set.
         let later = SimTime::from_secs_f64(60.0);
-        s.assign(later, 0, 7);
+        s.assign(later, 0, 7.into());
         assert_eq!(s.server_set(7).len(), 1, "stale replica pruned");
     }
 
@@ -463,10 +496,10 @@ mod tests {
     fn load_broadcasts_fire_every_delta_changes() {
         let cfg = L2sConfig::default();
         let mut s = l2s(4);
-        s.assign(SimTime::ZERO, 0, 1); // set creation: 3 msgs
+        s.assign(SimTime::ZERO, 0, 1.into()); // set creation: 3 msgs
         let mut msgs = 0;
         for _ in 0..cfg.broadcast_delta {
-            msgs += s.assign(SimTime::ZERO, 0, 1).control_msgs;
+            msgs += s.assign(SimTime::ZERO, 0, 1.into()).control_msgs;
         }
         // Load went 1 -> 5; threshold 4 tripped exactly once.
         assert_eq!(msgs, 3, "one broadcast of N-1 messages");
@@ -475,14 +508,14 @@ mod tests {
     #[test]
     fn remote_views_are_stale_until_broadcast() {
         let mut s = l2s(4);
-        s.assign(SimTime::ZERO, 0, 1);
-        s.assign(SimTime::ZERO, 0, 1);
+        s.assign(SimTime::ZERO, 0, 1.into());
+        s.assign(SimTime::ZERO, 0, 1.into());
         // Node 3 has not heard anything yet (only 2 connections < delta).
         assert_eq!(s.viewed_load(3, 0), 0);
         assert_eq!(s.viewed_load(0, 0), 2, "own load always exact");
         // Two more trip the threshold.
-        s.assign(SimTime::ZERO, 0, 1);
-        s.assign(SimTime::ZERO, 0, 1);
+        s.assign(SimTime::ZERO, 0, 1.into());
+        s.assign(SimTime::ZERO, 0, 1.into());
         assert_eq!(s.viewed_load(3, 0), 4, "broadcast synchronized views");
     }
 
@@ -491,13 +524,13 @@ mod tests {
         let cfg = L2sConfig::default();
         let mut s = l2s(4);
         for _ in 0..cfg.broadcast_delta {
-            s.assign(SimTime::ZERO, 0, 1);
+            s.assign(SimTime::ZERO, 0, 1.into());
         }
         // Load is at 4 (broadcast happened). Four completions bring it to
         // 0, drifting 4 from the broadcast value: one more broadcast.
         let mut msgs = 0;
         for _ in 0..cfg.broadcast_delta {
-            msgs += s.complete(SimTime::ZERO, 0, 1);
+            msgs += s.complete(SimTime::ZERO, 0, 1.into());
         }
         assert_eq!(msgs, 3);
     }
@@ -512,7 +545,7 @@ mod tests {
     fn single_node_never_forwards() {
         let mut s = l2s(1);
         for f in 0..10u32 {
-            let a = s.assign(SimTime::ZERO, 0, f);
+            let a = s.assign(SimTime::ZERO, 0, f.into());
             assert_eq!(a.service, 0);
             assert!(!a.forwarded);
             assert_eq!(a.control_msgs, 0, "no peers to notify");
@@ -523,8 +556,8 @@ mod tests {
     fn continuation_served_locally_by_set_member() {
         let mut s = l2s(4);
         // File 7 is owned by node 0, which also holds the connection.
-        s.assign(SimTime::ZERO, 0, 7);
-        let a = s.assign_continuation(SimTime::ZERO, 0, 7);
+        s.assign(SimTime::ZERO, 0, 7.into());
+        let a = s.assign_continuation(SimTime::ZERO, 0, 7.into());
         assert_eq!(a.service, 0);
         assert!(!a.forwarded, "member holder serves without hand-off");
         assert_eq!(s.open_connections(0), 2);
@@ -533,10 +566,10 @@ mod tests {
     #[test]
     fn continuation_at_non_member_runs_the_normal_algorithm() {
         let mut s = l2s(4);
-        s.assign(SimTime::ZERO, 0, 7); // node 0 owns file 7
-                                       // Node 2 holds the connection but is not in 7's set: the request
-                                       // is forwarded to the owner and the set stays clean.
-        let a = s.assign_continuation(SimTime::ZERO, 2, 7);
+        s.assign(SimTime::ZERO, 0, 7.into()); // node 0 owns file 7
+                                              // Node 2 holds the connection but is not in 7's set: the request
+                                              // is forwarded to the owner and the set stays clean.
+        let a = s.assign_continuation(SimTime::ZERO, 2, 7.into());
         assert_eq!(a.service, 0);
         assert!(a.forwarded);
         assert_eq!(s.server_set(7), &[0], "no affinity-driven replication");
@@ -545,7 +578,7 @@ mod tests {
     #[test]
     fn continuation_for_unseen_file_behaves_like_first_request() {
         let mut s = l2s(3);
-        let a = s.assign_continuation(SimTime::ZERO, 1, 99);
+        let a = s.assign_continuation(SimTime::ZERO, 1, 99.into());
         assert_eq!(a.service, 1, "first touch stays local");
         assert_eq!(s.server_set(99), &[1]);
         assert_eq!(a.control_msgs, 2, "set creation broadcast to peers");
@@ -557,7 +590,7 @@ mod tests {
         let mut used = [false; 4];
         for f in 0..8u32 {
             let initial = s.arrival_node();
-            let a = s.assign(SimTime::ZERO, initial, f);
+            let a = s.assign(SimTime::ZERO, initial, f.into());
             used[a.service] = true;
         }
         assert!(

@@ -27,7 +27,6 @@
 use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
 use l2s_cluster::FileId;
 use l2s_util::{invariant, SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// LARD tuning parameters; defaults are the values of Pai et al. that
 /// the paper adopts ("the same execution parameters as determined by
@@ -59,10 +58,22 @@ impl Default for LardConfig {
     }
 }
 
+/// Per-file server set, stored densely by interned [`FileId`]. Empty
+/// `members` means the file has never been requested (the algorithm
+/// never shrinks a set below one member once created).
 #[derive(Clone, Debug)]
 struct ServerSet {
     members: Vec<NodeId>,
     last_modified: SimTime,
+}
+
+impl Default for ServerSet {
+    fn default() -> Self {
+        ServerSet {
+            members: Vec::new(),
+            last_modified: SimTime::ZERO,
+        }
+    }
 }
 
 /// Which flavor of LARD the server runs.
@@ -108,7 +119,12 @@ pub struct Lard {
     viewed_loads: Vec<u32>,
     /// Completions not yet reported to the front-end, per back-end.
     unreported: Vec<u32>,
-    sets: BTreeMap<FileId, ServerSet>,
+    /// `sets[file.index()]` — dense by interned file id, grown on demand
+    /// (or up front via `hint_files`).
+    sets: Vec<ServerSet>,
+    /// Back-end node ids, precomputed so least-loaded scans borrow
+    /// instead of collecting.
+    back_ends: Vec<NodeId>,
     /// Rotating tie-break cursor for least-loaded selections.
     tie_cursor: usize,
     /// Control messages emitted since the last drain.
@@ -148,7 +164,8 @@ impl Lard {
             true_loads: vec![0; n],
             viewed_loads: vec![0; n],
             unreported: vec![0; n],
-            sets: BTreeMap::new(),
+            sets: Vec::new(),
+            back_ends: back_end_range(n).collect(),
             tie_cursor: 0,
             outbox: Vec::new(),
         }
@@ -159,17 +176,20 @@ impl Lard {
         0
     }
 
-    fn back_ends(&self) -> std::ops::Range<NodeId> {
-        back_end_range(self.nodes)
-    }
-
     /// Members of `file`'s server set (empty if never requested). For
     /// tests and analysis.
-    pub fn server_set(&self, file: FileId) -> &[NodeId] {
+    pub fn server_set(&self, file: impl Into<FileId>) -> &[NodeId] {
         self.sets
-            .get(&file)
+            .get(file.into().index())
             .map(|s| s.members.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Grows the dense set table to cover `file`.
+    fn ensure_file(&mut self, file: FileId) {
+        if self.sets.len() <= file.index() {
+            self.sets.resize_with(file.index() + 1, ServerSet::default);
+        }
     }
 }
 
@@ -179,6 +199,12 @@ impl Distributor for Lard {
             (LardMode::Replicated, false) => PolicyKind::Lard,
             (LardMode::Basic, _) => PolicyKind::LardBasic,
             (LardMode::Replicated, true) => PolicyKind::LardDispatcher,
+        }
+    }
+
+    fn hint_files(&mut self, n: usize) {
+        if self.sets.len() < n {
+            self.sets.resize_with(n, ServerSet::default);
         }
     }
 
@@ -204,65 +230,66 @@ impl Distributor for Lard {
         // back-end currently holding it, so `initial` may be any node;
         // the distribution decision is unchanged (the paper's Section 4
         // points to Aron et al. '99 for the P-HTTP handling).
+        self.ensure_file(file);
         let cfg = self.config;
-        let loads = self.viewed_loads.clone();
-        let back_ends: Vec<NodeId> = back_end_range(self.nodes).collect();
-        let cursor = &mut self.tie_cursor;
-        let target = match self.sets.get_mut(&file) {
-            None => {
-                let n = argmin_rotating(&back_ends, |i| loads[i], cursor);
-                self.sets.insert(
-                    file,
-                    ServerSet {
-                        members: vec![n],
-                        last_modified: now,
-                    },
-                );
-                n
-            }
-            Some(set) => {
-                let n = argmin_rotating(&set.members, |m| loads[m], cursor);
-                let m = argmin_rotating(&back_ends, |i| loads[i], cursor);
-                let mut chosen = n;
-                let overloaded =
-                    loads[n] > cfg.t_high && loads[m] < cfg.t_low || loads[n] >= 2 * cfg.t_high;
-                if overloaded {
-                    match self.mode {
-                        LardMode::Replicated => {
-                            if !set.members.contains(&m) {
-                                set.members.push(m);
-                                set.last_modified = now;
-                            }
-                        }
-                        LardMode::Basic => {
-                            // Basic LARD moves the file: the single
-                            // server is replaced outright.
-                            set.members.clear();
+        let mode = self.mode;
+        // Disjoint borrows of the decision tables so the hot path never
+        // clones the load view or the candidate list. `viewed_loads` is
+        // only mutated after the decision, so borrowing it is equivalent
+        // to the snapshot the front-end acts on.
+        let Lard {
+            viewed_loads,
+            sets,
+            back_ends,
+            tie_cursor,
+            ..
+        } = self;
+        let loads = &*viewed_loads;
+        let set = &mut sets[file.index()];
+        let target = if set.members.is_empty() {
+            let n = argmin_rotating(back_ends, |i| loads[i], tie_cursor);
+            set.members.push(n);
+            set.last_modified = now;
+            n
+        } else {
+            let n = argmin_rotating(&set.members, |m| loads[m], tie_cursor);
+            let m = argmin_rotating(back_ends, |i| loads[i], tie_cursor);
+            let mut chosen = n;
+            let overloaded =
+                loads[n] > cfg.t_high && loads[m] < cfg.t_low || loads[n] >= 2 * cfg.t_high;
+            if overloaded {
+                match mode {
+                    LardMode::Replicated => {
+                        if !set.members.contains(&m) {
                             set.members.push(m);
                             set.last_modified = now;
                         }
                     }
-                    chosen = m;
-                }
-                // Replication decay: old multi-member sets shed their
-                // most-loaded member.
-                if set.members.len() > 1
-                    && now.saturating_since(set.last_modified) > cfg.shrink_after
-                {
-                    if let Some(&most) = set.members.iter().max_by_key(|&&mm| (loads[mm], mm)) {
-                        set.members.retain(|&mm| mm != most);
+                    LardMode::Basic => {
+                        // Basic LARD moves the file: the single
+                        // server is replaced outright.
+                        set.members.clear();
+                        set.members.push(m);
                         set.last_modified = now;
-                        if chosen == most {
-                            if let Some(&least) =
-                                set.members.iter().min_by_key(|&&mm| (loads[mm], mm))
-                            {
-                                chosen = least;
-                            }
+                    }
+                }
+                chosen = m;
+            }
+            // Replication decay: old multi-member sets shed their
+            // most-loaded member.
+            if set.members.len() > 1 && now.saturating_since(set.last_modified) > cfg.shrink_after {
+                if let Some(&most) = set.members.iter().max_by_key(|&&mm| (loads[mm], mm)) {
+                    set.members.retain(|&mm| mm != most);
+                    set.last_modified = now;
+                    if chosen == most {
+                        if let Some(&least) = set.members.iter().min_by_key(|&&mm| (loads[mm], mm))
+                        {
+                            chosen = least;
                         }
                     }
                 }
-                chosen
             }
+            chosen
         };
         self.true_loads[target] += 1;
         // The front-end/dispatcher made the assignment, so its view
@@ -291,7 +318,7 @@ impl Distributor for Lard {
     fn assign_continuation(&mut self, now: SimTime, holder: NodeId, file: FileId) -> Assignment {
         let in_set = self
             .sets
-            .get(&file)
+            .get(file.index())
             .map(|s| s.members.contains(&holder))
             .unwrap_or(false);
         if in_set {
@@ -335,7 +362,7 @@ impl Distributor for Lard {
     }
 
     fn serving_nodes(&self) -> Vec<NodeId> {
-        self.back_ends().collect()
+        self.back_ends.clone()
     }
 
     fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
@@ -357,7 +384,7 @@ mod tests {
         for f in 0..100u32 {
             let initial = l.arrival_node();
             assert_eq!(initial, 0);
-            let a = l.assign(SimTime::ZERO, initial, f);
+            let a = l.assign(SimTime::ZERO, initial, f.into());
             assert_ne!(a.service, 0, "front-end must not serve");
             assert!(a.forwarded, "every LARD request is handed off");
         }
@@ -369,12 +396,12 @@ mod tests {
         let mut l = lard(3);
         // Preload back-end 1 with traffic for another file.
         for _ in 0..5 {
-            l.assign(SimTime::ZERO, 0, 99);
+            l.assign(SimTime::ZERO, 0, 99.into());
         }
         // First request picked node 1 (both idle, lowest id). Now file 7
         // must go to node 2 if 1 is busier.
         let busier = l.server_set(99)[0];
-        let a = l.assign(SimTime::ZERO, 0, 7);
+        let a = l.assign(SimTime::ZERO, 0, 7.into());
         assert_ne!(a.service, busier);
         assert_eq!(l.server_set(7), &[a.service]);
     }
@@ -382,9 +409,9 @@ mod tests {
     #[test]
     fn requests_stick_to_the_server_set() {
         let mut l = lard(4);
-        let first = l.assign(SimTime::ZERO, 0, 5).service;
+        let first = l.assign(SimTime::ZERO, 0, 5.into()).service;
         for _ in 0..20 {
-            let a = l.assign(SimTime::ZERO, 0, 5);
+            let a = l.assign(SimTime::ZERO, 0, 5.into());
             assert_eq!(a.service, first, "below T_high the set never grows");
         }
         assert_eq!(l.server_set(5).len(), 1);
@@ -393,13 +420,13 @@ mod tests {
     #[test]
     fn overload_replicates_the_file() {
         let mut l = lard(3);
-        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        let owner = l.assign(SimTime::ZERO, 0, 5.into()).service;
         // Push the owner past T_high while the other back-end stays idle.
         for _ in 0..70 {
-            l.assign(SimTime::ZERO, 0, 5);
+            l.assign(SimTime::ZERO, 0, 5.into());
         }
         assert!(l.open_connections(owner) > LardConfig::default().t_high);
-        let a = l.assign(SimTime::ZERO, 0, 5);
+        let a = l.assign(SimTime::ZERO, 0, 5.into());
         assert_ne!(a.service, owner, "hot file spills to an idle node");
         assert_eq!(l.server_set(5).len(), 2, "set grew");
     }
@@ -409,18 +436,18 @@ mod tests {
         let mut l = lard(3);
         // Build a two-member set.
         for _ in 0..72 {
-            l.assign(SimTime::ZERO, 0, 5);
+            l.assign(SimTime::ZERO, 0, 5.into());
         }
         assert_eq!(l.server_set(5).len(), 2);
         // Drain everything so loads are 0 and report.
         for node in [1usize, 2] {
             while l.open_connections(node) > 0 {
-                l.complete(SimTime::ZERO, node, 5);
+                l.complete(SimTime::ZERO, node, 5.into());
             }
         }
         // Much later, the next request shrinks the set back to one.
         let later = SimTime::from_secs_f64(100.0);
-        l.assign(later, 0, 5);
+        l.assign(later, 0, 5.into());
         assert_eq!(l.server_set(5).len(), 1, "stale replica removed");
     }
 
@@ -428,11 +455,11 @@ mod tests {
     fn completions_report_in_batches() {
         let mut l = lard(2);
         for _ in 0..8 {
-            l.assign(SimTime::ZERO, 0, 1);
+            l.assign(SimTime::ZERO, 0, 1.into());
         }
         let mut msgs = 0;
         for _ in 0..8 {
-            msgs += l.complete(SimTime::ZERO, 1, 1);
+            msgs += l.complete(SimTime::ZERO, 1, 1.into());
         }
         assert_eq!(msgs, 2, "8 completions / batch of 4 = 2 reports");
     }
@@ -441,15 +468,15 @@ mod tests {
     fn viewed_load_lags_true_load() {
         let mut l = lard(2);
         for _ in 0..4 {
-            l.assign(SimTime::ZERO, 0, 1);
+            l.assign(SimTime::ZERO, 0, 1.into());
         }
         // 3 completions: unreported, front-end still sees 4.
         for _ in 0..3 {
-            assert_eq!(l.complete(SimTime::ZERO, 1, 1), 0);
+            assert_eq!(l.complete(SimTime::ZERO, 1, 1.into()), 0);
         }
         assert_eq!(l.open_connections(1), 1);
         assert_eq!(l.viewed_loads[1], 4, "view is stale until the batch");
-        assert_eq!(l.complete(SimTime::ZERO, 1, 1), 1);
+        assert_eq!(l.complete(SimTime::ZERO, 1, 1.into()), 1);
         assert_eq!(l.viewed_loads[1], 0, "batch report synchronizes view");
     }
 
@@ -457,7 +484,7 @@ mod tests {
     fn single_node_degenerates_to_local_service() {
         let mut l = lard(1);
         let initial = l.arrival_node();
-        let a = l.assign(SimTime::ZERO, initial, 3);
+        let a = l.assign(SimTime::ZERO, initial, 3.into());
         assert_eq!(a.service, 0);
         assert!(!a.forwarded);
         assert_eq!(l.serving_nodes(), vec![0]);
@@ -472,10 +499,10 @@ mod tests {
     #[test]
     fn continuation_sticks_to_set_member() {
         let mut l = lard(3);
-        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        let owner = l.assign(SimTime::ZERO, 0, 5.into()).service;
         // The owner holds a persistent connection: the next request for
         // 5 is served locally without a hand-off.
-        let a = l.assign_continuation(SimTime::ZERO, owner, 5);
+        let a = l.assign_continuation(SimTime::ZERO, owner, 5.into());
         assert_eq!(a.service, owner);
         assert!(!a.forwarded);
     }
@@ -483,11 +510,11 @@ mod tests {
     #[test]
     fn continuation_for_foreign_file_is_handed_off() {
         let mut l = lard(3);
-        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        let owner = l.assign(SimTime::ZERO, 0, 5.into()).service;
         let other = if owner == 1 { 2 } else { 1 };
         // `other` holds the connection but is not in 5's server set: the
         // normal algorithm decides (and keeps the single owner).
-        let a = l.assign_continuation(SimTime::ZERO, other, 5);
+        let a = l.assign_continuation(SimTime::ZERO, other, 5.into());
         assert_eq!(a.service, owner);
         assert!(a.forwarded);
         assert_eq!(l.server_set(5), &[owner]);
@@ -497,11 +524,11 @@ mod tests {
     fn basic_lard_moves_instead_of_replicating() {
         let cfg = LardConfig::default();
         let mut l = Lard::basic(3, cfg);
-        let owner = l.assign(SimTime::ZERO, 0, 5).service;
+        let owner = l.assign(SimTime::ZERO, 0, 5.into()).service;
         // Push the owner past 2*T_high so the move rule fires even
         // without an idle target.
         for _ in 0..(2 * cfg.t_high + 2) {
-            l.assign(SimTime::ZERO, 0, 5);
+            l.assign(SimTime::ZERO, 0, 5.into());
         }
         let set = l.server_set(5);
         assert_eq!(set.len(), 1, "basic LARD never replicates");
@@ -517,7 +544,7 @@ mod tests {
             vec![1, 2, 3, 1, 2, 3],
             "round-robin over serving nodes"
         );
-        let a = l.assign(SimTime::ZERO, 1, 9);
+        let a = l.assign(SimTime::ZERO, 1, 9.into());
         assert_ne!(a.service, 0, "dispatcher itself never serves");
         assert_eq!(a.control_msgs, 2, "query + reply to the dispatcher");
         let mut out = Vec::new();
@@ -531,7 +558,7 @@ mod tests {
         // Only one back-end: it accepts and serves everything itself.
         let initial = l.arrival_node();
         assert_eq!(initial, 1);
-        let a = l.assign(SimTime::ZERO, initial, 3);
+        let a = l.assign(SimTime::ZERO, initial, 3.into());
         assert_eq!(a.service, 1);
         assert!(!a.forwarded, "no hand-off when the decision is local");
     }

@@ -139,6 +139,14 @@ pub trait Distributor {
     /// Where the next client connection lands.
     fn arrival_node(&mut self) -> NodeId;
 
+    /// Hints the number of distinct files in the workload (dense
+    /// interned ids `0..n`), letting policies size their per-file tables
+    /// up front instead of growing them on demand. Optional; a no-op by
+    /// default.
+    fn hint_files(&mut self, n: usize) {
+        let _ = n;
+    }
+
     /// A continuation request arrived at `holder` over an existing
     /// persistent connection. Policies that count connections at the
     /// switch (fewest-connections) account it here; most need nothing.
@@ -215,8 +223,15 @@ pub(crate) fn argmin_rotating<T: PartialOrd + Copy>(
     *cursor = cursor.wrapping_add(1);
     let mut best = candidates[start];
     let mut best_load = load_of(best);
-    for k in 1..n {
-        let c = candidates[(start + k) % n];
+    // Wrap by branch instead of `(start + k) % n`: integer division per
+    // candidate is measurable in the simulator's Decide handler.
+    let mut idx = start;
+    for _ in 1..n {
+        idx += 1;
+        if idx == n {
+            idx = 0;
+        }
+        let c = candidates[idx];
         let l = load_of(c);
         if l < best_load {
             best = c;
@@ -255,8 +270,8 @@ mod tests {
             let mut in_flight: Vec<(NodeId, FileId)> = Vec::new();
             for file in 0..50u32 {
                 let initial = policy.arrival_node();
-                let a = policy.assign(now, initial, file % 7);
-                in_flight.push((a.service, file % 7));
+                let a = policy.assign(now, initial, (file % 7).into());
+                in_flight.push((a.service, (file % 7).into()));
             }
             let total: u32 = (0..n).map(|i| policy.open_connections(i)).sum();
             assert_eq!(total, 50, "{}: open != assigned", kind.name());
@@ -276,7 +291,7 @@ mod tests {
             for file in 0..30u32 {
                 let initial = policy.arrival_node();
                 assert!(initial < n);
-                let a = policy.assign(SimTime::ZERO, initial, file);
+                let a = policy.assign(SimTime::ZERO, initial, file.into());
                 assert!(a.service < n, "{}: service out of range", kind.name());
                 assert_eq!(
                     a.forwarded,

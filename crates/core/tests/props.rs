@@ -24,11 +24,11 @@ fn drive(
         if complete && !in_flight.is_empty() {
             let idx = rng.index(in_flight.len());
             let (node, f) = in_flight.swap_remove(idx);
-            msg_count_claimed += u64::from(policy.complete(now, node, f));
+            msg_count_claimed += u64::from(policy.complete(now, node, f.into()));
         } else {
             let initial = policy.arrival_node();
             prop_assert!(initial < nodes);
-            let a = policy.assign(now, initial, file);
+            let a = policy.assign(now, initial, file.into());
             prop_assert!(a.service < nodes);
             prop_assert_eq!(a.forwarded, a.service != initial);
             msg_count_claimed += u64::from(a.control_msgs);
@@ -76,10 +76,10 @@ proptest! {
         for (file, complete) in ops {
             if complete && !in_flight.is_empty() {
                 let (node, f) = in_flight.swap_remove(0);
-                policy.complete(now, node, f);
+                policy.complete(now, node, f.into());
             } else {
                 let initial = policy.arrival_node();
-                let a = policy.assign(now, initial, file);
+                let a = policy.assign(now, initial, file.into());
                 in_flight.push((a.service, file));
                 seen_files.insert(file);
             }
@@ -111,10 +111,10 @@ proptest! {
         for (file, complete) in ops {
             if complete && !in_flight.is_empty() {
                 let (node, f) = in_flight.swap_remove(0);
-                policy.complete(now, node, f);
+                policy.complete(now, node, f.into());
             } else {
                 let initial = policy.arrival_node();
-                let a = policy.assign(now, initial, file);
+                let a = policy.assign(now, initial, file.into());
                 in_flight.push((a.service, file));
             }
             for k in 0..nodes {
@@ -138,7 +138,7 @@ proptest! {
         let now = SimTime::ZERO;
         for file in ops {
             let initial = policy.arrival_node();
-            policy.assign(now, initial, file);
+            policy.assign(now, initial, file.into());
             for k in 0..nodes {
                 peak = peak.max(policy.open_connections(k));
             }

@@ -10,10 +10,13 @@ use std::collections::VecDeque;
 /// `s` completes at `max(now, free_at) + s`. This is exact for FIFO
 /// single-server queues and keeps the event count per request constant.
 ///
-/// The station also tracks the completion times of in-flight jobs so the
-/// simulator can ask for the instantaneous backlog (`queue_len`) — the
-/// paper admits new client requests only while "the router and network
-/// interface buffers would accept them".
+/// Capacity-bounded stations additionally track the completion times of
+/// in-flight jobs so the simulator can ask for the instantaneous backlog
+/// (`queue_len`) — the paper admits new client requests only while "the
+/// router and network interface buffers would accept them". Unbounded
+/// stations skip that bookkeeping entirely: admission control never
+/// consults them, and dropping the per-job ring-buffer traffic keeps the
+/// hot path allocation- and branch-light.
 #[derive(Clone, Debug)]
 pub struct FifoResource {
     free_at: SimTime,
@@ -62,7 +65,9 @@ impl FifoResource {
         }
     }
 
-    /// Number of jobs queued or in service at `now`.
+    /// Number of jobs queued or in service at `now`. Only
+    /// capacity-bounded stations track backlog; an unbounded station
+    /// always reports 0.
     pub fn queue_len(&mut self, now: SimTime) -> usize {
         self.drain(now);
         self.completions.len()
@@ -72,7 +77,9 @@ impl FifoResource {
     pub fn would_accept(&mut self, now: SimTime) -> bool {
         match self.capacity {
             None => true,
-            Some(cap) => self.queue_len(now) < cap,
+            // `completions` only shrinks by draining, so an under-cap
+            // count is conclusive without the drain scan.
+            Some(cap) => self.completions.len() < cap || self.queue_len(now) < cap,
         }
     }
 
@@ -89,7 +96,9 @@ impl FifoResource {
     /// completion time. Ignores any capacity bound — use for stations
     /// where upstream admission already limits backlog.
     pub fn schedule(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        self.drain(now);
+        if self.capacity.is_some() {
+            self.drain(now);
+        }
         self.schedule_unchecked(now, service)
     }
 
@@ -99,7 +108,9 @@ impl FifoResource {
         self.free_at = done;
         self.busy += service;
         self.served += 1;
-        self.completions.push_back(done);
+        if self.capacity.is_some() {
+            self.completions.push_back(done);
+        }
         done
     }
 
@@ -200,7 +211,7 @@ mod tests {
 
     #[test]
     fn queue_len_tracks_backlog() {
-        let mut r = FifoResource::new();
+        let mut r = FifoResource::with_capacity(8);
         r.schedule(t(0), d(100)); // done at 100
         r.schedule(t(0), d(100)); // done at 200
         r.schedule(t(0), d(100)); // done at 300
@@ -208,6 +219,16 @@ mod tests {
         assert_eq!(r.queue_len(t(100)), 2);
         assert_eq!(r.queue_len(t(250)), 1);
         assert_eq!(r.queue_len(t(300)), 0);
+    }
+
+    #[test]
+    fn unbounded_station_skips_backlog_tracking() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(100));
+        r.schedule(t(0), d(100));
+        assert_eq!(r.queue_len(t(50)), 0, "no tracking without a capacity");
+        assert!(r.would_accept(t(50)));
+        assert_eq!(r.served(), 2, "stats still accumulate");
     }
 
     #[test]

@@ -105,6 +105,14 @@ impl Fabric {
         self.router.schedule(now, self.config.router_service(kb))
     }
 
+    /// [`Fabric::router_transit`] with a precomputed service time (the
+    /// simulator caches per-file router times; the value must equal
+    /// `config.router_service(kb)` for the transfer's size).
+    #[inline]
+    pub fn router_transit_service(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        self.router.schedule(now, service)
+    }
+
     /// Inbound admission-checked variant of [`Fabric::router_transit`]:
     /// `None` when the buffer is full.
     pub fn try_router_transit(&mut self, now: SimTime, kb: f64) -> Option<SimTime> {

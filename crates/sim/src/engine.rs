@@ -84,6 +84,63 @@ struct Measure {
     seg_service: OnlineStats,
 }
 
+/// Service times precomputed once per run so the event loop never
+/// re-derives a `SimDuration` from `f64` seconds on the hot path. The
+/// cached values are produced by the exact same conversions the
+/// `NodeCosts`/`NetConfig` helpers perform per call, so every scheduled
+/// duration is bit-identical to computing it on demand.
+struct CostCache {
+    ni_in: SimDuration,
+    parse: SimDuration,
+    forward: SimDuration,
+    msg_cpu: SimDuration,
+    msg_ni: SimDuration,
+    quantum: SimDuration,
+    /// Router service time for one inbound client request.
+    router_request: SimDuration,
+    /// Size-dependent service times, indexed by interned file id.
+    per_file: Vec<FileCost>,
+}
+
+/// Per-file service times (dense by interned file id).
+struct FileCost {
+    mem_reply: SimDuration,
+    disk_read: SimDuration,
+    ni_out: SimDuration,
+    router: SimDuration,
+}
+
+impl CostCache {
+    fn new(config: &SimConfig, trace: &Trace) -> Self {
+        let costs = &config.costs;
+        let files = trace.files();
+        let per_file = files
+            .iter()
+            .map(|(_, kb)| FileCost {
+                mem_reply: costs.mem_reply(kb),
+                disk_read: costs.disk_read(kb),
+                ni_out: costs.ni_out(kb),
+                router: config.net.router_service(kb),
+            })
+            .collect();
+        CostCache {
+            ni_in: costs.ni_in(),
+            parse: costs.parse(),
+            forward: costs.forward(),
+            msg_cpu: costs.msg_cpu(),
+            msg_ni: costs.msg_ni(),
+            quantum: SimDuration::from_secs_f64(config.cpu_quantum_s),
+            router_request: config.net.router_service(config.request_kb),
+            per_file,
+        }
+    }
+
+    #[inline]
+    fn file(&self, file: FileId) -> &FileCost {
+        &self.per_file[file.index()]
+    }
+}
+
 struct Engine<'t> {
     config: SimConfig,
     trace: &'t Trace,
@@ -98,13 +155,18 @@ struct Engine<'t> {
     outstanding: usize,
     measure: Measure,
     msg_buf: Vec<(NodeId, NodeId)>,
+    cc: CostCache,
     rng: DetRng,
+    /// Events processed over the whole run (warm-up included).
+    events_handled: u64,
+    /// Deepest the future-event list ever grew.
+    peak_fel: usize,
 }
 
 /// Home node of `file` under the hash-placed distributed file system
 /// (Fibonacci hashing, matching the pure-locality baseline's spread).
 fn dfs_home(file: FileId, nodes: usize) -> NodeId {
-    let h = (file as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h = (file.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (h % nodes as u64) as NodeId
 }
 
@@ -133,11 +195,16 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
         .unwrap_or(trace.len());
     assert!(limit > 0, "max_requests must leave at least one request");
 
+    let mut policy = build_policy(policy_kind, config);
+    // Files are interned densely, so policies can size their per-file
+    // tables once instead of growing them request by request.
+    policy.hint_files(trace.files().len());
+    let window = config.total_window();
     let mut engine = Engine {
         config: *config,
         trace,
         limit,
-        policy: build_policy(policy_kind, config),
+        policy,
         nodes: build_nodes(
             config.nodes,
             config.cache_policy,
@@ -145,14 +212,22 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
             config.ni_buffer,
         ),
         fabric: Fabric::new(config.net),
-        queue: EventQueue::new(),
-        slab: Vec::with_capacity(config.total_window()),
-        free: Vec::new(),
+        // Every in-flight request holds at most one pending event, plus
+        // one slot for the open-loop arrival timer.
+        queue: EventQueue::with_capacity(window + 1),
+        slab: Vec::with_capacity(window),
+        free: Vec::with_capacity(window),
         next_request: 0,
         outstanding: 0,
-        measure: Measure::default(),
-        msg_buf: Vec::new(),
+        measure: Measure {
+            response_s: Vec::with_capacity(limit),
+            ..Measure::default()
+        },
+        msg_buf: Vec::with_capacity(64),
+        cc: CostCache::new(config, trace),
         rng: DetRng::new(config.seed),
+        events_handled: 0,
+        peak_fel: 0,
     };
 
     if config.warmup {
@@ -172,6 +247,8 @@ impl<'t> Engine<'t> {
             ArrivalMode::ClosedLoop => {
                 self.try_inject();
                 while let Some((now, ev)) = self.queue.pop() {
+                    self.events_handled += 1;
+                    self.peak_fel = self.peak_fel.max(self.queue.len() + 1);
                     self.handle(now, ev);
                     self.try_inject();
                 }
@@ -179,6 +256,8 @@ impl<'t> Engine<'t> {
             ArrivalMode::Poisson { .. } => {
                 self.schedule_next_arrival();
                 while let Some((now, ev)) = self.queue.pop() {
+                    self.events_handled += 1;
+                    self.peak_fel = self.peak_fel.max(self.queue.len() + 1);
                     self.handle(now, ev);
                 }
             }
@@ -242,7 +321,9 @@ impl<'t> Engine<'t> {
             conn_remaining,
             continuation,
         });
-        let cleared = self.fabric.router_transit(now, self.config.request_kb);
+        let cleared = self
+            .fabric
+            .router_transit_service(now, self.cc.router_request);
         let at_node = self.fabric.switch_transit(cleared);
         self.queue.schedule(at_node, Ev::NicIn(id));
         self.outstanding += 1;
@@ -256,8 +337,12 @@ impl<'t> Engine<'t> {
             node.reset_stats();
         }
         self.fabric.reset_stats();
+        // Keep the response-time buffer's allocation across the reset.
+        let mut response_s = std::mem::take(&mut self.measure.response_s);
+        response_s.clear();
         self.measure = Measure {
             started_at: self.queue.now(),
+            response_s,
             ..Measure::default()
         };
     }
@@ -282,16 +367,12 @@ impl<'t> Engine<'t> {
         match ev {
             Ev::NicIn(id) => {
                 let node = self.slab[id as usize].initial;
-                let done = self.nodes[node]
-                    .ni_in
-                    .schedule(now, self.config.costs.ni_in());
+                let done = self.nodes[node].ni_in.schedule(now, self.cc.ni_in);
                 self.queue.schedule(done, Ev::Parse(id));
             }
             Ev::Parse(id) => {
                 let node = self.slab[id as usize].initial;
-                let done = self.nodes[node]
-                    .cpu
-                    .schedule(now, self.config.costs.parse());
+                let done = self.nodes[node].cpu.schedule(now, self.cc.parse);
                 self.queue.schedule(done, Ev::Decide(id));
             }
             Ev::Decide(id) => {
@@ -314,9 +395,7 @@ impl<'t> Engine<'t> {
                 req.decided = now;
                 if assignment.forwarded {
                     self.measure.forwarded += 1;
-                    let done = self.nodes[initial]
-                        .cpu
-                        .schedule(now, self.config.costs.forward());
+                    let done = self.nodes[initial].cpu.schedule(now, self.cc.forward);
                     self.queue.schedule(done, Ev::HandoffOut(id));
                 } else {
                     self.queue.schedule(now, Ev::Serve(id));
@@ -324,17 +403,13 @@ impl<'t> Engine<'t> {
             }
             Ev::HandoffOut(id) => {
                 let node = self.slab[id as usize].initial;
-                let done = self.nodes[node]
-                    .ni_out
-                    .schedule(now, self.config.costs.msg_ni());
+                let done = self.nodes[node].ni_out.schedule(now, self.cc.msg_ni);
                 let arrived = self.fabric.switch_transit(done);
                 self.queue.schedule(arrived, Ev::HandoffIn(id));
             }
             Ev::HandoffIn(id) => {
                 let node = self.slab[id as usize].service;
-                let done = self.nodes[node]
-                    .ni_in
-                    .schedule(now, self.config.costs.msg_ni());
+                let done = self.nodes[node].ni_in.schedule(now, self.cc.msg_ni);
                 self.queue.schedule(done, Ev::Serve(id));
             }
             Ev::Serve(id) => {
@@ -345,51 +420,52 @@ impl<'t> Engine<'t> {
                 };
                 let hit = self.nodes[node].access_file(file, kb);
                 if hit {
-                    self.slab[id as usize].reply_remaining = self.reply_cpu_time(kb, forwarded);
+                    self.slab[id as usize].reply_remaining = self.reply_cpu_time(file, forwarded);
                     self.schedule_reply_chunk(id, now);
                 } else {
                     let home = dfs_home(file, self.config.nodes);
                     if self.config.dfs_remote && home != node {
                         // Remote miss: ask the home node's disk through
                         // the cluster network.
-                        let costs = self.config.costs;
-                        let sent = self.nodes[node].cpu.schedule(now, costs.msg_cpu());
-                        let on_wire = self.nodes[node].ni_out.schedule(sent, costs.msg_ni());
+                        let sent = self.nodes[node].cpu.schedule(now, self.cc.msg_cpu);
+                        let on_wire = self.nodes[node].ni_out.schedule(sent, self.cc.msg_ni);
                         let arrived = self.fabric.switch_transit(on_wire);
                         self.queue.schedule(arrived, Ev::DfsRead(id));
                     } else {
                         let done = self.nodes[node]
                             .disk
-                            .schedule(now, self.config.costs.disk_read(kb));
+                            .schedule(now, self.cc.file(file).disk_read);
                         self.queue.schedule(done, Ev::ReplyReady(id));
                     }
                 }
             }
             Ev::ReplyReady(id) => {
-                let (kb, forwarded) = {
+                let (file, forwarded) = {
                     let r = &self.slab[id as usize];
-                    (r.kb, r.forwarded)
+                    (r.file, r.forwarded)
                 };
-                self.slab[id as usize].reply_remaining = self.reply_cpu_time(kb, forwarded);
+                self.slab[id as usize].reply_remaining = self.reply_cpu_time(file, forwarded);
                 self.schedule_reply_chunk(id, now);
             }
             Ev::ReplyChunk(id) => {
                 self.schedule_reply_chunk(id, now);
             }
             Ev::NicOut(id) => {
-                let (node, kb) = {
+                let (node, file) = {
                     let r = &self.slab[id as usize];
-                    (r.service, r.kb)
+                    (r.service, r.file)
                 };
                 let done = self.nodes[node]
                     .ni_out
-                    .schedule(now, self.config.costs.ni_out(kb));
+                    .schedule(now, self.cc.file(file).ni_out);
                 let at_router = self.fabric.switch_transit(done);
                 self.queue.schedule(at_router, Ev::RouterOut(id));
             }
             Ev::RouterOut(id) => {
-                let kb = self.slab[id as usize].kb;
-                let done = self.fabric.router_transit(now, kb);
+                let file = self.slab[id as usize].file;
+                let done = self
+                    .fabric
+                    .router_transit_service(now, self.cc.file(file).router);
                 self.queue.schedule(done, Ev::Done(id));
             }
             Ev::ClientArrival => {
@@ -399,38 +475,38 @@ impl<'t> Engine<'t> {
                 self.schedule_next_arrival();
             }
             Ev::DfsRead(id) => {
-                let (node, kb) = {
+                let (node, file) = {
                     let r = &self.slab[id as usize];
-                    (r.service, r.kb)
+                    (r.service, r.file)
                 };
-                let home = dfs_home(self.slab[id as usize].file, self.config.nodes);
+                let home = dfs_home(file, self.config.nodes);
                 invariant!(
                     home != node,
                     "DFS miss routed to its own home: node {node} fetching locally"
                 );
                 let done = self.nodes[home]
                     .disk
-                    .schedule(now, self.config.costs.disk_read(kb));
+                    .schedule(now, self.cc.file(file).disk_read);
                 self.queue.schedule(done, Ev::DfsTransfer(id));
             }
             Ev::DfsTransfer(id) => {
-                let kb = self.slab[id as usize].kb;
-                let home = dfs_home(self.slab[id as usize].file, self.config.nodes);
+                let file = self.slab[id as usize].file;
+                let home = dfs_home(file, self.config.nodes);
                 let done = self.nodes[home]
                     .ni_out
-                    .schedule(now, self.config.costs.ni_out(kb));
+                    .schedule(now, self.cc.file(file).ni_out);
                 let arrived = self.fabric.switch_transit(done);
                 self.queue.schedule(arrived, Ev::DfsBack(id));
             }
             Ev::DfsBack(id) => {
-                let (node, kb) = {
+                let (node, file) = {
                     let r = &self.slab[id as usize];
-                    (r.service, r.kb)
+                    (r.service, r.file)
                 };
                 // Receiving the file costs the NI the same as sending it.
                 let done = self.nodes[node]
                     .ni_in
-                    .schedule(now, self.config.costs.ni_out(kb));
+                    .schedule(now, self.cc.file(file).ni_out);
                 self.queue.schedule(done, Ev::ReplyReady(id));
             }
             Ev::Done(id) => {
@@ -478,10 +554,10 @@ impl<'t> Engine<'t> {
 
     /// CPU time for a reply: the µm cost plus, for handed-off requests,
     /// the small-message receive cost.
-    fn reply_cpu_time(&self, kb: f64, forwarded: bool) -> SimDuration {
-        let mut t = self.config.costs.mem_reply(kb);
+    fn reply_cpu_time(&self, file: FileId, forwarded: bool) -> SimDuration {
+        let mut t = self.cc.file(file).mem_reply;
         if forwarded {
-            t += self.config.costs.msg_cpu();
+            t += self.cc.msg_cpu;
         }
         t
     }
@@ -492,7 +568,7 @@ impl<'t> Engine<'t> {
     /// time, long replies interleave with short operations exactly like
     /// time-shared segment processing.
     fn schedule_reply_chunk(&mut self, id: ReqId, now: SimTime) {
-        let quantum = SimDuration::from_secs_f64(self.config.cpu_quantum_s);
+        let quantum = self.cc.quantum;
         let node = self.slab[id as usize].service;
         let remaining = self.slab[id as usize].reply_remaining;
         let chunk = remaining.min(quantum);
@@ -517,17 +593,13 @@ impl<'t> Engine<'t> {
     /// handling up to one message latency (~19 µs) early — far below the
     /// fidelity of interest.
     fn charge_messages(&mut self, now: SimTime) {
-        if self.msg_buf.capacity() == 0 {
-            self.msg_buf.reserve(16);
-        }
         let mut buf = std::mem::take(&mut self.msg_buf);
         self.policy.drain_messages(&mut buf);
         for &(from, to) in &buf {
-            let costs = &self.config.costs;
-            self.nodes[from].cpu.schedule(now, costs.msg_cpu());
-            self.nodes[from].ni_out.schedule(now, costs.msg_ni());
-            self.nodes[to].ni_in.schedule(now, costs.msg_ni());
-            self.nodes[to].cpu.schedule(now, costs.msg_cpu());
+            self.nodes[from].cpu.schedule(now, self.cc.msg_cpu);
+            self.nodes[from].ni_out.schedule(now, self.cc.msg_ni);
+            self.nodes[to].ni_in.schedule(now, self.cc.msg_ni);
+            self.nodes[to].cpu.schedule(now, self.cc.msg_cpu);
         }
         buf.clear();
         self.msg_buf = buf;
@@ -626,6 +698,8 @@ impl<'t> Engine<'t> {
                 self.measure.seg_handoff.mean(),
                 self.measure.seg_service.mean(),
             ],
+            events_handled: self.events_handled,
+            peak_fel_depth: self.peak_fel,
             per_node,
         }
     }

@@ -66,6 +66,13 @@ pub struct SimReport {
     /// through readiness at the service node, and readiness through reply
     /// departure. Useful for locating queueing delay.
     pub segment_means_s: [f64; 3],
+    /// Simulator events processed over the whole run (warm-up included) —
+    /// the denominator-free unit of simulation work, used by the
+    /// `perf_baseline` harness to compute events/sec.
+    pub events_handled: u64,
+    /// Deepest the future-event list ever grew over the whole run — a
+    /// capacity indicator for the event queue.
+    pub peak_fel_depth: usize,
     /// Per-node details.
     pub per_node: Vec<NodeReport>,
 }
@@ -136,6 +143,8 @@ mod tests {
             mean_response_s: 0.0,
             p99_response_s: 0.0,
             segment_means_s: [0.0; 3],
+            events_handled: 0,
+            peak_fel_depth: 0,
             per_node: vec![node(10), node(10)],
         };
         assert_eq!(r.completion_imbalance(), 0.0);
@@ -157,6 +166,8 @@ mod tests {
             mean_response_s: 0.0,
             p99_response_s: 0.0,
             segment_means_s: [0.0; 3],
+            events_handled: 0,
+            peak_fel_depth: 0,
             per_node: vec![node(19), node(1)],
         };
         assert!(r.completion_imbalance() > 0.5);

@@ -7,12 +7,12 @@ fn main() {
         let mut cache = l2s_cache_sim::Lru::new(32.0 * 1024.0);
         // warm once, then measure
         for &f in trace.requests() {
-            cache.access(f, trace.files().size_kb(f));
+            cache.access(f.raw(), trace.files().size_kb(f));
         }
         cache.hits = 0;
         cache.misses = 0;
         for &f in trace.requests() {
-            cache.access(f, trace.files().size_kb(f));
+            cache.access(f.raw(), trace.files().size_kb(f));
         }
         println!(
             "{:>9}: miss = {:.1}%  (avg_req {:.1} KB, alpha target {:.2})",

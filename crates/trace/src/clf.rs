@@ -6,8 +6,64 @@
 //! Section 5.1, incomplete transfers are dropped: only successful `GET`
 //! requests with a known, positive size are kept.
 
-use crate::{FileSet, Trace};
+use crate::{FileId, FileSet, Trace};
 use std::collections::BTreeMap;
+
+/// Interns URL paths as dense [`FileId`]s in first-seen order.
+///
+/// The interner is the single point where external file identities (log
+/// paths) become the dense `u32` indices the rest of the workspace is
+/// built on: ids are handed out consecutively from 0, so downstream
+/// per-file state can be a flat `Vec` indexed by [`FileId::index`].
+/// The map is ordered (`BTreeMap`) only because interning happens at
+/// parse time, far off the simulator's hot path, and the determinism
+/// lint bans hash containers in this crate wholesale.
+#[derive(Clone, Debug, Default)]
+pub struct FileInterner {
+    ids: BTreeMap<String, FileId>,
+}
+
+impl FileInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `path`'s id, assigning the next dense index on first sight.
+    pub fn intern(&mut self, path: &str) -> FileId {
+        if let Some(&id) = self.ids.get(path) {
+            return id;
+        }
+        let id = FileId::from_raw(self.ids.len() as u32);
+        self.ids.insert(path.to_string(), id);
+        id
+    }
+
+    /// The id previously assigned to `path`, if any.
+    pub fn get(&self, path: &str) -> Option<FileId> {
+        self.ids.get(path).copied()
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The interned paths in dense-id order (index `i` is the path of
+    /// `FileId(i)`).
+    pub fn into_paths(self) -> Vec<String> {
+        let mut paths = vec![String::new(); self.ids.len()];
+        for (path, id) in self.ids {
+            paths[id.index()] = path;
+        }
+        paths
+    }
+}
 
 /// One parsed access-log line.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,9 +121,9 @@ pub fn parse_line(line: &str) -> Option<LogEntry> {
 /// requests. A file's size is the largest size ever reported for its
 /// path (logs record partial transfers as smaller byte counts).
 pub fn parse_log(name: &str, text: &str) -> Trace {
-    let mut path_ids: BTreeMap<String, u32> = BTreeMap::new();
+    let mut interner = FileInterner::new();
     let mut sizes_kb: Vec<f64> = Vec::new();
-    let mut requests: Vec<u32> = Vec::new();
+    let mut requests: Vec<FileId> = Vec::new();
 
     for line in text.lines() {
         let Some(entry) = parse_line(line) else {
@@ -81,12 +137,11 @@ pub fn parse_log(name: &str, text: &str) -> Trace {
             continue;
         }
         let kb = bytes as f64 / 1024.0;
-        let next_id = path_ids.len() as u32;
-        let id = *path_ids.entry(entry.path).or_insert(next_id);
-        if id as usize == sizes_kb.len() {
+        let id = interner.intern(&entry.path);
+        if id.index() == sizes_kb.len() {
             sizes_kb.push(kb);
         } else {
-            sizes_kb[id as usize] = sizes_kb[id as usize].max(kb);
+            sizes_kb[id.index()] = sizes_kb[id.index()].max(kb);
         }
         requests.push(id);
     }
@@ -158,6 +213,20 @@ h - - [d] "GET /big.iso HTTP/1.0" 200 2048
         assert_eq!(t.files().len(), 1);
         assert!((t.files().size_kb(0) - 1024.0).abs() < 1e-9);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn interner_hands_out_dense_first_seen_ids() {
+        let mut i = FileInterner::new();
+        assert!(i.is_empty());
+        let a = i.intern("/a.html");
+        let b = i.intern("/b.html");
+        assert_eq!(i.intern("/a.html"), a, "re-interning is stable");
+        assert_eq!((a, b), (FileId::from_raw(0), FileId::from_raw(1)));
+        assert_eq!(i.get("/b.html"), Some(b));
+        assert_eq!(i.get("/missing"), None);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.into_paths(), vec!["/a.html", "/b.html"]);
     }
 
     #[test]

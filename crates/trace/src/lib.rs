@@ -28,6 +28,7 @@ mod stats;
 mod synth;
 mod types;
 
+pub use clf::FileInterner;
 pub use stats::TraceStats;
 pub use synth::TraceSpec;
 pub use types::{FileId, FileSet, Trace};

@@ -129,7 +129,7 @@ mod tests {
         let files = FileSet::new(vec![1.0, 1.0]);
         let single = Trace::new("one", files.clone(), vec![0, 0, 0]);
         assert_eq!(estimate_alpha(&single), 0.0);
-        let empty = Trace::new("none", files, vec![]);
+        let empty = Trace::new("none", files, Vec::<u32>::new());
         assert_eq!(estimate_alpha(&empty), 0.0);
     }
 

@@ -1,7 +1,68 @@
 //! Core trace types.
 
-/// Identifies one file served by the cluster (index into a [`FileSet`]).
-pub type FileId = u32;
+use std::fmt;
+
+/// Identifies one file served by the cluster — a dense index into a
+/// [`FileSet`].
+///
+/// Ids are *interned*: every producer of traces (the synthetic generator,
+/// the CLF parser via [`crate::clf::FileInterner`]) hands out consecutive
+/// indices starting at 0, so any per-file state elsewhere in the workspace
+/// can live in a flat `Vec` indexed by [`FileId::index`] instead of an
+/// ordered map. Iterating such a `Vec` visits files in dense-index order,
+/// which keeps results deterministic *by construction* — no ordered map
+/// needed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FileId(u32);
+
+impl FileId {
+    /// Wraps a raw dense index.
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        FileId(raw)
+    }
+
+    /// The raw dense index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `Vec` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for FileId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        FileId(raw)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+// Comparisons against raw indices, so call sites (tests especially) can
+// say `file == 3` and `assert_eq!(evicted, vec![2, 3])` without wrapping.
+impl PartialEq<u32> for FileId {
+    #[inline]
+    fn eq(&self, other: &u32) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<FileId> for u32 {
+    #[inline]
+    fn eq(&self, other: &FileId) -> bool {
+        *self == other.0
+    }
+}
 
 /// The population of files a trace requests, with their sizes.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,10 +91,10 @@ impl FileSet {
         self.sizes_kb.is_empty()
     }
 
-    /// Size of `file` in KB.
+    /// Size of `file` in KB. Accepts a raw `u32` index as well.
     #[inline]
-    pub fn size_kb(&self, file: FileId) -> f64 {
-        self.sizes_kb[file as usize]
+    pub fn size_kb(&self, file: impl Into<FileId>) -> f64 {
+        self.sizes_kb[file.into().index()]
     }
 
     /// Sum of all file sizes in KB.
@@ -55,7 +116,7 @@ impl FileSet {
         self.sizes_kb
             .iter()
             .enumerate()
-            .map(|(i, &s)| (i as FileId, s))
+            .map(|(i, &s)| (FileId::from_raw(i as u32), s))
     }
 }
 
@@ -74,11 +135,17 @@ pub struct Trace {
 
 impl Trace {
     /// Builds a trace. Panics if any request references a file outside
-    /// the set.
-    pub fn new<S: Into<String>>(name: S, files: FileSet, requests: Vec<FileId>) -> Self {
+    /// the set. Accepts raw `u32` indices as well as [`FileId`]s.
+    pub fn new<S, I>(name: S, files: FileSet, requests: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator,
+        I::Item: Into<FileId>,
+    {
+        let requests: Vec<FileId> = requests.into_iter().map(Into::into).collect();
         let n = files.len();
         assert!(
-            requests.iter().all(|&f| (f as usize) < n),
+            requests.iter().all(|f| f.index() < n),
             "request references unknown file"
         );
         Trace {
@@ -128,8 +195,8 @@ impl Trace {
         let mut seen = vec![false; self.files.len()];
         let mut total = 0.0;
         for &f in &self.requests {
-            if !seen[f as usize] {
-                seen[f as usize] = true;
+            if !seen[f.index()] {
+                seen[f.index()] = true;
                 total += self.files.size_kb(f);
             }
         }
@@ -141,8 +208,8 @@ impl Trace {
         let mut seen = vec![false; self.files.len()];
         let mut count = 0;
         for &f in &self.requests {
-            if !seen[f as usize] {
-                seen[f as usize] = true;
+            if !seen[f.index()] {
+                seen[f.index()] = true;
                 count += 1;
             }
         }
@@ -153,7 +220,7 @@ impl Trace {
     pub fn request_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.files.len()];
         for &f in &self.requests {
-            counts[f as usize] += 1;
+            counts[f.index()] += 1;
         }
         counts
     }
@@ -221,7 +288,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_safe() {
-        let t = Trace::new("e", FileSet::new(vec![5.0]), vec![]);
+        let t = Trace::new("e", FileSet::new(vec![5.0]), Vec::<u32>::new());
         assert!(t.is_empty());
         assert_eq!(t.avg_request_kb(), 0.0);
         assert_eq!(t.working_set_kb(), 0.0);

@@ -1,13 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates every paper table/figure. Quick mode by default;
+# Regenerates every paper table/figure with a single in-process run, so
+# trace generation is shared across experiments. Quick mode by default;
 # L2S_BENCH_FULL=1 for full-fidelity runs.
 set -euo pipefail
 mkdir -p results/logs
-for bin in fig03_oblivious_surface fig04_conscious_surface fig05_throughput_increase \
-           exp_memory_sweep exp_replication table2_traces \
-           fig07_calgary fig08_clarknet fig09_nasa fig10_rutgers \
-           exp_miss_rates exp_idle_times exp_forwarding exp_memory_sim exp_sensitivity \
-           exp_lard_variants exp_latency_curve exp_persistent exp_dfs exp_cache_policy; do
-    echo "=== $bin ==="
-    cargo run --release -p l2s-bench --bin "$bin" | tee "results/logs/$bin.txt"
-done
+cargo run --release -p l2s-bench --bin all_figures | tee results/logs/all_figures.txt

@@ -48,6 +48,7 @@ pub use l2s as policy;
 /// The most commonly used items, for `use cluster_server_eval::prelude::*`.
 pub mod prelude {
     pub use l2s::PolicyKind;
+    pub use l2s_cluster::CachePolicy;
     pub use l2s_model::{ModelParams, QueueModel, ServerKind};
     pub use l2s_sim::{simulate, SimConfig, SimReport};
     pub use l2s_trace::{Trace, TraceSpec};

@@ -1,0 +1,101 @@
+//! Cross-change determinism pin: the engine must reproduce the CSVs in
+//! `tests/golden/reports.csv` **byte for byte**. Unlike
+//! `tests/determinism.rs` (which compares two runs of the *same* build),
+//! this test compares against a committed snapshot, so any behavioral
+//! drift — a reordered eviction, an extra control message, a float
+//! formatting change — fails the suite even if the new behavior is
+//! internally consistent. Refactors of the hot path (dense file-ID
+//! interning, indexed eviction heaps) must leave this file untouched.
+//!
+//! To re-bless after an *intentional* behavior change, run:
+//!
+//! ```text
+//! L2S_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! and commit the updated snapshot alongside the change that justifies it.
+
+use cluster_server_eval::prelude::*;
+use cluster_server_eval::util::csv::CsvTable;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden/reports.csv";
+
+/// Renders one policy × cache-policy cell the same way the experiment
+/// harness would, covering float formatting as well as raw numbers.
+fn render_cell(kind: PolicyKind, cache: CachePolicy) -> String {
+    let trace = TraceSpec::clarknet().scaled(600, 8_000).generate(42);
+    let mut config = SimConfig::quick(6, trace.working_set_kb() / 4.0);
+    config.cache_policy = cache;
+    let report = simulate(&config, kind, &trace);
+
+    let mut table = CsvTable::new([
+        "policy",
+        "completed",
+        "throughput_rps",
+        "miss_rate",
+        "forwarded",
+        "control_msgs",
+        "mean_response_s",
+        "p99_response_s",
+    ]);
+    table.row([
+        report.policy.to_string(),
+        report.completed.to_string(),
+        format!("{:.9}", report.throughput_rps),
+        format!("{:.9}", report.miss_rate),
+        format!("{:.9}", report.forwarded_fraction),
+        format!("{:.9}", report.control_msgs_per_request),
+        format!("{:.9}", report.mean_response_s),
+        format!("{:.9}", report.p99_response_s),
+    ]);
+    for n in &report.per_node {
+        table.row([
+            format!("node{}", n.node),
+            n.completed.to_string(),
+            format!("{:.9}", n.cpu_utilization),
+            format!("{:.9}", n.disk_utilization),
+            n.cache_hits.to_string(),
+            n.cache_misses.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    table.to_csv_string()
+}
+
+fn cache_label(cache: CachePolicy) -> &'static str {
+    match cache {
+        CachePolicy::Lru => "lru",
+        CachePolicy::GreedyDualSize => "gds",
+    }
+}
+
+fn render_all() -> String {
+    let mut out = String::new();
+    for cache in [CachePolicy::Lru, CachePolicy::GreedyDualSize] {
+        for kind in PolicyKind::all() {
+            let _ = writeln!(out, "# cell: {} / {}", kind.name(), cache_label(cache));
+            out.push_str(&render_cell(kind, cache));
+        }
+    }
+    out
+}
+
+#[test]
+fn engine_reproduces_golden_reports_byte_for_byte() {
+    let rendered = render_all();
+    if std::env::var_os("L2S_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden snapshot");
+        eprintln!("blessed {GOLDEN_PATH} ({} bytes)", rendered.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing tests/golden/reports.csv; bless it with L2S_BLESS=1");
+    assert_eq!(
+        rendered, golden,
+        "engine output drifted from the committed golden snapshot; if the \
+         change is intentional, re-bless with L2S_BLESS=1 and explain why \
+         in the commit"
+    );
+}

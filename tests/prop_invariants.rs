@@ -107,10 +107,10 @@ proptest! {
         for (file, complete) in ops {
             if complete && !in_flight.is_empty() {
                 let (node, f) = in_flight.swap_remove(0);
-                policy.complete(now, node, f);
+                policy.complete(now, node, f.into());
             } else {
                 let initial = policy.arrival_node();
-                let a = policy.assign(now, initial, file);
+                let a = policy.assign(now, initial, file.into());
                 prop_assert!(a.service < n);
                 in_flight.push((a.service, file));
             }

@@ -25,7 +25,7 @@ fn completion_without_assignment_aborts_even_in_release() {
     let mut policy = Traditional::new(4);
     // Node 2 never had a request assigned; completing one there breaks
     // per-node load conservation.
-    policy.complete(SimTime::ZERO, 2, 0);
+    policy.complete(SimTime::ZERO, 2, 0.into());
 }
 
 #[test]
