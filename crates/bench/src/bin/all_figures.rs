@@ -1,6 +1,92 @@
 //! Regenerates every paper table/figure in one process, sharing the
 //! memoized traces across experiments (`run_experiments.sh` invokes
 //! this). Quick mode by default; `L2S_BENCH_FULL=1` for full fidelity.
+//!
+//! On success the suite's wall-clock accounting is written to
+//! `BENCH_suite.json` (override the path with `L2S_SUITE_JSON`):
+//! worker/core counts, total and per-experiment wall-clock, and the
+//! speedup against the recorded 1-worker baseline. A run with
+//! `L2S_WORKERS=1` records itself as that baseline; later parallel runs
+//! carry it over and report `speedup_vs_1worker` against it. Timing is
+//! measurement *about* the suite — every figure's content is
+//! byte-identical for any worker count.
+
+use std::fmt::Write as _;
+
 fn main() {
-    l2s_bench::run_experiment(l2s_bench::run_all_figures);
+    let timing = match l2s_bench::run_all_figures_timed() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let path: std::path::PathBuf = std::env::var_os("L2S_SUITE_JSON")
+        .map(Into::into)
+        .unwrap_or_else(|| "BENCH_suite.json".into());
+    let old = std::fs::read_to_string(&path).ok();
+    // A 1-worker run defines the sequential baseline; a parallel run
+    // compares against the last recorded one (itself, if none exists yet
+    // — speedup then reads 1.0 rather than inventing a baseline).
+    let baseline_wall_s = if timing.workers == 1 {
+        timing.wall_s
+    } else {
+        old.as_deref()
+            .and_then(|j| l2s_bench::extract_json_num(j, "baseline_wall_s_1worker"))
+            .unwrap_or(timing.wall_s)
+    };
+    let speedup = baseline_wall_s / timing.wall_s.max(1e-9);
+    println!(
+        "suite: {} experiments in {:.2}s with {} worker(s) on {cores} core(s); \
+         {speedup:.2}x vs the 1-worker baseline of {baseline_wall_s:.2}s",
+        timing.per_experiment.len(),
+        timing.wall_s,
+        timing.workers,
+    );
+
+    let workload = if l2s_bench::full_fidelity() {
+        "full fidelity (Table 2 request counts)".to_string()
+    } else {
+        format!(
+            "quick mode ({} requests/cell cap)",
+            l2s_bench::request_cap().unwrap_or(0)
+        )
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"all_figures suite: {} experiments, {workload}\",",
+        timing.per_experiment.len()
+    );
+    let _ = writeln!(json, "  \"workers\": {},", timing.workers);
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"wall_s_total\": {:.3},", timing.wall_s);
+    let _ = writeln!(json, "  \"baseline_wall_s_1worker\": {baseline_wall_s:.3},");
+    let _ = writeln!(json, "  \"speedup_vs_1worker\": {speedup:.3},");
+    json.push_str("  \"experiments\": [\n");
+    for (i, (name, wall_s)) in timing.per_experiment.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"wall_s\": {wall_s:.3}}}"
+        );
+        json.push_str(if i + 1 < timing.per_experiment.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }

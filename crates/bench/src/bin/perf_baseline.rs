@@ -22,7 +22,7 @@
 //!   events/sec (tolerant of ordinary wall-clock noise; CI uses this).
 
 use l2s::PolicyKind;
-use l2s_bench::{paper_trace, trace_seed};
+use l2s_bench::{extract_json_num, paper_trace, trace_seed};
 use l2s_cluster::CachePolicy;
 use l2s_sim::{simulate, SimConfig};
 use l2s_trace::TraceSpec;
@@ -58,21 +58,6 @@ fn pinned_cells() -> Vec<(PolicyKind, usize, CachePolicy)> {
     cells
 }
 
-/// Extracts the first `"key": <number>` occurrence from a JSON string.
-/// Hand-rolled because the workspace deliberately has no serde; the file
-/// is machine-written by this binary, so the format is known.
-fn extract_num(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)?;
-    let rest = &json[at + needle.len()..];
-    let colon = rest.find(':')?;
-    let tail = rest[colon + 1..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}
-
 fn json_path() -> std::path::PathBuf {
     std::env::var_os("L2S_BENCH_JSON")
         .map(Into::into)
@@ -80,6 +65,12 @@ fn json_path() -> std::path::PathBuf {
 }
 
 fn main() {
+    // Wall-clock per cell is only meaningful without co-scheduled sibling
+    // simulations, so pin the parallel executor to one worker no matter
+    // what the caller's environment says (the measurement loop below is
+    // already sequential, but library paths like `paper_trace` must not
+    // fan out either).
+    std::env::set_var("L2S_WORKERS", "1");
     let check_mode = std::env::args().any(|a| a == "--check");
     let spec = TraceSpec::calgary();
     println!(
@@ -142,10 +133,10 @@ fn main() {
     let old = std::fs::read_to_string(&path).ok();
     let committed_eps = old
         .as_deref()
-        .and_then(|j| extract_num(j, "events_per_sec"));
+        .and_then(|j| extract_json_num(j, "events_per_sec"));
     let baseline_eps = old
         .as_deref()
-        .and_then(|j| extract_num(j, "baseline_events_per_sec"))
+        .and_then(|j| extract_json_num(j, "baseline_events_per_sec"))
         .or(committed_eps)
         .unwrap_or(events_per_sec);
     println!(

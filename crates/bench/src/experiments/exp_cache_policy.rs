@@ -4,7 +4,7 @@
 //! experiment swaps the per-node policy and reports the effect per
 //! server organization.
 
-use crate::{paper_config, paper_trace};
+use crate::{paper_config, paper_trace, run_cells_parallel};
 use l2s::PolicyKind;
 use l2s_cluster::CachePolicy;
 use l2s_sim::simulate;
@@ -16,38 +16,60 @@ pub fn run() -> Result<(), String> {
     let mut table = CsvTable::new(["trace", "policy", "cache", "throughput_rps", "miss_rate"]);
     let nodes = 8;
 
-    for spec in [TraceSpec::calgary(), TraceSpec::clarknet()] {
-        let trace = paper_trace(&spec);
-        println!("\n{} trace, {nodes} nodes:", spec.name);
-        println!(
-            "{:>14} {:>10} {:>12} {:>10}",
-            "policy", "cache", "throughput", "miss"
-        );
-        for kind in [PolicyKind::Traditional, PolicyKind::L2s] {
-            for cache in [CachePolicy::Lru, CachePolicy::GreedyDualSize] {
-                let mut cfg = paper_config(nodes);
-                cfg.cache_policy = cache;
-                let r = simulate(&cfg, kind, &trace);
-                let cache_name = match cache {
-                    CachePolicy::Lru => "lru",
-                    CachePolicy::GreedyDualSize => "gds",
-                };
-                println!(
-                    "{:>14} {:>10} {:>8.0} r/s {:>9.1}%",
-                    kind.name(),
-                    cache_name,
-                    r.throughput_rps,
-                    r.miss_rate * 100.0
-                );
-                table.row([
-                    spec.name.clone(),
-                    kind.name().to_string(),
-                    cache_name.to_string(),
-                    format!("{:.1}", r.throughput_rps),
-                    format!("{:.5}", r.miss_rate),
-                ]);
-            }
+    // Enumerate the full cell matrix up front, simulate in parallel, and
+    // print from the index-ordered results — output is byte-identical to
+    // the sequential triple loop for any worker count.
+    let specs = [TraceSpec::calgary(), TraceSpec::clarknet()];
+    let cells: Vec<(usize, PolicyKind, CachePolicy)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| {
+            [PolicyKind::Traditional, PolicyKind::L2s]
+                .into_iter()
+                .flat_map(move |kind| {
+                    [CachePolicy::Lru, CachePolicy::GreedyDualSize]
+                        .into_iter()
+                        .map(move |cache| (si, kind, cache))
+                })
+        })
+        .collect();
+    let reports = run_cells_parallel(cells.len(), |i| {
+        let (si, kind, cache) = cells[i];
+        let trace = paper_trace(&specs[si]);
+        let mut cfg = paper_config(nodes);
+        cfg.cache_policy = cache;
+        simulate(&cfg, kind, &trace)
+    });
+
+    let mut last_spec = usize::MAX;
+    for ((si, kind, cache), r) in cells.iter().zip(&reports) {
+        let spec = &specs[*si];
+        if *si != last_spec {
+            println!("\n{} trace, {nodes} nodes:", spec.name);
+            println!(
+                "{:>14} {:>10} {:>12} {:>10}",
+                "policy", "cache", "throughput", "miss"
+            );
+            last_spec = *si;
         }
+        let cache_name = match cache {
+            CachePolicy::Lru => "lru",
+            CachePolicy::GreedyDualSize => "gds",
+        };
+        println!(
+            "{:>14} {:>10} {:>8.0} r/s {:>9.1}%",
+            kind.name(),
+            cache_name,
+            r.throughput_rps,
+            r.miss_rate * 100.0
+        );
+        table.row([
+            spec.name.clone(),
+            kind.name().to_string(),
+            cache_name.to_string(),
+            format!("{:.1}", r.throughput_rps),
+            format!("{:.5}", r.miss_rate),
+        ]);
     }
 
     let path = results_dir().join("exp_cache_policy.csv");

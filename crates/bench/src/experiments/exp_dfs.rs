@@ -9,7 +9,7 @@
 //! requested, not its disk home), while the traditional server — paying
 //! the DFS on every one of its many misses — loses noticeably.
 
-use crate::{paper_config, paper_trace};
+use crate::{paper_config, paper_trace, run_cells_parallel};
 use l2s::PolicyKind;
 use l2s_sim::simulate;
 use l2s_trace::TraceSpec;
@@ -21,35 +21,55 @@ pub fn run() -> Result<(), String> {
     let trace = paper_trace(&spec);
     let mut table = CsvTable::new(["policy", "nodes", "dfs", "throughput_rps", "miss_rate"]);
 
-    for nodes in [4usize, 8, 16] {
-        println!("\n{} trace, {nodes} nodes — throughput (r/s):", spec.name);
-        println!(
-            "{:>14} {:>12} {:>12} {:>8}",
-            "policy", "local disk", "remote DFS", "loss"
-        );
-        for kind in [PolicyKind::Traditional, PolicyKind::Lard, PolicyKind::L2s] {
-            let mut local = paper_config(nodes);
-            local.dfs_remote = false;
-            let mut remote = local;
-            remote.dfs_remote = true;
-            let lr = simulate(&local, kind, &trace);
-            let rr = simulate(&remote, kind, &trace);
+    // 18 cells (nodes × policy × dfs mode) simulated in parallel over the
+    // one shared trace; printing walks the index-ordered results so the
+    // output matches the sequential nesting exactly.
+    let node_counts = [4usize, 8, 16];
+    let policies = [PolicyKind::Traditional, PolicyKind::Lard, PolicyKind::L2s];
+    let cells: Vec<(usize, PolicyKind, bool)> = node_counts
+        .iter()
+        .flat_map(|&n| {
+            policies.iter().flat_map(move |&kind| {
+                [false, true]
+                    .into_iter()
+                    .map(move |remote| (n, kind, remote))
+            })
+        })
+        .collect();
+    let reports = run_cells_parallel(cells.len(), |i| {
+        let (nodes, kind, remote) = cells[i];
+        let mut cfg = paper_config(nodes);
+        cfg.dfs_remote = remote;
+        simulate(&cfg, kind, &trace)
+    });
+
+    // Each consecutive pair of cells is one (nodes, policy) row: local
+    // mode then remote mode.
+    for (row, pair) in reports.chunks(2).enumerate() {
+        let (nodes, kind, _) = cells[row * 2];
+        if row % policies.len() == 0 {
+            println!("\n{} trace, {nodes} nodes — throughput (r/s):", spec.name);
             println!(
-                "{:>14} {:>12.0} {:>12.0} {:>7.1}%",
-                kind.name(),
-                lr.throughput_rps,
-                rr.throughput_rps,
-                (1.0 - rr.throughput_rps / lr.throughput_rps) * 100.0
+                "{:>14} {:>12} {:>12} {:>8}",
+                "policy", "local disk", "remote DFS", "loss"
             );
-            for (mode, r) in [("local", &lr), ("remote", &rr)] {
-                table.row([
-                    kind.name().to_string(),
-                    nodes.to_string(),
-                    mode.to_string(),
-                    format!("{:.1}", r.throughput_rps),
-                    format!("{:.5}", r.miss_rate),
-                ]);
-            }
+        }
+        let (lr, rr) = (&pair[0], &pair[1]);
+        println!(
+            "{:>14} {:>12.0} {:>12.0} {:>7.1}%",
+            kind.name(),
+            lr.throughput_rps,
+            rr.throughput_rps,
+            (1.0 - rr.throughput_rps / lr.throughput_rps) * 100.0
+        );
+        for (mode, r) in [("local", lr), ("remote", rr)] {
+            table.row([
+                kind.name().to_string(),
+                nodes.to_string(),
+                mode.to_string(),
+                format!("{:.1}", r.throughput_rps),
+                format!("{:.5}", r.miss_rate),
+            ]);
         }
     }
 

@@ -16,7 +16,7 @@
 //! and the collapse locks in. With admission control (the closed loop)
 //! the same configuration sustains more than twice the load.
 
-use crate::paper_trace;
+use crate::{paper_trace, run_cells_parallel};
 use l2s::PolicyKind;
 use l2s_model::{Derived, ModelParams, QueueModel};
 use l2s_sim::{simulate, ArrivalMode, SimConfig};
@@ -30,11 +30,16 @@ pub fn run() -> Result<(), String> {
     let stats = TraceStats::compute(&trace);
     let nodes = 8;
 
-    // Calibrate: measure the traditional server's closed-loop miss rate
-    // and capacity, then instantiate the model at exactly that hit rate.
+    // Calibrate: measure both servers' closed-loop behavior (traditional
+    // for the model's hit rate, L2S for Part 2's capacity reference) —
+    // two independent simulations, run in parallel.
     let mut closed = SimConfig::paper_default(nodes);
     closed.max_requests = Some(100_000);
-    let baseline = simulate(&closed, PolicyKind::Traditional, &trace);
+    let calibration = run_cells_parallel(2, |i| {
+        let kind = [PolicyKind::Traditional, PolicyKind::L2s][i];
+        simulate(&closed, kind, &trace)
+    });
+    let (baseline, l2s_closed) = (&calibration[0], &calibration[1]);
     let derived = Derived {
         hit_rate: 1.0 - baseline.miss_rate,
         replicated_hit: 0.0,
@@ -61,12 +66,17 @@ pub fn run() -> Result<(), String> {
     );
 
     let mut table = CsvTable::new(["server", "load_fraction", "rate_rps", "sim_ms", "model_ms"]);
-    for load in [0.2, 0.4, 0.6, 0.8, 0.9] {
-        let rate = bound * load;
+    let part1_loads = [0.2, 0.4, 0.6, 0.8, 0.9];
+    let part1 = run_cells_parallel(part1_loads.len(), |i| {
         let mut cfg = SimConfig::paper_default(nodes);
-        cfg.arrivals = ArrivalMode::Poisson { rate_rps: rate };
+        cfg.arrivals = ArrivalMode::Poisson {
+            rate_rps: bound * part1_loads[i],
+        };
         cfg.max_requests = Some(80_000);
-        let report = simulate(&cfg, PolicyKind::Traditional, &trace);
+        simulate(&cfg, PolicyKind::Traditional, &trace)
+    });
+    for (load, report) in part1_loads.into_iter().zip(&part1) {
+        let rate = bound * load;
         let model_ms = model
             .solve_derived(&derived, rate)
             .map(|s| s.response_s * 1e3)
@@ -83,8 +93,7 @@ pub fn run() -> Result<(), String> {
     }
 
     // Part 2: L2S open-loop stability sweep against its closed-loop
-    // capacity.
-    let l2s_closed = simulate(&closed, PolicyKind::L2s, &trace);
+    // capacity (measured during calibration above).
     println!(
         "\nPart 2: L2S under open loop ({} r/s closed-loop capacity at {nodes} nodes)",
         l2s_closed.throughput_rps.round()
@@ -93,12 +102,17 @@ pub fn run() -> Result<(), String> {
         "{:>10} {:>12} {:>12} {:>14} {:>10}",
         "load", "rate (r/s)", "thr (r/s)", "mean resp", "miss"
     );
-    for load in [0.2, 0.4, 0.6, 0.8] {
-        let rate = l2s_closed.throughput_rps * load;
+    let part2_loads = [0.2, 0.4, 0.6, 0.8];
+    let part2 = run_cells_parallel(part2_loads.len(), |i| {
         let mut cfg = SimConfig::paper_default(nodes);
-        cfg.arrivals = ArrivalMode::Poisson { rate_rps: rate };
+        cfg.arrivals = ArrivalMode::Poisson {
+            rate_rps: l2s_closed.throughput_rps * part2_loads[i],
+        };
         cfg.max_requests = Some(80_000);
-        let report = simulate(&cfg, PolicyKind::L2s, &trace);
+        simulate(&cfg, PolicyKind::L2s, &trace)
+    });
+    for (load, report) in part2_loads.into_iter().zip(&part2) {
+        let rate = l2s_closed.throughput_rps * load;
         let stable = report.mean_response_s < 0.5;
         println!(
             "{load:>10.1} {rate:>12.0} {:>12.0} {:>11.1} ms {:>9.1}%{}",

@@ -5,7 +5,7 @@
 //! called out in DESIGN.md. The paper's finding: L2S is "only slightly
 //! affected by reasonable parameters" in all four dimensions.
 
-use crate::{paper_config, paper_trace, request_cap};
+use crate::{paper_config, paper_trace, request_cap, run_cells_parallel};
 use l2s::PolicyKind;
 use l2s_sim::{simulate, SimConfig};
 use l2s_trace::TraceSpec;
@@ -21,7 +21,58 @@ pub fn run() -> Result<(), String> {
     let trace = paper_trace(&spec);
     let nodes = 16;
     let base_cfg = paper_config(nodes);
-    let base = l2s_rps(&base_cfg, &trace);
+
+    // Enumerate every knob cell up front; config construction stays
+    // sequential because the network scalings can fail. The baseline and
+    // all 20 knob cells then simulate as one parallel batch, and the
+    // report below walks the index-ordered results so the output matches
+    // the sequential knob-by-knob loops byte for byte.
+    let mut cells: Vec<(&str, String, SimConfig)> = Vec::new();
+
+    // Broadcast threshold (paper default 4).
+    for delta in [1u32, 2, 4, 8, 16] {
+        let mut cfg = base_cfg;
+        cfg.l2s.broadcast_delta = delta;
+        cells.push(("broadcast threshold", delta.to_string(), cfg));
+    }
+
+    // Messaging overhead scaling (CPU + NI per-message costs).
+    for scale in [0.5, 1.0, 2.0, 4.0] {
+        let mut cfg = base_cfg;
+        cfg.costs.msg_cpu_s *= scale;
+        cfg.costs.msg_ni_s *= scale;
+        cells.push(("message overhead x", format!("{scale}"), cfg));
+    }
+
+    // Network switch latency scaling.
+    for scale in [1.0, 10.0, 100.0] {
+        let mut cfg = base_cfg;
+        cfg.net = cfg.net.scale_latency(scale)?;
+        cells.push(("switch latency x", format!("{scale}"), cfg));
+    }
+
+    // Link/NI bandwidth scaling.
+    for scale in [0.25, 0.5, 1.0, 2.0] {
+        let mut cfg = base_cfg;
+        cfg.net = cfg.net.scale_bandwidth(scale)?;
+        cfg.costs.ni_out_kb_per_s *= scale;
+        cells.push(("network bandwidth x", format!("{scale}"), cfg));
+    }
+
+    // Ablation: the L2S thresholds themselves.
+    for (t_high, t_low) in [(10u32, 5u32), (20, 10), (40, 20), (80, 40)] {
+        let mut cfg = base_cfg;
+        cfg.l2s.t_high = t_high;
+        cfg.l2s.t_low = t_low;
+        cells.push(("thresholds T/t", format!("{t_high}/{t_low}"), cfg));
+    }
+
+    // Cell 0 is the unmodified baseline; cells 1.. are the knobs.
+    let throughputs = run_cells_parallel(cells.len() + 1, |i| {
+        let cfg = if i == 0 { &base_cfg } else { &cells[i - 1].2 };
+        l2s_rps(cfg, &trace)
+    });
+    let base = throughputs[0];
     println!(
         "L2S sensitivity on the {} trace, {nodes} nodes (baseline {base:.0} r/s{}):\n",
         spec.name,
@@ -33,79 +84,22 @@ pub fn run() -> Result<(), String> {
     );
 
     let mut table = CsvTable::new(["knob", "value", "throughput_rps", "relative"]);
-    let mut record = |knob: &str, value: String, thr: f64| {
+    let mut last_knob = cells[0].0;
+    for ((knob, value, _), &thr) in cells.iter().zip(&throughputs[1..]) {
+        if *knob != last_knob {
+            println!();
+            last_knob = knob;
+        }
         println!(
             "  {knob:>22} = {value:<8} -> {thr:>8.0} r/s ({:+.1}%)",
             (thr / base - 1.0) * 100.0
         );
         table.row([
             knob.to_string(),
-            value,
+            value.clone(),
             format!("{thr:.1}"),
             format!("{:.4}", thr / base),
         ]);
-    };
-
-    // Broadcast threshold (paper default 4).
-    for delta in [1u32, 2, 4, 8, 16] {
-        let mut cfg = base_cfg;
-        cfg.l2s.broadcast_delta = delta;
-        record(
-            "broadcast threshold",
-            delta.to_string(),
-            l2s_rps(&cfg, &trace),
-        );
-    }
-    println!();
-
-    // Messaging overhead scaling (CPU + NI per-message costs).
-    for scale in [0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = base_cfg;
-        cfg.costs.msg_cpu_s *= scale;
-        cfg.costs.msg_ni_s *= scale;
-        record(
-            "message overhead x",
-            format!("{scale}"),
-            l2s_rps(&cfg, &trace),
-        );
-    }
-    println!();
-
-    // Network switch latency scaling.
-    for scale in [1.0, 10.0, 100.0] {
-        let mut cfg = base_cfg;
-        cfg.net = cfg.net.scale_latency(scale);
-        record(
-            "switch latency x",
-            format!("{scale}"),
-            l2s_rps(&cfg, &trace),
-        );
-    }
-    println!();
-
-    // Link/NI bandwidth scaling.
-    for scale in [0.25, 0.5, 1.0, 2.0] {
-        let mut cfg = base_cfg;
-        cfg.net = cfg.net.scale_bandwidth(scale);
-        cfg.costs.ni_out_kb_per_s *= scale;
-        record(
-            "network bandwidth x",
-            format!("{scale}"),
-            l2s_rps(&cfg, &trace),
-        );
-    }
-    println!();
-
-    // Ablation: the L2S thresholds themselves.
-    for (t_high, t_low) in [(10u32, 5u32), (20, 10), (40, 20), (80, 40)] {
-        let mut cfg = base_cfg;
-        cfg.l2s.t_high = t_high;
-        cfg.l2s.t_low = t_low;
-        record(
-            "thresholds T/t",
-            format!("{t_high}/{t_low}"),
-            l2s_rps(&cfg, &trace),
-        );
     }
 
     let path = results_dir().join("exp_sensitivity.csv");

@@ -5,9 +5,21 @@
 //! bodies live in [`experiments`], so the `all_figures` binary can run
 //! every experiment in one process — sharing memoized traces — while
 //! the per-figure binaries stay available for selective reruns. This
-//! library holds the common machinery: node sweeps run in parallel with
-//! std scoped threads, the analytic "model" line of Figures 7–10, scale
-//! control, and output helpers.
+//! library holds the common machinery: the deterministic parallel cell
+//! executor ([`run_cells_parallel`]), the analytic "model" line of
+//! Figures 7–10, scale control, and output helpers.
+//!
+//! # Parallel execution
+//!
+//! Every experiment decomposes into independent *cells* — one
+//! simulation (or model evaluation) per `(trace, policy, nodes, knob)`
+//! combination. [`run_cells_parallel`] fans cells across
+//! `min(workers, cells)` scoped threads and collects results **by cell
+//! index, never by completion order**, so every CSV and chart is
+//! byte-identical to a sequential run regardless of worker count or
+//! scheduling. `L2S_WORKERS` overrides the worker count (default: all
+//! hardware threads); `L2S_WORKERS=1` forces the sequential inline
+//! path, which the perf baseline uses for comparable measurements.
 //!
 //! # Scale control
 //!
@@ -15,8 +27,9 @@
 //! populations, request streams capped at 150 000) so every figure
 //! regenerates in seconds. Set `L2S_BENCH_FULL=1` to simulate the
 //! complete Table 2 request counts (up to 3.1 M requests per run), which
-//! reproduces the paper at full fidelity. `L2S_RESULTS_DIR` redirects
-//! CSV output (default `results/`).
+//! reproduces the paper at full fidelity, or `L2S_BENCH_CAP=<n>` to
+//! shrink the per-run request cap further (test suites use this).
+//! `L2S_RESULTS_DIR` redirects CSV output (default `results/`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,12 +61,48 @@ pub fn full_fidelity() -> bool {
 }
 
 /// Request cap for simulation runs (`None` in full-fidelity mode).
+///
+/// `L2S_BENCH_CAP=<n>` overrides the quick-mode default of 150 000 —
+/// the in-tree determinism tests use a small cap so they finish in
+/// seconds. `L2S_BENCH_FULL=1` wins over the cap.
 pub fn request_cap() -> Option<usize> {
     if full_fidelity() {
-        None
-    } else {
-        Some(150_000)
+        return None;
     }
+    let cap = std::env::var("L2S_BENCH_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(150_000);
+    Some(cap)
+}
+
+/// Worker count for parallel cell execution: `$L2S_WORKERS`, defaulting
+/// to all hardware threads. See [`l2s_util::pool::workers_from_env`].
+pub fn workers_from_env() -> usize {
+    l2s_util::pool::workers_from_env()
+}
+
+/// Runs `cells` independent jobs across [`workers_from_env`] threads and
+/// returns their results ordered by cell index — the determinism
+/// contract every experiment relies on: output order depends only on how
+/// the experiment *enumerates* its cells, never on completion order.
+pub fn run_cells_parallel<T, F>(cells: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_cells_with_workers(workers_from_env(), cells, run)
+}
+
+/// [`run_cells_parallel`] with an explicit worker count (clamped to
+/// `[1, cells]`; 1 runs inline on the calling thread).
+pub fn run_cells_with_workers<T, F>(workers: usize, cells: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    l2s_util::pool::run_indexed(workers, cells, run)
 }
 
 /// Deterministic per-trace generation seed.
@@ -90,17 +139,22 @@ fn trace_key(spec: &TraceSpec) -> String {
 /// spec pay generation once. The cache key is bit-exact over every spec
 /// field, so memoization cannot change what any experiment sees —
 /// `spec.generate(trace_seed(spec))` is deterministic in the spec.
+///
+/// Thread-safety: the map lock is held only long enough to fetch or
+/// insert a per-key slot; generation itself runs under the slot's own
+/// `OnceLock`. Two workers asking for the *same* spec concurrently share
+/// one generation (the second blocks), while workers generating
+/// *different* specs proceed in parallel.
 pub fn paper_trace(spec: &TraceSpec) -> Arc<Trace> {
-    static CACHE: OnceLock<Mutex<BTreeMap<String, Arc<Trace>>>> = OnceLock::new();
+    type Slot = Arc<OnceLock<Arc<Trace>>>;
+    static CACHE: OnceLock<Mutex<BTreeMap<String, Slot>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let key = trace_key(spec);
-    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(trace) = cache.get(&key) {
-        return Arc::clone(trace);
-    }
-    let trace = Arc::new(spec.generate(trace_seed(spec)));
-    cache.insert(key, Arc::clone(&trace));
-    trace
+    let slot: Slot = {
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key).or_default())
+    };
+    Arc::clone(slot.get_or_init(|| Arc::new(spec.generate(trace_seed(spec)))))
 }
 
 /// One cell of a node sweep.
@@ -132,45 +186,21 @@ where
         .iter()
         .flat_map(|&n| policies.iter().map(move |&p| (n, p)))
         .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-
-    // Workers pull jobs off a shared counter and keep their results local;
-    // the scope then merges per-worker vectors, so no lock is needed and a
-    // worker panic is re-raised on the calling thread.
-    let mut cells: Vec<SweepCell> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&(n, policy)) = jobs.get(i) else {
-                            break;
-                        };
-                        let config = configure(n);
-                        let report = simulate(&config, policy, trace);
-                        local.push(SweepCell {
-                            nodes: n,
-                            policy,
-                            report,
-                        });
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(local) => local,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
+    // Index-ordered collection: cell i is always jobs[i]'s result, so the
+    // output is identical for every worker count.
+    let mut cells = run_cells_parallel(jobs.len(), |i| {
+        let (n, policy) = jobs[i];
+        let config = configure(n);
+        let report = simulate(&config, policy, trace);
+        SweepCell {
+            nodes: n,
+            policy,
+            report,
+        }
     });
+    // The enumeration above already emits (nodes, policy index) order for
+    // ascending node_counts; the sort keeps the documented contract even
+    // for unsorted caller input.
     let order = |p: PolicyKind| policies.iter().position(|&q| q == p).unwrap_or(usize::MAX);
     cells.sort_by_key(|c| (c.nodes, order(c.policy)));
     cells
@@ -334,6 +364,23 @@ pub fn cell(cells: &[SweepCell], nodes: usize, policy: PolicyKind) -> Option<&Sw
         .find(|c| c.nodes == nodes && c.policy == policy)
 }
 
+/// Extracts the first `"key": <number>` occurrence from a JSON string.
+///
+/// Hand-rolled because the workspace deliberately has no serde; the
+/// `BENCH_*.json` files this reads are machine-written by the binaries
+/// in this crate, so the format is known.
+pub fn extract_json_num(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 /// Binary entry-point shim: runs an experiment and turns an `Err` into
 /// a nonzero exit with the message on stderr. Keeps the `src/bin/`
 /// wrappers one line each.
@@ -348,13 +395,42 @@ pub fn run_experiment(run: fn() -> Result<(), String>) {
 /// the same order as the historical `run_experiments.sh`, sharing the
 /// memoized traces. Stops at the first failure, naming the experiment.
 pub fn run_all_figures() -> Result<(), String> {
+    run_all_figures_timed().map(|_| ())
+}
+
+/// Wall-clock accounting for one full figure-suite run, recorded by
+/// [`run_all_figures_timed`] and written to `BENCH_suite.json` by the
+/// `all_figures` binary. Wall-clock here is measurement *about* the
+/// suite, not input *to* it — every simulated quantity still comes from
+/// the event queue, so timing cannot perturb any figure.
+#[derive(Clone, Debug)]
+pub struct SuiteTiming {
+    /// Worker threads the parallel executor used.
+    pub workers: usize,
+    /// Total suite wall-clock in seconds.
+    pub wall_s: f64,
+    /// `(experiment name, wall-clock seconds)` in execution order.
+    pub per_experiment: Vec<(String, f64)>,
+}
+
+/// [`run_all_figures`] with per-experiment wall-clock timing.
+pub fn run_all_figures_timed() -> Result<SuiteTiming, String> {
+    let workers = workers_from_env();
     let total = experiments::ALL.len();
+    let suite_start = std::time::Instant::now();
+    let mut per_experiment = Vec::with_capacity(total);
     for (i, (name, run)) in experiments::ALL.iter().enumerate() {
         println!("=== [{}/{total}] {name} ===", i + 1);
+        let start = std::time::Instant::now();
         run().map_err(|e| format!("{name}: {e}"))?;
+        per_experiment.push((name.to_string(), start.elapsed().as_secs_f64()));
         println!();
     }
-    Ok(())
+    Ok(SuiteTiming {
+        workers,
+        wall_s: suite_start.elapsed().as_secs_f64(),
+        per_experiment,
+    })
 }
 
 #[cfg(test)]

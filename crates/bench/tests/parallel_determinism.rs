@@ -1,0 +1,44 @@
+//! Suite-level determinism: a figure regenerated with 4 workers must be
+//! byte-identical to the same figure regenerated sequentially. This is
+//! the executor's contract ([`l2s_bench::run_cells_parallel`] collects
+//! results by cell index, never by completion order) checked end to end
+//! through a real experiment — trace generation, the full `sweep`
+//! matrix, and the CSV writer.
+//!
+//! This file deliberately holds a single `#[test]`: the experiment reads
+//! `L2S_WORKERS`, `L2S_BENCH_CAP`, and `L2S_RESULTS_DIR` from the
+//! process environment, and a sibling test mutating them concurrently
+//! would race. CI runs it with `L2S_WORKERS=4` exported as well, which
+//! the explicit `set_var` calls below override per phase.
+
+#[test]
+fn figure_csv_is_byte_identical_across_worker_counts() {
+    // Small cap so both runs finish in seconds; the cap is part of the
+    // cell configuration, so it is identical across the two runs.
+    std::env::set_var("L2S_BENCH_CAP", "2000");
+    let base = std::env::temp_dir().join(format!("l2s-parallel-det-{}", std::process::id()));
+    let seq_dir = base.join("workers1");
+    let par_dir = base.join("workers4");
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    std::fs::create_dir_all(&par_dir).unwrap();
+
+    std::env::set_var("L2S_WORKERS", "1");
+    std::env::set_var("L2S_RESULTS_DIR", &seq_dir);
+    l2s_bench::experiments::fig07_calgary().unwrap();
+
+    std::env::set_var("L2S_WORKERS", "4");
+    std::env::set_var("L2S_RESULTS_DIR", &par_dir);
+    l2s_bench::experiments::fig07_calgary().unwrap();
+
+    let sequential = std::fs::read(seq_dir.join("fig07_calgary.csv")).unwrap();
+    let parallel = std::fs::read(par_dir.join("fig07_calgary.csv")).unwrap();
+    assert!(
+        !sequential.is_empty(),
+        "sequential run produced an empty CSV"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "4-worker CSV must be byte-identical to the sequential CSV"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

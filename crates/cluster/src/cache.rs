@@ -75,7 +75,7 @@ pub struct LruCache {
 impl LruCache {
     /// Creates a cache holding at most `capacity_kb` KB.
     pub fn new(capacity_kb: f64) -> Self {
-        assert!(
+        l2s_util::invariant!(
             capacity_kb > 0.0 && capacity_kb.is_finite(),
             "capacity must be positive"
         );
@@ -161,7 +161,7 @@ impl LruCache {
     /// whole cache is not cached and evicts nothing.
     pub fn insert(&mut self, file: impl Into<FileId>, kb: f64) -> &[FileId] {
         let file = file.into();
-        assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
+        l2s_util::invariant!(kb > 0.0 && kb.is_finite(), "file size must be positive");
         self.evicted.clear();
         if let Some(slot) = self.slot_of(file) {
             self.unlink(slot);

@@ -62,7 +62,7 @@ pub struct GdsCache {
 impl GdsCache {
     /// Creates a cache holding at most `capacity_kb` KB.
     pub fn new(capacity_kb: f64) -> Self {
-        assert!(
+        l2s_util::invariant!(
             capacity_kb > 0.0 && capacity_kb.is_finite(),
             "capacity must be positive"
         );
@@ -204,7 +204,7 @@ impl GdsCache {
     /// valid until the next `insert`). Oversized files are not cached.
     pub fn insert(&mut self, file: impl Into<FileId>, kb: f64) -> &[FileId] {
         let file = file.into();
-        assert!(kb > 0.0 && kb.is_finite(), "file size must be positive");
+        l2s_util::invariant!(kb > 0.0 && kb.is_finite(), "file size must be positive");
         self.evicted.clear();
         if let Some(e) = self.entry(file) {
             if (e.kb - kb).abs() < 1e-12 {

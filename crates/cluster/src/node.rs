@@ -82,7 +82,8 @@ impl NodeHardware {
     }
 
     /// Whether the inbound NI would accept one more request at `now`.
-    pub fn accepts_request(&mut self, now: SimTime) -> bool {
+    /// Pure query.
+    pub fn accepts_request(&self, now: SimTime) -> bool {
         self.ni_in.would_accept(now)
     }
 }

@@ -18,7 +18,7 @@ pub struct Traditional {
 impl Traditional {
     /// A traditional server over `n` nodes.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1);
+        l2s_util::invariant!(n >= 1, "need at least one node");
         Traditional { loads: vec![0; n] }
     }
 }
@@ -82,7 +82,7 @@ pub struct RoundRobin {
 impl RoundRobin {
     /// A round-robin server over `n` nodes.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1);
+        l2s_util::invariant!(n >= 1, "need at least one node");
         RoundRobin {
             loads: vec![0; n],
             next: 0,
@@ -146,7 +146,7 @@ pub struct PureLocality {
 impl PureLocality {
     /// A hash-partitioned server over `n` nodes.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1);
+        l2s_util::invariant!(n >= 1, "need at least one node");
         PureLocality {
             loads: vec![0; n],
             next_arrival: 0,

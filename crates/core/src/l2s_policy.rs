@@ -105,9 +105,12 @@ pub struct L2s {
 impl L2s {
     /// An L2S server over `n` nodes.
     pub fn new(n: usize, config: L2sConfig) -> Self {
-        assert!(n >= 1);
-        assert!(config.t_low < config.t_high, "t must be below T");
-        assert!(config.broadcast_delta >= 1);
+        l2s_util::invariant!(n >= 1, "need at least one node");
+        l2s_util::invariant!(config.t_low < config.t_high, "t must be below T");
+        l2s_util::invariant!(
+            config.broadcast_delta >= 1,
+            "broadcast delta must be at least 1"
+        );
         L2s {
             config,
             nodes: n,

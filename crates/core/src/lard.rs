@@ -152,9 +152,9 @@ impl Lard {
     }
 
     fn build(n: usize, config: LardConfig, mode: LardMode, dispatched: bool) -> Self {
-        assert!(n >= 1);
-        assert!(config.t_low < config.t_high, "T_low must be below T_high");
-        assert!(config.report_batch >= 1);
+        l2s_util::invariant!(n >= 1, "need at least one node");
+        l2s_util::invariant!(config.t_low < config.t_high, "T_low must be below T_high");
+        l2s_util::invariant!(config.report_batch >= 1, "report batch must be at least 1");
         Lard {
             config,
             nodes: n,

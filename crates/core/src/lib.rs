@@ -217,7 +217,7 @@ pub(crate) fn argmin_rotating<T: PartialOrd + Copy>(
     load_of: impl Fn(usize) -> T,
     cursor: &mut usize,
 ) -> usize {
-    assert!(!candidates.is_empty(), "argmin of empty candidate set");
+    l2s_util::invariant!(!candidates.is_empty(), "argmin of empty candidate set");
     let n = candidates.len();
     let start = *cursor % n;
     *cursor = cursor.wrapping_add(1);

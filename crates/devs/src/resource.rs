@@ -48,7 +48,7 @@ impl FifoResource {
     /// the one in service). [`FifoResource::try_schedule`] refuses jobs
     /// beyond that.
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity >= 1, "capacity must hold at least one job");
+        l2s_util::invariant!(capacity >= 1, "capacity must hold at least one job");
         FifoResource {
             capacity: Some(capacity),
             ..Self::new()
@@ -68,17 +68,22 @@ impl FifoResource {
     /// Number of jobs queued or in service at `now`. Only
     /// capacity-bounded stations track backlog; an unbounded station
     /// always reports 0.
-    pub fn queue_len(&mut self, now: SimTime) -> usize {
-        self.drain(now);
-        self.completions.len()
+    ///
+    /// This is a pure query: already-finished entries are counted out by
+    /// binary search (`completions` is sorted — FIFO completion times are
+    /// monotone) rather than drained, so `&self` suffices. The mutating
+    /// paths (`schedule`/`try_schedule`) still drain to bound memory.
+    pub fn queue_len(&self, now: SimTime) -> usize {
+        let finished = self.completions.partition_point(|&done| done <= now);
+        self.completions.len() - finished
     }
 
-    /// Whether a job submitted at `now` would be admitted.
-    pub fn would_accept(&mut self, now: SimTime) -> bool {
+    /// Whether a job submitted at `now` would be admitted. Pure query.
+    pub fn would_accept(&self, now: SimTime) -> bool {
         match self.capacity {
             None => true,
-            // `completions` only shrinks by draining, so an under-cap
-            // count is conclusive without the drain scan.
+            // `completions` only shrinks over time, so an under-cap raw
+            // count is conclusive without the binary search.
             Some(cap) => self.completions.len() < cap || self.queue_len(now) < cap,
         }
     }
@@ -89,6 +94,7 @@ impl FifoResource {
         if !self.would_accept(now) {
             return None;
         }
+        self.drain(now);
         Some(self.schedule_unchecked(now, service))
     }
 

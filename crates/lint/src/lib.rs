@@ -14,7 +14,8 @@
 //! | `hash-iter` | determinism crates | no `HashMap`/`HashSet`: their iteration order is randomized per-process, which breaks replay; use `BTreeMap`/`BTreeSet` (keyed-only uses may be allowlisted) |
 //! | `wall-clock` | determinism crates | no `std::time::Instant`/`SystemTime`: simulation time must come from the event queue |
 //! | `entropy` | whole workspace | no `thread_rng`, `rand::random`, `from_entropy`, or `OsRng`: all randomness flows from explicit seeds |
-//! | `panic` | library sources | no `.unwrap()`/`.expect()`/`panic!`-family calls in library code (binaries, tests, and allowlisted harness code exempt); use `Result`, `invariant!`, or `assert!` for real preconditions |
+//! | `panic` | library sources | no `.unwrap()`/`.expect()`/`panic!`-family calls in library code (binaries, tests, and allowlisted harness code exempt); use `Result` or `invariant!` for real preconditions |
+//! | `assert` | library sources | no bare `assert!`/`assert_eq!`/`assert_ne!` in library code outside `#[cfg(test)]`: they abort release figure runs unconditionally; use `Result` for caller errors or `invariant!` so strictness is policy-controlled (`debug_assert!` is fine) |
 //! | `lint-attrs` | every crate | each `lib.rs` carries `#![warn(missing_docs)]` and `#![forbid(unsafe_code)]` |
 //!
 //! Scanning is line-based and deliberately simple: comment lines are
@@ -113,6 +114,24 @@ const PANIC_NEEDLES: &[(&str, &str)] = &[
     ),
 ];
 
+// Matched with a word-boundary check on the preceding character so that
+// `debug_assert!` (which is allowed — it already vanishes in release
+// builds) does not trigger the rule.
+const ASSERT_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!("ass", "ert!("),
+        "bare asserts abort release figure runs; return a Result or use invariant!",
+    ),
+    (
+        concat!("ass", "ert_eq!("),
+        "bare asserts abort release figure runs; return a Result or use invariant!",
+    ),
+    (
+        concat!("ass", "ert_ne!("),
+        "bare asserts abort release figure runs; return a Result or use invariant!",
+    ),
+];
+
 const ATTR_MISSING_DOCS: &str = "#![warn(missing_docs)]";
 const ATTR_FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
 
@@ -124,7 +143,7 @@ pub struct Diagnostic {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`hash-iter`, `wall-clock`, `entropy`, `panic`,
-    /// `lint-attrs`).
+    /// `assert`, `lint-attrs`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -249,6 +268,7 @@ pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> Result<Vec<Diagnost
             rules.push(("entropy", ENTROPY_NEEDLES));
             if !is_binary {
                 rules.push(("panic", PANIC_NEEDLES));
+                rules.push(("assert", ASSERT_NEEDLES));
             }
             scan_file(&rel, &text, &rules, &mut raw);
         }
@@ -335,7 +355,12 @@ fn scan_file(
         }
         for (rule, needles) in rules {
             for (needle, message) in needles.iter() {
-                if line.contains(needle) {
+                let hit = if *rule == "assert" {
+                    contains_word_start(line, needle)
+                } else {
+                    line.contains(needle)
+                };
+                if hit {
                     out.push(Diagnostic {
                         path: rel.to_string(),
                         line: idx + 1,
@@ -346,6 +371,25 @@ fn scan_file(
             }
         }
     }
+}
+
+/// True when `line` contains `needle` at a position not preceded by an
+/// identifier character — so `debug_assert!(` does not match an
+/// `assert!(` needle, but `::std::assert!(` and a bare `assert!(` do.
+fn contains_word_start(line: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let abs = from + pos;
+        let preceded = line[..abs]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
 }
 
 /// All `.rs` files under `src`, recursively, in sorted order. `src/bin/`
@@ -505,6 +549,55 @@ mod tests {
         assert_eq!(diags[0].rule, "panic");
         assert_eq!(diags[0].path, "crates/net/src/lib.rs");
         assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn bare_assert_flagged_but_debug_assert_and_tests_exempt() {
+        let ws = TempWorkspace::new("assert");
+        ws.write("crates/zipf/Cargo.toml", "[package]\nname = \"l2s-zipf\"\n");
+        ws.write(
+            "crates/zipf/src/lib.rs",
+            concat!(
+                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
+                "/// F.\npub fn f(n: u64) { ass",
+                "ert!(n > 0); }\n",
+                "/// G.\npub fn g(n: u64) { debug_ass",
+                "ert!(n > 0); }\n",
+                "/// H.\npub fn h(n: u64) { ::std::ass",
+                "ert_eq!(n, 1); }\n",
+                "#[cfg(test)]\nmod tests { fn t() { ass",
+                "ert_ne!(1, 2); } }\n",
+            ),
+        );
+        ws.write(
+            "crates/zipf/src/bin/tool.rs",
+            concat!("fn main() { ass", "ert!(true); }\n"),
+        );
+        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "assert"));
+        assert_eq!(diags[0].line, 5, "bare assert in f");
+        assert_eq!(diags[1].line, 9, "path-qualified assert_eq in h");
+    }
+
+    #[test]
+    fn word_boundary_matcher() {
+        let needle = concat!("ass", "ert!(");
+        assert!(contains_word_start(concat!("ass", "ert!(x > 0)"), needle));
+        assert!(contains_word_start(
+            concat!("    ::core::ass", "ert!(x)"),
+            needle
+        ));
+        assert!(!contains_word_start(
+            concat!("debug_ass", "ert!(x)"),
+            needle
+        ));
+        assert!(!contains_word_start(concat!("my_ass", "ert!(x)  "), needle));
+        // A shadowed match must not mask a later bare one.
+        assert!(contains_word_start(
+            concat!("debug_ass", "ert!(x); ass", "ert!(y)"),
+            needle
+        ));
     }
 
     #[test]

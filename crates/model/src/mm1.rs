@@ -16,10 +16,11 @@ pub struct Mm1 {
 }
 
 impl Mm1 {
-    /// Creates a station. Panics if either rate is non-positive.
+    /// Creates a station. A negative arrival rate or non-positive
+    /// service rate is rejected by `invariant!`.
     pub fn new(lambda: f64, mu: f64) -> Self {
-        assert!(lambda >= 0.0, "arrival rate must be non-negative");
-        assert!(mu > 0.0, "service rate must be positive");
+        l2s_util::invariant!(lambda >= 0.0, "arrival rate must be non-negative");
+        l2s_util::invariant!(mu > 0.0, "service rate must be positive");
         Mm1 { lambda, mu }
     }
 

@@ -237,7 +237,7 @@ impl QueueModel {
 
     /// [`QueueModel::solve`] for pre-computed derived quantities.
     pub fn solve_derived(&self, derived: &Derived, lambda: f64) -> Option<Solution> {
-        assert!(lambda >= 0.0, "arrival rate must be non-negative");
+        l2s_util::invariant!(lambda >= 0.0, "arrival rate must be non-negative");
         let p = &self.params;
         let demands = self.demands(derived);
         let q = derived.forward_fraction;

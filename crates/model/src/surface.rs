@@ -44,7 +44,10 @@ impl Surface {
 /// 8 KB granularity along the size axis; starting below ~4 KB grows the
 /// peak ratio past what Figure 5 shows).
 pub fn default_axes(hit_steps: usize, size_steps: usize) -> (Vec<f64>, Vec<f64>) {
-    assert!(hit_steps >= 2 && size_steps >= 2);
+    l2s_util::invariant!(
+        hit_steps >= 2 && size_steps >= 2,
+        "surface axes need at least two steps each"
+    );
     let hit_rates = (0..hit_steps)
         .map(|i| 0.02 + 0.98 * i as f64 / (hit_steps - 1) as f64)
         .collect();
@@ -56,29 +59,32 @@ pub fn default_axes(hit_steps: usize, size_steps: usize) -> (Vec<f64>, Vec<f64>)
 
 /// Figure 3 / Figure 4: throughput surface of a server kind over the
 /// (hit rate, file size) grid.
+///
+/// Rows are independent closed-form evaluations, so they are fanned out
+/// across the [`l2s_util::pool`] executor; results are collected by row
+/// index, so the surface is identical for any worker count.
 pub fn throughput_surface(
     base: &ModelParams,
     kind: ServerKind,
     hit_rates: &[f64],
     sizes_kb: &[f64],
 ) -> Surface {
-    let values = hit_rates
-        .iter()
-        .map(|&h| {
-            sizes_kb
-                .iter()
-                .map(|&s| {
-                    let mut p = *base;
-                    p.avg_file_kb = s;
-                    // Invalid sweep points surface as NaN cells rather
-                    // than aborting the whole surface.
-                    QueueModel::new(p)
-                        .map(|m| m.max_throughput(kind, h))
-                        .unwrap_or(f64::NAN)
-                })
-                .collect()
-        })
-        .collect();
+    let workers = l2s_util::pool::workers_from_env();
+    let values = l2s_util::pool::run_indexed(workers, hit_rates.len(), |i| {
+        let h = hit_rates[i];
+        sizes_kb
+            .iter()
+            .map(|&s| {
+                let mut p = *base;
+                p.avg_file_kb = s;
+                // Invalid sweep points surface as NaN cells rather
+                // than aborting the whole surface.
+                QueueModel::new(p)
+                    .map(|m| m.max_throughput(kind, h))
+                    .unwrap_or(f64::NAN)
+            })
+            .collect()
+    });
     Surface {
         hit_rates: hit_rates.to_vec(),
         sizes_kb: sizes_kb.to_vec(),

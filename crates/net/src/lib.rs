@@ -47,17 +47,28 @@ impl Default for NetConfig {
 
 impl NetConfig {
     /// Scales link/router bandwidth by `factor` (sensitivity study).
-    pub fn scale_bandwidth(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0);
+    /// Errors unless `factor` is finite and positive — library code must
+    /// not abort on bad caller input.
+    pub fn scale_bandwidth(mut self, factor: f64) -> Result<Self, String> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(format!(
+                "bandwidth scale factor must be positive, got {factor}"
+            ));
+        }
         self.router_kb_per_s *= factor;
-        self
+        Ok(self)
     }
 
-    /// Scales switch latency by `factor` (sensitivity study).
-    pub fn scale_latency(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0);
+    /// Scales switch latency by `factor` (sensitivity study). Errors
+    /// unless `factor` is finite and positive.
+    pub fn scale_latency(mut self, factor: f64) -> Result<Self, String> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(format!(
+                "latency scale factor must be positive, got {factor}"
+            ));
+        }
         self.switch_s *= factor;
-        self
+        Ok(self)
     }
 
     /// Router service time for `kb` KB.
@@ -92,8 +103,8 @@ impl Fabric {
     }
 
     /// Whether the router would accept one more inbound message at `now`
-    /// (the admission gate for new client requests).
-    pub fn would_accept(&mut self, now: SimTime) -> bool {
+    /// (the admission gate for new client requests). Pure query.
+    pub fn would_accept(&self, now: SimTime) -> bool {
         self.router.would_accept(now)
     }
 
@@ -194,15 +205,38 @@ mod tests {
 
     #[test]
     fn bandwidth_scaling_speeds_the_router() {
-        let c = NetConfig::default().scale_bandwidth(2.0);
+        let c = NetConfig::default().scale_bandwidth(2.0).unwrap();
         assert_eq!(c.router_service(500.0).as_nanos(), 500_000);
     }
 
     #[test]
     fn latency_scaling_slows_the_switch() {
-        let c = NetConfig::default().scale_latency(10.0);
+        let c = NetConfig::default().scale_latency(10.0).unwrap();
         let f = Fabric::new(c);
         assert_eq!(f.switch_transit(SimTime::ZERO), t(10_000));
+    }
+
+    #[test]
+    fn scaling_rejects_bad_factors() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(NetConfig::default().scale_bandwidth(bad).is_err());
+            assert!(NetConfig::default().scale_latency(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn would_accept_is_a_pure_query() {
+        let mut f = Fabric::new(NetConfig {
+            router_buffer: 1,
+            ..NetConfig::default()
+        });
+        f.router_transit(SimTime::ZERO, 500.0); // clears at 1 ms
+        let shared: &Fabric = &f;
+        // Asking never mutates: repeated queries at the same instant agree.
+        assert!(!shared.would_accept(t(500)));
+        assert!(!shared.would_accept(t(500)));
+        assert!(shared.would_accept(t(1_000_000)));
+        assert!(!shared.would_accept(t(500)), "query left state untouched");
     }
 
     #[test]

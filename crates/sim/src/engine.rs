@@ -188,12 +188,12 @@ fn build_policy(kind: PolicyKind, config: &SimConfig) -> Box<dyn Distributor> {
 /// measured report. See the crate docs for the modeled lifecycle.
 pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> SimReport {
     config.validate().expect("invalid simulation configuration");
-    assert!(!trace.is_empty(), "cannot simulate an empty trace");
+    l2s_util::invariant!(!trace.is_empty(), "cannot simulate an empty trace");
     let limit = config
         .max_requests
         .map(|m| m.min(trace.len()))
         .unwrap_or(trace.len());
-    assert!(limit > 0, "max_requests must leave at least one request");
+    l2s_util::invariant!(limit > 0, "max_requests must leave at least one request");
 
     let mut policy = build_policy(policy_kind, config);
     // Files are interned densely, so policies can size their per-file

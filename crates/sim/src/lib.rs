@@ -37,3 +37,18 @@ mod report;
 pub use config::{ArrivalMode, SimConfig};
 pub use engine::simulate;
 pub use report::{NodeReport, SimReport};
+
+// Compile-time Send/Sync audit: the parallel sweep executor in
+// `l2s-bench` shares configs across worker threads by reference and
+// moves reports back from them, so these bounds are part of the crate's
+// public contract. A field change that introduces `Rc`, `RefCell`, or a
+// raw pointer fails here, at the definition site, instead of inside the
+// executor's generic machinery.
+#[allow(dead_code)]
+fn engine_inputs_and_outputs_cross_threads() {
+    fn send_and_sync<T: Send + Sync>() {}
+    send_and_sync::<SimConfig>();
+    send_and_sync::<SimReport>();
+    send_and_sync::<NodeReport>();
+    send_and_sync::<ArrivalMode>();
+}

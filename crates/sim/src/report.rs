@@ -78,9 +78,11 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Highest per-node connection-count... placeholder for symmetric
-    /// summaries: the coefficient of variation of per-node completions,
-    /// a load-imbalance indicator (0 = perfectly balanced).
+    /// Coefficient of variation (standard deviation over mean) of
+    /// per-node completed-request counts — a load-imbalance indicator:
+    /// 0 means every active node completed the same number of requests.
+    /// Nodes that saw no work at all are excluded, and fewer than two
+    /// active nodes yields 0.
     pub fn completion_imbalance(&self) -> f64 {
         let served: Vec<f64> = self
             .per_node

@@ -109,9 +109,12 @@ impl TraceSpec {
     }
 
     /// A smaller spec with the same size/popularity structure, for tests
-    /// and examples. Panics if either count is zero.
+    /// and examples. A zero count is rejected by `invariant!`.
     pub fn scaled(&self, num_files: usize, num_requests: usize) -> TraceSpec {
-        assert!(num_files > 0 && num_requests > 0);
+        l2s_util::invariant!(
+            num_files > 0 && num_requests > 0,
+            "scaled trace needs at least one file and one request"
+        );
         TraceSpec {
             num_files,
             num_requests,

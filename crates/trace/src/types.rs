@@ -71,10 +71,10 @@ pub struct FileSet {
 }
 
 impl FileSet {
-    /// Builds a file set from per-file sizes in KB. Panics if any size is
-    /// non-positive or non-finite.
+    /// Builds a file set from per-file sizes in KB. A non-positive or
+    /// non-finite size is rejected by `invariant!`.
     pub fn new(sizes_kb: Vec<f64>) -> Self {
-        assert!(
+        l2s_util::invariant!(
             sizes_kb.iter().all(|s| s.is_finite() && *s > 0.0),
             "file sizes must be positive and finite"
         );
@@ -144,7 +144,7 @@ impl Trace {
     {
         let requests: Vec<FileId> = requests.into_iter().map(Into::into).collect();
         let n = files.len();
-        assert!(
+        l2s_util::invariant!(
             requests.iter().all(|f| f.index() < n),
             "request references unknown file"
         );
@@ -224,6 +224,18 @@ impl Trace {
         }
         counts
     }
+}
+
+// Compile-time Send/Sync audit: the bench harness memoizes traces in
+// `Arc<Trace>` and shares them across sweep worker threads, so these
+// bounds are part of the public contract. A field change that breaks
+// them fails here rather than deep inside the parallel executor.
+#[allow(dead_code)]
+fn traces_are_shared_across_threads() {
+    fn send_and_sync<T: Send + Sync>() {}
+    send_and_sync::<Trace>();
+    send_and_sync::<FileSet>();
+    send_and_sync::<FileId>();
 }
 
 #[cfg(test)]

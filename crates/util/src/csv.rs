@@ -25,13 +25,12 @@ impl CsvTable {
         }
     }
 
-    /// Appends a row. Panics if the width differs from the header, which
-    /// always indicates a harness bug.
+    /// Appends a row. A width differing from the header always indicates
+    /// a harness bug and is rejected by `invariant!`.
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, fields: I) {
         let row: Vec<String> = fields.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.header.len(),
+        crate::invariant!(
+            row.len() == self.header.len(),
             "CSV row width {} != header width {}",
             row.len(),
             self.header.len()

@@ -15,6 +15,8 @@
 //! * [`csv`] — a minimal CSV writer used by the experiment harness.
 //! * [`ascii`] — terminal line charts and heat maps so every figure binary
 //!   can render the paper's plots without a plotting dependency.
+//! * [`pool`] — a std-only scoped thread pool whose results come back in
+//!   submission order, so parallel sweeps stay bit-for-bit deterministic.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +24,7 @@
 pub mod ascii;
 pub mod csv;
 pub mod invariant;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -70,10 +70,10 @@ impl DetRng {
     }
 
     /// A uniform integer in `[0, bound)` using Lemire's unbiased method.
-    /// Panics if `bound == 0`.
+    /// `bound == 0` is rejected by `invariant!`.
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "below(0) is meaningless");
+        crate::invariant!(bound > 0, "below(0) is meaningless");
         // Lemire's multiply-shift rejection method.
         let mut x = self.next_u64();
         let mut m = (x as u128) * (bound as u128);
@@ -128,8 +128,13 @@ impl DetRng {
     }
 
     /// A bounded Pareto sample on `[lo, hi]` with shape `alpha`.
+    /// Non-positive shape or a non-ascending positive range is rejected
+    /// by `invariant!`.
     pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
-        assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        crate::invariant!(
+            lo > 0.0 && hi > lo && alpha > 0.0,
+            "bounded_pareto needs 0 < lo < hi and alpha > 0 (alpha={alpha}, lo={lo}, hi={hi})"
+        );
         let u = self.f64_open();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);

@@ -161,16 +161,22 @@ pub struct Histogram {
 
 impl Histogram {
     /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
-    /// Panics if `buckets == 0` or `hi <= lo`.
-    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
-        assert!(buckets > 0 && hi > lo, "invalid histogram bounds");
-        Histogram {
+    /// Errors if `buckets == 0` or the bounds are not an ascending finite
+    /// pair — library code must not abort on bad caller input.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self, String> {
+        if buckets == 0 {
+            return Err("histogram needs at least one bucket".into());
+        }
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+            return Err(format!("invalid histogram bounds [{lo}, {hi})"));
+        }
+        Ok(Histogram {
             lo,
             hi,
             buckets: vec![0; buckets],
             underflow: 0,
             overflow: 0,
-        }
+        })
     }
 
     /// Records one observation.
@@ -198,9 +204,12 @@ impl Histogram {
         self.buckets.len()
     }
 
-    /// True when no bucket has been created (never: len >= 1).
+    /// True when the histogram has recorded no observations at all
+    /// (in-range, underflow, or overflow). Buckets are allocated at
+    /// construction, so this is about *observations*, not capacity —
+    /// the bucket count is always at least 1.
     pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        self.total() == 0
     }
 
     /// Total recorded observations, including out-of-range ones.
@@ -306,10 +315,12 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_overflow() {
-        let mut h = Histogram::new(0.0, 10.0, 5);
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!(h.is_empty(), "no observations recorded yet");
         for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, 55.0] {
             h.record(x);
         }
+        assert!(!h.is_empty(), "observations were recorded");
         assert_eq!(h.bucket(0), 2); // 0.0, 1.9
         assert_eq!(h.bucket(1), 1); // 2.0
         assert_eq!(h.bucket(4), 1); // 9.99
@@ -317,5 +328,25 @@ mod tests {
         assert_eq!(h.overflow(), 2); // 10.0 and 55.0
         assert_eq!(h.total(), 7);
         assert_eq!(h.bucket_bounds(1), (2.0, 4.0));
+    }
+
+    #[test]
+    fn histogram_rejects_bad_bounds() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(10.0, 10.0, 4).is_err());
+        assert!(Histogram::new(10.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_is_empty_tracks_out_of_range_observations() {
+        // Regression: is_empty() used to check the bucket *capacity*
+        // (allocated in new, so never empty) instead of observations.
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert!(h.is_empty());
+        h.record(55.0); // overflow only — still an observation
+        assert!(!h.is_empty());
+        assert_eq!(h.len(), 2);
     }
 }

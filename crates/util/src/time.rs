@@ -36,7 +36,8 @@ impl SimTime {
     }
 
     /// Builds a timestamp from (fractional) seconds, rounding to the
-    /// nearest nanosecond. Negative inputs clamp to zero.
+    /// nearest nanosecond. Negative inputs clamp to zero; non-finite
+    /// inputs are rejected by `invariant!`.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimTime(secs_to_nanos(secs))
@@ -91,7 +92,8 @@ impl SimDuration {
     }
 
     /// Builds a duration from (fractional) seconds, rounding to the nearest
-    /// nanosecond. Negative inputs clamp to zero.
+    /// nanosecond. Negative inputs clamp to zero; non-finite inputs are
+    /// rejected by `invariant!`.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimDuration(secs_to_nanos(secs))
@@ -116,8 +118,19 @@ impl SimDuration {
     }
 }
 
+/// Converts fractional seconds to nanosecond ticks.
+///
+/// Non-finite input is rejected by `invariant!`: `NaN` fails both the
+/// `<= 0` and `>= MAX` comparisons and `f64::round() as u64` maps it to
+/// 0, so without the check an upstream divide-by-zero (e.g. a config
+/// scale of 0) would silently become a zero-cost event instead of
+/// aborting the run.
 #[inline]
 fn secs_to_nanos(secs: f64) -> u64 {
+    crate::invariant!(
+        secs.is_finite(),
+        "non-finite duration ({secs}) — an upstream division produced NaN or infinity"
+    );
     if secs <= 0.0 {
         return 0;
     }
@@ -262,6 +275,30 @@ mod tests {
     fn negative_seconds_clamp_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(-0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite duration")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn nan_seconds_are_rejected_not_zero() {
+        // Regression: NaN fails both range comparisons and
+        // `f64::round() as u64` maps it to 0, which silently turned an
+        // upstream divide-by-zero into a zero-cost event.
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite duration")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn positive_infinity_is_rejected() {
+        let _ = SimDuration::from_secs_f64(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite duration")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn negative_infinity_is_rejected() {
+        let _ = SimTime::from_secs_f64(f64::NEG_INFINITY);
     }
 
     #[test]

@@ -38,7 +38,7 @@ const EXACT_TERMS: usize = 64;
 ///
 /// Monotone non-decreasing in `n`; `harmonic(0.0, α) == 0`.
 pub fn harmonic(n: f64, alpha: f64) -> f64 {
-    assert!(alpha >= 0.0, "negative Zipf exponents are not meaningful");
+    l2s_util::invariant!(alpha >= 0.0, "negative Zipf exponents are not meaningful");
     if n <= 0.0 {
         return 0.0;
     }
@@ -88,10 +88,10 @@ pub struct ZipfLaw {
 
 impl ZipfLaw {
     /// Creates a law over a (possibly fractional) population of `files`
-    /// files. Panics if `files <= 0` or `alpha < 0`.
+    /// files. `files <= 0` or `alpha < 0` is rejected by `invariant!`.
     pub fn new(files: f64, alpha: f64) -> Self {
-        assert!(files > 0.0, "population must be positive");
-        assert!(alpha >= 0.0, "alpha must be non-negative");
+        l2s_util::invariant!(files > 0.0, "population must be positive");
+        l2s_util::invariant!(alpha >= 0.0, "alpha must be non-negative");
         ZipfLaw {
             files,
             alpha,
@@ -111,7 +111,7 @@ impl ZipfLaw {
 
     /// Probability of a request hitting exactly rank `i` (1-based).
     pub fn rank_probability(&self, rank: u64) -> f64 {
-        assert!(rank >= 1, "ranks are 1-based");
+        l2s_util::invariant!(rank >= 1, "ranks are 1-based");
         if rank as f64 > self.files {
             return 0.0;
         }
@@ -156,10 +156,10 @@ impl ZipfLaw {
     /// small hit rates may be unattainable, in which case the population
     /// is clamped to [`ZipfLaw::MAX_POPULATION`].
     ///
-    /// Panics if `n <= 0` or `hit` is outside `(0, 1]`.
+    /// `n <= 0` or `hit` outside `(0, 1]` is rejected by `invariant!`.
     pub fn invert_population(n: f64, hit: f64, alpha: f64) -> f64 {
-        assert!(n > 0.0, "cache capacity in files must be positive");
-        assert!(hit > 0.0 && hit <= 1.0, "hit rate must be in (0, 1]");
+        l2s_util::invariant!(n > 0.0, "cache capacity in files must be positive");
+        l2s_util::invariant!(hit > 0.0 && hit <= 1.0, "hit rate must be in (0, 1]");
         let hn = harmonic(n, alpha);
         let target = hn / hit; // we need harmonic(f) == target
         if target <= hn {
@@ -201,8 +201,8 @@ pub struct ZipfSampler {
 impl ZipfSampler {
     /// Builds a sampler over `files ≥ 1` ranks with exponent `alpha`.
     pub fn new(files: usize, alpha: f64) -> Self {
-        assert!(files >= 1, "need at least one file");
-        assert!(alpha >= 0.0, "alpha must be non-negative");
+        l2s_util::invariant!(files >= 1, "need at least one file");
+        l2s_util::invariant!(alpha >= 0.0, "alpha must be non-negative");
         let mut cdf = Vec::with_capacity(files);
         let mut acc = 0.0;
         for i in 1..=files {
@@ -236,7 +236,7 @@ impl ZipfSampler {
     /// Probability of rank `i` (1-based), for tests and analysis.
     pub fn probability(&self, rank: u64) -> f64 {
         let i = rank as usize;
-        assert!(i >= 1 && i <= self.cdf.len());
+        l2s_util::invariant!(i >= 1 && i <= self.cdf.len(), "rank {rank} out of range");
         if i == 1 {
             self.cdf[0]
         } else {
