@@ -1,0 +1,8 @@
+//! Fault tolerance (X6): two of eight nodes crash mid-run and reboot
+//! cold; stranded requests retry through the router. Compares degraded-
+//! mode and post-recovery throughput of the three servers on every
+//! Table 2 trace.
+
+fn main() {
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_faults::run);
+}

@@ -31,14 +31,14 @@ pub fn run() -> Result<(), String> {
 
     // Broadcast threshold (paper default 4).
     for delta in [1u32, 2, 4, 8, 16] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.l2s.broadcast_delta = delta;
         cells.push(("broadcast threshold", delta.to_string(), cfg));
     }
 
     // Messaging overhead scaling (CPU + NI per-message costs).
     for scale in [0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.costs.msg_cpu_s *= scale;
         cfg.costs.msg_ni_s *= scale;
         cells.push(("message overhead x", format!("{scale}"), cfg));
@@ -46,14 +46,14 @@ pub fn run() -> Result<(), String> {
 
     // Network switch latency scaling.
     for scale in [1.0, 10.0, 100.0] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.net = cfg.net.scale_latency(scale)?;
         cells.push(("switch latency x", format!("{scale}"), cfg));
     }
 
     // Link/NI bandwidth scaling.
     for scale in [0.25, 0.5, 1.0, 2.0] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.net = cfg.net.scale_bandwidth(scale)?;
         cfg.costs.ni_out_kb_per_s *= scale;
         cells.push(("network bandwidth x", format!("{scale}"), cfg));
@@ -61,7 +61,7 @@ pub fn run() -> Result<(), String> {
 
     // Ablation: the L2S thresholds themselves.
     for (t_high, t_low) in [(10u32, 5u32), (20, 10), (40, 20), (80, 40)] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.l2s.t_high = t_high;
         cfg.l2s.t_low = t_low;
         cells.push(("thresholds T/t", format!("{t_high}/{t_low}"), cfg));

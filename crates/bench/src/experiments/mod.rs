@@ -9,6 +9,7 @@
 
 pub mod exp_cache_policy;
 pub mod exp_dfs;
+pub mod exp_faults;
 pub mod exp_forwarding;
 pub mod exp_idle_times;
 pub mod exp_lard_variants;
@@ -68,4 +69,5 @@ pub const ALL: &[(&str, fn() -> Result<(), String>)] = &[
     ("exp_persistent", exp_persistent::run),
     ("exp_dfs", exp_dfs::run),
     ("exp_cache_policy", exp_cache_policy::run),
+    ("exp_faults", exp_faults::run),
 ];

@@ -1,0 +1,53 @@
+//! Fault-injection determinism: the `exp_faults` experiment regenerated
+//! with 4 workers must be byte-identical to the same experiment run
+//! sequentially. The fault study is the hardest case for the executor's
+//! index-ordered contract because its second stage derives each trace's
+//! crash schedule from the first stage's healthy elapsed times — any
+//! completion-order leakage in stage 1 would reshape the fault plans and
+//! cascade through every downstream number.
+//!
+//! This file deliberately holds a single `#[test]`: the experiment reads
+//! `L2S_WORKERS`, `L2S_BENCH_CAP`, and `L2S_RESULTS_DIR` from the
+//! process environment, and a sibling test mutating them concurrently
+//! would race. CI runs it with `L2S_WORKERS=4` exported as well, which
+//! the explicit `set_var` calls below override per phase.
+
+#[test]
+fn fault_experiment_csv_is_byte_identical_across_worker_counts() {
+    // Small cap so both runs finish in seconds; the cap is part of the
+    // cell configuration, so it is identical across the two runs.
+    std::env::set_var("L2S_BENCH_CAP", "2000");
+    let base = std::env::temp_dir().join(format!("l2s-fault-det-{}", std::process::id()));
+    let seq_dir = base.join("workers1");
+    let par_dir = base.join("workers4");
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    std::fs::create_dir_all(&par_dir).unwrap();
+
+    std::env::set_var("L2S_WORKERS", "1");
+    std::env::set_var("L2S_RESULTS_DIR", &seq_dir);
+    l2s_bench::experiments::exp_faults::run().unwrap();
+
+    std::env::set_var("L2S_WORKERS", "4");
+    std::env::set_var("L2S_RESULTS_DIR", &par_dir);
+    l2s_bench::experiments::exp_faults::run().unwrap();
+
+    let sequential = std::fs::read(seq_dir.join("exp_faults.csv")).unwrap();
+    let parallel = std::fs::read(par_dir.join("exp_faults.csv")).unwrap();
+    assert!(
+        !sequential.is_empty(),
+        "sequential run produced an empty CSV"
+    );
+    let text = String::from_utf8(sequential.clone()).unwrap();
+    assert!(
+        text.lines().skip(1).any(|l| {
+            let retried: u64 = l.split(',').nth(8).unwrap_or("0").parse().unwrap_or(0);
+            retried > 0
+        }),
+        "the fault plan should strand (and retry) at least one request somewhere:\n{text}"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "4-worker fault CSV must be byte-identical to the sequential CSV"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

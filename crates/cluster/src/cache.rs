@@ -202,6 +202,20 @@ impl LruCache {
         &self.evicted
     }
 
+    /// Drops every resident file (a node crash wipes main memory).
+    /// Statistics are kept — they describe the measurement window, not
+    /// the cache contents.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.index.fill(NO_SLOT);
+        self.live = 0;
+        self.head = NIL;
+        self.tail = NIL;
+        self.used_kb = 0.0;
+        self.evicted.clear();
+    }
+
     /// Removes `file` if resident; returns whether it was.
     pub fn remove(&mut self, file: impl Into<FileId>) -> bool {
         match self.slot_of(file.into()) {
@@ -386,6 +400,25 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.stats(), CacheStats::default());
         assert!(c.contains(1), "contents survive stats reset");
+    }
+
+    #[test]
+    fn clear_empties_contents_but_keeps_stats() {
+        let mut c = LruCache::new(100.0);
+        c.insert(1, 40.0);
+        c.insert(2, 40.0);
+        c.touch(1);
+        c.touch(9);
+        let before = c.stats();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_kb(), 0.0);
+        assert!(!c.contains(1) && !c.contains(2));
+        assert_eq!(c.iter_mru().count(), 0);
+        assert_eq!(c.stats(), before, "stats describe the window, not contents");
+        // The cache works normally after the wipe.
+        assert!(c.insert(3, 100.0).is_empty());
+        assert!(c.touch(3));
     }
 
     #[test]

@@ -108,6 +108,15 @@ impl FileCache {
             FileCache::Gds(c) => c.reset_stats(),
         }
     }
+
+    /// Drops every resident file (a node crash wipes main memory),
+    /// keeping statistics.
+    pub fn clear(&mut self) {
+        match self {
+            FileCache::Lru(c) => c.clear(),
+            FileCache::Gds(c) => c.clear(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +140,21 @@ mod tests {
             assert_eq!((s.hits, s.misses), (1, 1));
             c.reset_stats();
             assert_eq!(c.stats().hits, 0);
+        }
+    }
+
+    #[test]
+    fn clear_works_under_both_policies() {
+        for policy in [CachePolicy::Lru, CachePolicy::GreedyDualSize] {
+            let mut c = FileCache::new(policy, 100.0);
+            c.insert(1, 30.0);
+            c.touch(1);
+            let stats = c.stats();
+            c.clear();
+            assert!(c.is_empty());
+            assert!(!c.contains(1));
+            assert_eq!(c.used_kb(), 0.0);
+            assert_eq!(c.stats(), stats);
         }
     }
 

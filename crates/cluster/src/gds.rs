@@ -199,6 +199,21 @@ impl GdsCache {
         None
     }
 
+    /// Drops every resident file (a node crash wipes main memory) and
+    /// resets the aging baseline — a rebooted node starts cold, exactly
+    /// like a fresh cache. Statistics are kept: they describe the
+    /// measurement window, not the cache contents.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.resident = false;
+        }
+        self.heap.clear();
+        self.live = 0;
+        self.used_kb = 0.0;
+        self.aging = 0.0;
+        self.evicted.clear();
+    }
+
     /// Inserts `file` of `kb` KB, evicting minimum-priority files until
     /// it fits. Returns the evicted files (a borrow of internal scratch,
     /// valid until the next `insert`). Oversized files are not cached.
@@ -323,6 +338,23 @@ mod tests {
                 c.len()
             );
         }
+    }
+
+    #[test]
+    fn clear_empties_contents_and_resets_aging() {
+        let mut c = GdsCache::new(20.0);
+        for f in 1..10u32 {
+            c.insert(f, 15.0); // churn to raise the aging baseline
+        }
+        assert!(c.aging() > 0.0);
+        let before = c.stats();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_kb(), 0.0);
+        assert_eq!(c.aging(), 0.0, "rebooted node starts cold");
+        assert_eq!(c.stats(), before, "stats describe the window");
+        assert!(c.insert(1, 20.0).is_empty());
+        assert!(c.touch(1));
     }
 
     #[test]

@@ -86,6 +86,19 @@ impl NodeHardware {
     pub fn accepts_request(&self, now: SimTime) -> bool {
         self.ni_in.would_accept(now)
     }
+
+    /// The node crashes at `now`: main memory (the file cache) is wiped
+    /// and every station discards its queued and in-flight work, so the
+    /// node comes back idle and cold when it recovers. Window statistics
+    /// (completed count, performed busy time, cache hit/miss counters)
+    /// are kept — they describe what happened, not what survives.
+    pub fn crash(&mut self, now: SimTime) {
+        self.cpu.reset_in_flight(now);
+        self.disk.reset_in_flight(now);
+        self.ni_in.reset_in_flight(now);
+        self.ni_out.reset_in_flight(now);
+        self.cache.clear();
+    }
 }
 
 /// Convenience: builds `n` identical nodes.
@@ -154,6 +167,29 @@ mod tests {
         n.ni_in.try_schedule(now, svc).unwrap();
         n.ni_in.try_schedule(now, svc).unwrap();
         assert!(!n.accepts_request(now), "buffer of 2 is full");
+    }
+
+    #[test]
+    fn crash_wipes_cache_and_in_flight_work_but_keeps_stats() {
+        let mut n = NodeHardware::new(100.0, 2);
+        n.access_file(1, 10.0);
+        n.completed = 3;
+        let t = SimTime::from_nanos(500);
+        n.cpu.schedule(t, SimDuration::from_millis(10));
+        n.ni_in
+            .try_schedule(t, SimDuration::from_millis(10))
+            .unwrap();
+        n.ni_in
+            .try_schedule(t, SimDuration::from_millis(10))
+            .unwrap();
+        assert!(!n.accepts_request(t));
+        let crash_at = SimTime::from_nanos(600);
+        n.crash(crash_at);
+        assert!(n.cache.is_empty(), "main memory wiped");
+        assert!(n.accepts_request(crash_at), "NI backlog dropped");
+        assert_eq!(n.cpu.free_at(), crash_at);
+        assert_eq!(n.completed, 3, "window stats survive the crash");
+        assert_eq!(n.cache.stats().misses, 1);
     }
 
     #[test]

@@ -10,16 +10,24 @@ use l2s_util::{invariant, SimTime};
 /// and each node serves its requests independently. Distribution is
 /// oblivious to cache contents, so every node's memory converges to an
 /// independent copy of the hottest files.
+///
+/// Under faults the switch plays the role of a health-checking load
+/// balancer: crashed nodes are excluded from the fewest-connections
+/// choice and rejoin it on recovery.
 #[derive(Clone, Debug)]
 pub struct Traditional {
     loads: Vec<u32>,
+    alive: Vec<bool>,
 }
 
 impl Traditional {
     /// A traditional server over `n` nodes.
     pub fn new(n: usize) -> Self {
         l2s_util::invariant!(n >= 1, "need at least one node");
-        Traditional { loads: vec![0; n] }
+        Traditional {
+            loads: vec![0; n],
+            alive: vec![true; n],
+        }
     }
 }
 
@@ -32,8 +40,16 @@ impl Distributor for Traditional {
         // The switch delivers the connection straight to the node that
         // will serve it, and tracks the connection from acceptance time
         // (otherwise a burst of simultaneous arrivals would all pile
-        // onto the momentarily-least-loaded node).
-        let node = argmin(self.loads.iter().copied().enumerate());
+        // onto the momentarily-least-loaded node). Dead nodes are out of
+        // rotation; filtering preserves index order, so healthy-cluster
+        // behavior (lowest-index tie-break) is unchanged.
+        let node = argmin(
+            self.loads
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| self.alive[i]),
+        );
         self.loads[node] += 1;
         node
     }
@@ -69,13 +85,31 @@ impl Distributor for Traditional {
     fn serving_nodes(&self) -> Vec<NodeId> {
         (0..self.loads.len()).collect()
     }
+
+    fn node_down(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = false;
+    }
+
+    fn node_up(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = true;
+    }
+
+    fn abort_undecided(&mut self, _now: SimTime, initial: NodeId) {
+        invariant!(
+            self.loads[initial] > 0,
+            "load conservation violated: abort on node {initial} without an open connection"
+        );
+        self.loads[initial] -= 1;
+    }
 }
 
 /// Pure load spreading: requests cycle through the nodes regardless of
-/// load or locality (round-robin DNS with no server-side smarts).
+/// load or locality (round-robin DNS with no server-side smarts). Dead
+/// nodes are skipped in the rotation.
 #[derive(Clone, Debug)]
 pub struct RoundRobin {
     loads: Vec<u32>,
+    alive: Vec<bool>,
     next: usize,
 }
 
@@ -85,6 +119,7 @@ impl RoundRobin {
         l2s_util::invariant!(n >= 1, "need at least one node");
         RoundRobin {
             loads: vec![0; n],
+            alive: vec![true; n],
             next: 0,
         }
     }
@@ -96,8 +131,18 @@ impl Distributor for RoundRobin {
     }
 
     fn arrival_node(&mut self) -> NodeId {
-        let node = self.next;
-        self.next = (self.next + 1) % self.loads.len();
+        // At least one node is always alive (enforced by the fault
+        // plan), so the scan terminates within one lap.
+        let n = self.loads.len();
+        let mut node = self.next;
+        for _ in 0..n {
+            if self.alive[node] {
+                break;
+            }
+            node = (node + 1) % n;
+        }
+        invariant!(self.alive[node], "round-robin found no live node");
+        self.next = (node + 1) % n;
         self.loads[node] += 1;
         node
     }
@@ -131,15 +176,40 @@ impl Distributor for RoundRobin {
     fn serving_nodes(&self) -> Vec<NodeId> {
         (0..self.loads.len()).collect()
     }
+
+    fn node_down(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = false;
+    }
+
+    fn node_up(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = true;
+    }
+
+    fn abort_undecided(&mut self, _now: SimTime, initial: NodeId) {
+        invariant!(
+            self.loads[initial] > 0,
+            "load conservation violated: abort on node {initial} without an open connection"
+        );
+        self.loads[initial] -= 1;
+    }
 }
 
 /// Pure locality: each file is statically owned by `hash(file) mod N`.
 /// Maximizes aggregate cache effectiveness but ignores load entirely —
 /// the strict no-replication organization whose load imbalance the
 /// paper's Section 1 warns about.
+///
+/// Under faults the hash ring re-partitions over the live nodes
+/// (consistent-hashing-style: `hash mod |alive|` over the sorted live
+/// list), so a dead node's files get a temporary owner and move back
+/// when it recovers. With every node alive the mapping is identical to
+/// the original `hash mod N`.
 #[derive(Clone, Debug)]
 pub struct PureLocality {
     loads: Vec<u32>,
+    /// Live node ids in ascending order — the hash ring.
+    ring: Vec<NodeId>,
+    alive: Vec<bool>,
     next_arrival: usize,
 }
 
@@ -149,15 +219,18 @@ impl PureLocality {
         l2s_util::invariant!(n >= 1, "need at least one node");
         PureLocality {
             loads: vec![0; n],
+            ring: (0..n).collect(),
+            alive: vec![true; n],
             next_arrival: 0,
         }
     }
 
-    /// The static owner of `file`.
+    /// The current owner of `file` (the static owner while every node is
+    /// alive).
     pub fn owner(&self, file: impl Into<FileId>) -> NodeId {
         // Fibonacci hashing spreads sequential ids well.
         let h = (file.into().raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h % self.loads.len() as u64) as NodeId
+        self.ring[(h % self.ring.len() as u64) as usize]
     }
 }
 
@@ -167,9 +240,18 @@ impl Distributor for PureLocality {
     }
 
     fn arrival_node(&mut self) -> NodeId {
-        // Round-robin DNS; the owner is only known after parsing.
-        let node = self.next_arrival;
-        self.next_arrival = (self.next_arrival + 1) % self.loads.len();
+        // Round-robin DNS; the owner is only known after parsing. Dead
+        // nodes drop out of DNS rotation.
+        let n = self.loads.len();
+        let mut node = self.next_arrival;
+        for _ in 0..n {
+            if self.alive[node] {
+                break;
+            }
+            node = (node + 1) % n;
+        }
+        invariant!(self.alive[node], "pure-locality found no live node");
+        self.next_arrival = (node + 1) % n;
         node
     }
 
@@ -198,6 +280,20 @@ impl Distributor for PureLocality {
 
     fn serving_nodes(&self) -> Vec<NodeId> {
         (0..self.loads.len()).collect()
+    }
+
+    fn node_down(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = false;
+        self.ring.retain(|&id| id != node);
+        invariant!(!self.ring.is_empty(), "hash ring has no live node");
+    }
+
+    fn node_up(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = true;
+        if !self.ring.contains(&node) {
+            self.ring.push(node);
+            self.ring.sort_unstable();
+        }
     }
 }
 
@@ -243,10 +339,42 @@ mod tests {
     }
 
     #[test]
+    fn traditional_excludes_dead_nodes_and_readmits() {
+        let mut t = Traditional::new(3);
+        t.node_down(SimTime::ZERO, 0);
+        for _ in 0..6 {
+            assert_ne!(t.arrival_node(), 0, "dead node got a connection");
+        }
+        t.node_up(SimTime::ZERO, 0);
+        // Node 0 has 0 connections vs 3 each elsewhere — it wins now.
+        assert_eq!(t.arrival_node(), 0);
+    }
+
+    #[test]
+    fn traditional_abort_undecided_releases_the_connection() {
+        let mut t = Traditional::new(2);
+        let n = t.arrival_node();
+        assert_eq!(t.open_connections(n), 1);
+        t.abort_undecided(SimTime::ZERO, n);
+        assert_eq!(t.open_connections(n), 0);
+    }
+
+    #[test]
     fn round_robin_cycles() {
         let mut rr = RoundRobin::new(3);
         let seq: Vec<_> = (0..6).map(|_| rr.arrival_node()).collect();
         assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_dead_nodes() {
+        let mut rr = RoundRobin::new(3);
+        rr.node_down(SimTime::ZERO, 1);
+        let seq: Vec<_> = (0..4).map(|_| rr.arrival_node()).collect();
+        assert_eq!(seq, vec![0, 2, 0, 2]);
+        rr.node_up(SimTime::ZERO, 1);
+        let seq: Vec<_> = (0..3).map(|_| rr.arrival_node()).collect();
+        assert_eq!(seq, vec![0, 1, 2], "recovered node rejoins rotation");
     }
 
     #[test]
@@ -279,6 +407,22 @@ mod tests {
         let other = 1 - owner;
         let b = p.assign(SimTime::ZERO, other, 7.into());
         assert!(b.forwarded);
+    }
+
+    #[test]
+    fn pure_locality_remaps_owners_around_a_crash_and_back() {
+        let mut p = PureLocality::new(4);
+        let statics: Vec<NodeId> = (0..32u32).map(|f| p.owner(f)).collect();
+        let victim = statics[0];
+        p.node_down(SimTime::ZERO, victim);
+        for f in 0..32u32 {
+            let owner = p.owner(f);
+            assert_ne!(owner, victim, "dead node still owns file {f}");
+            assert!(owner < 4);
+        }
+        p.node_up(SimTime::ZERO, victim);
+        let after: Vec<NodeId> = (0..32u32).map(|f| p.owner(f)).collect();
+        assert_eq!(after, statics, "recovery restores the static mapping");
     }
 
     #[test]

@@ -95,9 +95,13 @@ pub struct L2s {
     next_arrival: usize,
     /// Rotating tie-break cursor for least-loaded selections.
     tie_cursor: usize,
-    /// All node ids, precomputed so whole-cluster argmin scans borrow
-    /// instead of collecting.
+    /// The *live* node ids in ascending order, precomputed so
+    /// whole-cluster argmin scans borrow instead of collecting. All of
+    /// `0..nodes` while the cluster is healthy.
     all_nodes: Vec<NodeId>,
+    /// Per-node liveness; crashed nodes leave every candidate set and
+    /// receive no broadcasts.
+    alive: Vec<bool>,
     /// Control messages emitted since the last drain.
     outbox: Vec<(NodeId, NodeId)>,
 }
@@ -121,6 +125,7 @@ impl L2s {
             next_arrival: 0,
             tie_cursor: 0,
             all_nodes: (0..n).collect(),
+            alive: vec![true; n],
             outbox: Vec::new(),
         }
     }
@@ -150,19 +155,30 @@ impl L2s {
     }
 
     /// Applies a load change at `node` and returns the number of
-    /// point-to-point messages if the broadcast threshold tripped.
+    /// point-to-point messages if the broadcast threshold tripped. A
+    /// crashed node cannot send (its stray completions settle silently),
+    /// and crashed observers receive nothing — their views are resynced
+    /// when they rejoin.
     fn note_load_change(&mut self, node: NodeId) -> u32 {
+        if !self.alive[node] {
+            return 0;
+        }
         let current = self.true_loads[node];
         let drift = current.abs_diff(self.last_broadcast[node]);
         if drift >= self.config.broadcast_delta {
+            let mut sent = 0u32;
             for observer in 0..self.nodes {
+                if !self.alive[observer] {
+                    continue;
+                }
                 self.views[observer][node] = current;
                 if observer != node {
                     self.outbox.push((node, observer));
+                    sent += 1;
                 }
             }
             self.last_broadcast[node] = current;
-            (self.nodes - 1) as u32
+            sent
         } else {
             0
         }
@@ -175,13 +191,20 @@ impl Distributor for L2s {
     }
 
     fn arrival_node(&mut self) -> NodeId {
-        // Round-robin DNS.
-        let node = self.next_arrival;
-        self.next_arrival += 1;
-        if self.next_arrival == self.nodes {
-            self.next_arrival = 0;
+        // Round-robin DNS; a dead address is skipped (the client's
+        // connection attempt fails and its retry lands on the next name
+        // in the rotation).
+        for step in 0..self.nodes {
+            let candidate = (self.next_arrival + step) % self.nodes;
+            if self.alive[candidate] {
+                self.next_arrival = (candidate + 1) % self.nodes;
+                return candidate;
+            }
         }
-        node
+        invariant!(false, "no live node to receive an arrival");
+        let fallback = self.next_arrival;
+        self.next_arrival = (fallback + 1) % self.nodes;
+        fallback
     }
 
     fn hint_files(&mut self, n: usize) {
@@ -203,10 +226,24 @@ impl Distributor for L2s {
             sets,
             tie_cursor,
             all_nodes,
+            alive,
             outbox,
             ..
         } = self;
         let own_load = true_loads[initial];
+
+        // A server-set change is announced to every *live* peer (all
+        // `N - 1` of them while the cluster is healthy).
+        let broadcast_set_change = |outbox: &mut Vec<(NodeId, NodeId)>| -> u32 {
+            let mut sent = 0u32;
+            for o in 0..nodes {
+                if o != initial && alive[o] {
+                    outbox.push((initial, o));
+                    sent += 1;
+                }
+            }
+            sent
+        };
 
         // The decision is taken on `initial`'s view of the world (its own
         // load it knows exactly). Nothing below mutates loads or views
@@ -237,12 +274,7 @@ impl Distributor for L2s {
                     if !set.members.contains(&m) {
                         set.members.push(m);
                         set.last_modified = now;
-                        msgs += (nodes - 1) as u32;
-                        for o in 0..nodes {
-                            if o != initial {
-                                outbox.push((initial, o));
-                            }
-                        }
+                        msgs += broadcast_set_change(outbox);
                     }
                     m
                 } else {
@@ -262,12 +294,7 @@ impl Distributor for L2s {
             let set = &mut sets[file.index()];
             set.members.push(chosen);
             set.last_modified = now;
-            msgs += (nodes - 1) as u32;
-            for o in 0..nodes {
-                if o != initial {
-                    outbox.push((initial, o));
-                }
-            }
+            msgs += broadcast_set_change(outbox);
             chosen
         };
 
@@ -291,12 +318,7 @@ impl Distributor for L2s {
             if let Some(victim) = victim {
                 set.members.retain(|&m| m != victim);
                 set.last_modified = now;
-                msgs += (nodes - 1) as u32;
-                for o in 0..nodes {
-                    if o != initial {
-                        outbox.push((initial, o));
-                    }
-                }
+                msgs += broadcast_set_change(outbox);
             }
         }
 
@@ -360,11 +382,51 @@ impl Distributor for L2s {
     }
 
     fn serving_nodes(&self) -> Vec<NodeId> {
-        (0..self.nodes).collect()
+        self.all_nodes.clone()
     }
 
     fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
         out.append(&mut self.outbox);
+    }
+
+    fn node_down(&mut self, now: SimTime, node: NodeId) {
+        invariant!(self.alive[node], "node_down on a node that is already down");
+        self.alive[node] = false;
+        self.all_nodes.retain(|&n| n != node);
+        invariant!(
+            !self.all_nodes.is_empty(),
+            "fault plan left the cluster with no live node"
+        );
+        // The crash is announced (the engine models its message costs);
+        // every server set sheds the dead member. A set pruned empty
+        // behaves like a never-requested file and is recreated on a live
+        // node by the next request.
+        for set in &mut self.sets {
+            let before = set.members.len();
+            set.members.retain(|&m| m != node);
+            if set.members.len() != before {
+                set.last_modified = now;
+            }
+        }
+        // The dead node's load is *not* zeroed here: the engine settles
+        // each of its in-flight requests through `complete` /
+        // `abort_assigned`, keeping conservation exact.
+    }
+
+    fn node_up(&mut self, _now: SimTime, node: NodeId) {
+        invariant!(!self.alive[node], "node_up on a node that is already up");
+        self.alive[node] = true;
+        self.all_nodes.push(node);
+        self.all_nodes.sort_unstable();
+        // Rejoin handshake: the returning node snapshots everyone's load
+        // and everyone snapshots its (engine-settled) load, replacing the
+        // views that went stale while it was away. This rare out-of-band
+        // exchange is not charged as control messages.
+        for o in 0..self.nodes {
+            self.views[o][node] = self.true_loads[node];
+            self.views[node][o] = self.true_loads[o];
+        }
+        self.last_broadcast[node] = self.true_loads[node];
     }
 }
 
@@ -585,6 +647,97 @@ mod tests {
         assert_eq!(a.service, 1, "first touch stays local");
         assert_eq!(s.server_set(99), &[1]);
         assert_eq!(a.control_msgs, 2, "set creation broadcast to peers");
+    }
+
+    #[test]
+    fn crash_prunes_sets_and_dns_rotation() {
+        let mut s = l2s(3);
+        s.assign(SimTime::ZERO, 1, 7.into());
+        assert_eq!(s.server_set(7), &[1]);
+        s.node_down(SimTime::ZERO, 1);
+        assert_eq!(s.serving_nodes(), vec![0, 2]);
+        // DNS skips the dead address.
+        assert_eq!(s.arrival_node(), 0);
+        assert_eq!(s.arrival_node(), 2);
+        assert_eq!(s.arrival_node(), 0);
+        // The file's set was pruned empty, so the next request recreates
+        // it on a live node.
+        let a = s.assign(SimTime::ZERO, 0, 7.into());
+        assert_eq!(a.service, 0);
+        assert_eq!(s.server_set(7), &[0]);
+    }
+
+    #[test]
+    fn dead_nodes_neither_send_nor_receive_broadcasts() {
+        let cfg = L2sConfig::default();
+        let mut s = l2s(3);
+        s.node_down(SimTime::ZERO, 2);
+        let a = s.assign(SimTime::ZERO, 0, 1.into());
+        assert_eq!(a.control_msgs, 1, "set creation reaches only the live peer");
+        let mut msgs = 0;
+        for _ in 0..cfg.broadcast_delta {
+            msgs += s.assign(SimTime::ZERO, 0, 1.into()).control_msgs;
+        }
+        assert_eq!(msgs, 1, "one load broadcast, to the one live peer");
+        assert_eq!(s.viewed_load(1, 0), 4);
+        assert_eq!(s.viewed_load(2, 0), 0, "dead observer heard nothing");
+        let mut out = Vec::new();
+        s.drain_messages(&mut out);
+        assert!(
+            out.iter().all(|&(_, to)| to != 2),
+            "no message targets node 2"
+        );
+    }
+
+    #[test]
+    fn recovery_rejoins_with_synchronized_views() {
+        let mut s = l2s(2);
+        s.node_down(SimTime::ZERO, 1);
+        for _ in 0..6 {
+            s.assign(SimTime::ZERO, 0, 1.into());
+        }
+        assert_eq!(s.viewed_load(1, 0), 0, "no broadcasts while away");
+        s.node_up(SimTime::ZERO, 1);
+        assert_eq!(s.serving_nodes(), vec![0, 1]);
+        assert_eq!(s.viewed_load(1, 0), 6, "rejoin snapshot syncs the view");
+        assert_eq!(s.viewed_load(0, 1), 0, "peers snapshot the rejoiner");
+    }
+
+    #[test]
+    fn completions_on_a_dead_node_settle_silently() {
+        let mut s = l2s(2);
+        for _ in 0..5 {
+            s.assign(SimTime::ZERO, 0, 1.into());
+        }
+        s.node_down(SimTime::ZERO, 0);
+        // The engine settles each in-flight request on the dead node; the
+        // load drains without any broadcast traffic.
+        let mut msgs = 0;
+        for _ in 0..5 {
+            msgs += s.complete(SimTime::ZERO, 0, 1.into());
+        }
+        assert_eq!(msgs, 0);
+        assert_eq!(s.open_connections(0), 0);
+    }
+
+    #[test]
+    fn replication_avoids_dead_nodes() {
+        let cfg = L2sConfig::default();
+        let mut s = l2s(3);
+        s.node_down(SimTime::ZERO, 2);
+        // Node 0 owns file 7 and is overloaded; node 1 is overloaded too,
+        // so a request for 7 at node 1 replicates — but never onto the
+        // dead node 2, even though it looks idle.
+        s.assign(SimTime::ZERO, 0, 7.into());
+        for _ in 0..cfg.t_high + 1 {
+            s.assign(SimTime::ZERO, 0, 7.into());
+        }
+        for f in 0..cfg.t_high + 1 {
+            s.assign(SimTime::ZERO, 1, (100 + f).into());
+        }
+        let a = s.assign(SimTime::ZERO, 1, 7.into());
+        assert_ne!(a.service, 2);
+        assert!(!s.server_set(7).contains(&2));
     }
 
     #[test]

@@ -122,9 +122,12 @@ pub struct Lard {
     /// `sets[file.index()]` — dense by interned file id, grown on demand
     /// (or up front via `hint_files`).
     sets: Vec<ServerSet>,
-    /// Back-end node ids, precomputed so least-loaded scans borrow
-    /// instead of collecting.
+    /// The *live* back-end node ids, precomputed so least-loaded scans
+    /// borrow instead of collecting.
     back_ends: Vec<NodeId>,
+    /// Per-node liveness; crashed back-ends leave every server set, and
+    /// a crashed front-end loses its distribution state.
+    alive: Vec<bool>,
     /// Rotating tie-break cursor for least-loaded selections.
     tie_cursor: usize,
     /// Control messages emitted since the last drain.
@@ -166,6 +169,7 @@ impl Lard {
             unreported: vec![0; n],
             sets: Vec::new(),
             back_ends: back_end_range(n).collect(),
+            alive: vec![true; n],
             tie_cursor: 0,
             outbox: Vec::new(),
         }
@@ -210,15 +214,25 @@ impl Distributor for Lard {
 
     fn arrival_node(&mut self) -> NodeId {
         if self.dispatched && self.nodes > 1 {
-            // Round-robin DNS over the serving nodes.
-            let node = self.next_arrival;
-            self.next_arrival += 1;
-            if self.next_arrival >= self.nodes {
-                self.next_arrival = 1;
+            // Round-robin DNS over the serving nodes, skipping dead
+            // addresses (the client's retry lands on the next name).
+            let span = self.nodes - 1;
+            for step in 0..span {
+                let candidate = 1 + (self.next_arrival - 1 + step) % span;
+                if self.alive[candidate] {
+                    self.next_arrival = 1 + (candidate % span);
+                    return candidate;
+                }
             }
+            // Every serving node is down: the connection attempt targets
+            // the rotation's next address anyway and the engine fails it.
+            let node = self.next_arrival;
+            self.next_arrival = 1 + (node % span);
             node
         } else {
-            // Every client connection goes to the front-end.
+            // Every client connection goes to the front-end (if the
+            // front-end is down, the connection attempt simply fails —
+            // the dedicated distributor is a single point of failure).
             self.front_end()
         }
     }
@@ -231,6 +245,20 @@ impl Distributor for Lard {
         // the distribution decision is unchanged (the paper's Section 4
         // points to Aron et al. '99 for the P-HTTP handling).
         self.ensure_file(file);
+        if self.back_ends.is_empty() {
+            // Every back-end is down: there is no server to pick. The
+            // request is handed to the lowest (dead) back-end id and the
+            // engine's liveness check fails it at hand-off; no server set
+            // is created for the file.
+            let target = back_end_range(self.nodes).start;
+            self.true_loads[target] += 1;
+            self.viewed_loads[target] += 1;
+            return Assignment {
+                service: target,
+                forwarded: target != initial,
+                control_msgs: 0,
+            };
+        }
         let cfg = self.config;
         let mode = self.mode;
         // Disjoint borrows of the decision tables so the hot path never
@@ -340,13 +368,21 @@ impl Distributor for Lard {
             "load conservation violated: completion on node {node} without an open connection"
         );
         self.true_loads[node] -= 1;
+        if !self.alive[node] {
+            // An engine-settled connection on a crashed node: the
+            // front-end observes the connection reset directly, so the
+            // view updates without a report message.
+            self.viewed_loads[node] = self.viewed_loads[node].saturating_sub(1);
+            return 0;
+        }
         self.unreported[node] += 1;
         if self.unreported[node] >= self.config.report_batch {
             let batch = self.unreported[node];
             self.unreported[node] = 0;
             self.viewed_loads[node] = self.viewed_loads[node].saturating_sub(batch);
-            if node == self.front_end() {
-                // Degenerate single-node server: the "report" is local.
+            if node == self.front_end() || !self.alive[self.front_end()] {
+                // Degenerate single-node server (the "report" is local),
+                // or no front-end to report to.
                 0
             } else {
                 self.outbox.push((node, self.front_end()));
@@ -367,6 +403,54 @@ impl Distributor for Lard {
 
     fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
         out.append(&mut self.outbox);
+    }
+
+    fn node_down(&mut self, now: SimTime, node: NodeId) {
+        invariant!(self.alive[node], "node_down on a node that is already down");
+        self.alive[node] = false;
+        if node == self.front_end() && self.nodes > 1 {
+            // The front-end's distribution state — server sets, load
+            // views, report counters — dies with it and is rebuilt from
+            // scratch at recovery.
+            for set in &mut self.sets {
+                if !set.members.is_empty() {
+                    set.members.clear();
+                    set.last_modified = now;
+                }
+            }
+        } else {
+            // A dead back-end leaves the candidate list and every server
+            // set; files it owned alone are reassigned by their next
+            // request (set pruned empty = never requested).
+            self.back_ends.retain(|&b| b != node);
+            for set in &mut self.sets {
+                let before = set.members.len();
+                set.members.retain(|&m| m != node);
+                if set.members.len() != before {
+                    set.last_modified = now;
+                }
+            }
+        }
+        // The dead node's load is *not* zeroed here: the engine settles
+        // each of its in-flight requests through `complete` /
+        // `abort_assigned`, keeping conservation exact.
+    }
+
+    fn node_up(&mut self, _now: SimTime, node: NodeId) {
+        invariant!(!self.alive[node], "node_up on a node that is already up");
+        self.alive[node] = true;
+        if node == self.front_end() && self.nodes > 1 {
+            // Recovery handshake: the restarted front-end polls every
+            // node for its true load and starts report counters afresh.
+            // This rare out-of-band exchange is not charged as messages.
+            self.viewed_loads.copy_from_slice(&self.true_loads);
+            self.unreported.fill(0);
+        } else {
+            self.back_ends.push(node);
+            self.back_ends.sort_unstable();
+            self.viewed_loads[node] = self.true_loads[node];
+            self.unreported[node] = 0;
+        }
     }
 }
 
@@ -550,6 +634,85 @@ mod tests {
         let mut out = Vec::new();
         l.drain_messages(&mut out);
         assert_eq!(out, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn back_end_crash_reassigns_orphaned_files() {
+        let mut l = lard(3);
+        let owner = l.assign(SimTime::ZERO, 0, 5.into()).service;
+        l.node_down(SimTime::ZERO, owner);
+        assert_eq!(l.serving_nodes().len(), 1);
+        assert!(l.server_set(5).is_empty(), "orphaned set pruned");
+        let a = l.assign(SimTime::ZERO, 0, 5.into());
+        assert_ne!(a.service, owner, "file reassigned to a live back-end");
+        assert_eq!(l.server_set(5), &[a.service]);
+        l.node_up(SimTime::ZERO, owner);
+        assert_eq!(l.serving_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn all_back_ends_down_fails_deterministically() {
+        let mut l = lard(3);
+        l.node_down(SimTime::ZERO, 1);
+        l.node_down(SimTime::ZERO, 2);
+        let a = l.assign(SimTime::ZERO, 0, 5.into());
+        assert_eq!(a.service, 1, "handed to the lowest back-end id (dead)");
+        assert!(l.server_set(5).is_empty(), "no set created while headless");
+        // The engine settles the doomed hand-off; load conservation holds.
+        assert_eq!(l.complete(SimTime::ZERO, 1, 5.into()), 0);
+        assert_eq!(l.open_connections(1), 0);
+    }
+
+    #[test]
+    fn dead_back_end_completions_reset_without_reports() {
+        let mut l = lard(2);
+        for _ in 0..8 {
+            l.assign(SimTime::ZERO, 0, 1.into());
+        }
+        l.node_down(SimTime::ZERO, 1);
+        let mut msgs = 0;
+        for _ in 0..8 {
+            msgs += l.complete(SimTime::ZERO, 1, 1.into());
+        }
+        assert_eq!(msgs, 0, "connection resets, not report messages");
+        assert_eq!(l.viewed_loads[1], 0, "the view settles with the resets");
+        assert_eq!(l.open_connections(1), 0);
+    }
+
+    #[test]
+    fn front_end_crash_wipes_state_and_recovery_resyncs() {
+        let mut l = lard(3);
+        let owner = l.assign(SimTime::ZERO, 0, 5.into()).service;
+        for _ in 0..7 {
+            l.assign(SimTime::ZERO, 0, 5.into());
+        }
+        l.node_down(SimTime::ZERO, 0);
+        assert!(l.server_set(5).is_empty(), "sets die with the front-end");
+        // Completions while headless produce no report messages.
+        let mut msgs = 0;
+        for _ in 0..4 {
+            msgs += l.complete(SimTime::ZERO, owner, 5.into());
+        }
+        assert_eq!(msgs, 0, "no reports to a dead front-end");
+        l.node_up(SimTime::ZERO, 0);
+        assert_eq!(
+            l.viewed_loads[owner],
+            l.open_connections(owner),
+            "recovery handshake resyncs the view"
+        );
+        let a = l.assign(SimTime::ZERO, 0, 5.into());
+        assert_eq!(l.server_set(5), &[a.service], "distribution restarts");
+    }
+
+    #[test]
+    fn dispatcher_rotation_skips_dead_acceptors() {
+        let mut l = Lard::dispatcher(4, LardConfig::default());
+        l.node_down(SimTime::ZERO, 2);
+        let arrivals: Vec<_> = (0..4).map(|_| l.arrival_node()).collect();
+        assert_eq!(arrivals, vec![1, 3, 1, 3], "dead acceptor skipped");
+        l.node_up(SimTime::ZERO, 2);
+        let arrivals: Vec<_> = (0..3).map(|_| l.arrival_node()).collect();
+        assert_eq!(arrivals, vec![1, 2, 3], "rotation heals on recovery");
     }
 
     #[test]

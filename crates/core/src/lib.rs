@@ -188,6 +188,44 @@ pub trait Distributor {
     fn drain_messages(&mut self, out: &mut Vec<(NodeId, NodeId)>) {
         let _ = out;
     }
+
+    /// `node` crashed at `now`. The policy must stop routing new work to
+    /// it: exclude it from candidate sets, prune it from per-file server
+    /// sets, and reassign any orphaned targets. It must **not** zero the
+    /// node's load accounting — every in-flight request is individually
+    /// settled by the engine through [`Distributor::complete`] or the
+    /// abort hooks, keeping connection conservation exact. The default
+    /// no-op is only correct for policies without membership state.
+    fn node_down(&mut self, now: SimTime, node: NodeId) {
+        let _ = (now, node);
+    }
+
+    /// `node` recovered at `now` and rejoins the candidate sets (with a
+    /// cold cache and no open connections beyond the strays still being
+    /// settled). The default no-op mirrors [`Distributor::node_down`].
+    fn node_up(&mut self, now: SimTime, node: NodeId) {
+        let _ = (now, node);
+    }
+
+    /// A request accepted at `initial` was lost *before* its distribution
+    /// decision ran (the accepting node crashed). Policies that count the
+    /// connection at [`Distributor::arrival_node`] /
+    /// [`Distributor::arrival_continuation`] must release it here; the
+    /// default no-op is for policies that only count at
+    /// [`Distributor::assign`].
+    fn abort_undecided(&mut self, now: SimTime, initial: NodeId) {
+        let _ = (now, initial);
+    }
+
+    /// A request already assigned to `service` was abandoned mid-flight
+    /// (the service node, or a node on the request's path, crashed).
+    /// Releases exactly the accounting [`Distributor::assign`] took;
+    /// returns control messages emitted. The default treats it as a
+    /// completion, which is correct wherever completion is a pure
+    /// decrement — policies with dead-node message suppression override.
+    fn abort_assigned(&mut self, now: SimTime, service: NodeId, file: FileId) -> u32 {
+        self.complete(now, service, file)
+    }
 }
 
 /// Shared helper: index of the minimum value, lowest index winning ties.

@@ -152,6 +152,20 @@ impl FifoResource {
         self.busy = SimDuration::ZERO;
         self.served = 0;
     }
+
+    /// Discards all in-flight and queued work as of `now` (a node crash):
+    /// the backlog is dropped, the server becomes free immediately, and
+    /// the unperformed portion of already-accepted service time
+    /// (`free_at - now`) is subtracted from the busy accounting so
+    /// utilization reflects work actually carried out. Completed history
+    /// (`served`, performed busy time) is kept.
+    pub fn reset_in_flight(&mut self, now: SimTime) {
+        self.completions.clear();
+        if self.free_at > now {
+            self.busy -= self.free_at - now;
+            self.free_at = now;
+        }
+    }
 }
 
 /// A contention-free fixed delay (the paper's switch fabric: 1 µs, with
@@ -276,6 +290,34 @@ mod tests {
         r.schedule(t(0), d(500));
         r.schedule(t(0), d(600));
         assert_eq!(r.utilization(d(1000)), 1.0);
+    }
+
+    #[test]
+    fn reset_in_flight_drops_backlog_and_unperformed_work() {
+        let mut r = FifoResource::with_capacity(8);
+        r.schedule(t(0), d(100)); // done at 100
+        r.schedule(t(0), d(100)); // done at 200
+        r.schedule(t(0), d(100)); // done at 300
+                                  // Crash at 150: the first job finished, the second is half done,
+                                  // the third never ran.
+        r.reset_in_flight(t(150));
+        assert_eq!(r.free_at(), t(150));
+        assert_eq!(r.queue_len(t(150)), 0);
+        assert!(r.would_accept(t(150)));
+        // 300 ns were accepted; 150 ns of server time were unperformed.
+        assert_eq!(r.busy_time(), d(150));
+        assert_eq!(r.served(), 3, "accepted-job count is history, kept");
+        // The station schedules normally afterwards.
+        assert_eq!(r.schedule(t(150), d(10)), t(160));
+    }
+
+    #[test]
+    fn reset_in_flight_on_idle_station_is_inert() {
+        let mut r = FifoResource::new();
+        r.schedule(t(0), d(40));
+        r.reset_in_flight(t(1000)); // long after completion
+        assert_eq!(r.busy_time(), d(40));
+        assert_eq!(r.free_at(), t(40), "past free_at untouched");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::FaultPlan;
 use l2s::{L2sConfig, LardConfig};
 use l2s_cluster::{CachePolicy, NodeCosts};
 use l2s_net::NetConfig;
@@ -23,7 +24,7 @@ pub enum ArrivalMode {
 
 /// Everything a simulation run needs besides the trace and the policy
 /// kind. [`SimConfig::paper_default`] reproduces the Section 5.1 setup.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Number of cluster nodes.
     pub nodes: usize,
@@ -89,6 +90,19 @@ pub struct SimConfig {
     pub l2s: L2sConfig,
     /// LARD policy parameters (`T_low = 25`, `T_high = 65`, batch 4).
     pub lard: LardConfig,
+    /// Node crash/recovery schedule applied to the *measured* pass
+    /// (the warm-up pass always runs healthy). The default — the empty
+    /// plan — reproduces a healthy run byte-for-byte. Fault events
+    /// scheduled past the last request extend the measurement window
+    /// until they fire.
+    pub faults: FaultPlan,
+    /// How many times a request aborted by a crash is retried (as a
+    /// fresh arrival through the router) before it is counted as
+    /// failed. Default 1.
+    pub fault_retries: u32,
+    /// Client-side delay before a crash-aborted request retries,
+    /// modeling connection-timeout detection. Default 0.5 s.
+    pub retry_delay_s: f64,
 }
 
 impl SimConfig {
@@ -112,6 +126,9 @@ impl SimConfig {
             max_requests: None,
             l2s: L2sConfig::default(),
             lard: LardConfig::default(),
+            faults: FaultPlan::none(),
+            fault_retries: 1,
+            retry_delay_s: 0.5,
         }
     }
 
@@ -158,6 +175,10 @@ impl SimConfig {
                 return Err("Poisson rate must be positive".into());
             }
         }
+        if self.retry_delay_s < 0.0 || !self.retry_delay_s.is_finite() {
+            return Err("retry_delay_s must be finite and non-negative".into());
+        }
+        self.faults.validate(self.nodes)?;
         Ok(())
     }
 }
@@ -212,6 +233,20 @@ mod tests {
         assert!(c.validate().is_err());
         c.arrivals = ArrivalMode::Poisson { rate_rps: 100.0 };
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_config_is_validated() {
+        let mut c = SimConfig::paper_default(4);
+        assert!(c.faults.is_empty(), "default plan is healthy");
+        c.validate().unwrap();
+        c.faults = crate::FaultPlan::crash_recover(2, 1.0, 3.0);
+        c.validate().unwrap();
+        c.faults = crate::FaultPlan::crash_recover(9, 1.0, 3.0);
+        assert!(c.validate().is_err(), "plan must fit the cluster");
+        c.faults = crate::FaultPlan::none();
+        c.retry_delay_s = f64::NAN;
+        assert!(c.validate().is_err());
     }
 
     #[test]

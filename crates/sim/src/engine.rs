@@ -1,6 +1,6 @@
 //! The event-driven simulation engine.
 
-use crate::{ArrivalMode, NodeReport, SimConfig, SimReport};
+use crate::{ArrivalMode, FaultKind, NodeReport, SimConfig, SimReport};
 use l2s::{Distributor, L2s, Lard, NodeId, PolicyKind, PureLocality, RoundRobin, Traditional};
 use l2s_cluster::{build_nodes, FileId, NodeHardware};
 use l2s_devs::EventQueue;
@@ -30,6 +30,17 @@ struct Req {
     conn_remaining: u32,
     /// Whether this request continues an existing persistent connection.
     continuation: bool,
+    /// Epoch of the node the *pending* event targets, captured when the
+    /// event was scheduled. A crash bumps the node's epoch, so a stale
+    /// event (scheduled before the crash) no longer matches and the
+    /// request is aborted when it fires.
+    epoch: u32,
+    /// Crash-abort retries this request has left.
+    retries_left: u32,
+    /// Whether the policy's `assign` has been called and not yet
+    /// settled by `complete` — decides which abort hook releases the
+    /// policy's load accounting.
+    assigned: bool,
 }
 
 /// Lifecycle events. Each event marks a request's *arrival* at a
@@ -68,7 +79,20 @@ enum Ev {
     DfsTransfer(ReqId),
     /// DFS file arrived back at the requesting node's NI.
     DfsBack(ReqId),
+    /// A scheduled fault fires on a node (`true` = recovery).
+    Fault(NodeId, bool),
+    /// A crash-aborted request re-enters the cluster after the client's
+    /// timeout-and-retry delay.
+    Retry(ReqId),
 }
+
+/// Cluster phases for degraded-mode bookkeeping: before the first
+/// crash, while at least one node is down, after the last recovery.
+const PHASE_HEALTHY: usize = 0;
+/// At least one node is currently down.
+const PHASE_DEGRADED: usize = 1;
+/// Every node is back up after at least one crash.
+const PHASE_RECOVERED: usize = 2;
 
 /// Measurement accumulators (reset between warm-up and measurement).
 #[derive(Default)]
@@ -82,6 +106,29 @@ struct Measure {
     seg_ingress: OnlineStats,
     seg_handoff: OnlineStats,
     seg_service: OnlineStats,
+    /// Requests terminally lost to crashes.
+    failed: u64,
+    /// Crash-aborted requests re-injected as fresh arrivals.
+    retried: u64,
+    /// Accumulated per-node downtime (summed over nodes).
+    down_time: SimDuration,
+    /// Current cluster phase (`PHASE_*`).
+    phase: usize,
+    /// When the current phase began.
+    phase_started: SimTime,
+    /// Simulated seconds spent in each phase.
+    phase_s: [f64; 3],
+    /// Requests completed in each phase.
+    phase_completed: [u64; 3],
+}
+
+impl Measure {
+    /// Closes the current phase at `now` and enters `phase`.
+    fn roll_phase(&mut self, now: SimTime, phase: usize) {
+        self.phase_s[self.phase] += now.saturating_since(self.phase_started).as_secs_f64();
+        self.phase_started = now;
+        self.phase = phase;
+    }
 }
 
 /// Service times precomputed once per run so the event loop never
@@ -161,6 +208,15 @@ struct Engine<'t> {
     events_handled: u64,
     /// Deepest the future-event list ever grew.
     peak_fel: usize,
+    /// Per-node liveness under the fault plan (all true when healthy).
+    alive: Vec<bool>,
+    /// Bumped on every crash; pending events carry the epoch they were
+    /// scheduled under, so work lost in a crash aborts when it fires.
+    node_epoch: Vec<u32>,
+    /// When each currently-down node crashed (valid while `!alive`).
+    down_since: Vec<SimTime>,
+    /// How many nodes are currently down.
+    down_count: usize,
 }
 
 /// Home node of `file` under the hash-placed distributed file system
@@ -201,7 +257,7 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
     policy.hint_files(trace.files().len());
     let window = config.total_window();
     let mut engine = Engine {
-        config: *config,
+        config: config.clone(),
         trace,
         limit,
         policy,
@@ -228,6 +284,10 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
         rng: DetRng::new(config.seed),
         events_handled: 0,
         peak_fel: 0,
+        alive: vec![true; config.nodes],
+        node_epoch: vec![0; config.nodes],
+        down_since: vec![SimTime::ZERO; config.nodes],
+        down_count: 0,
     };
 
     if config.warmup {
@@ -235,6 +295,8 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
         engine.reset_measurement();
         engine.next_request = 0;
     }
+    // Faults apply to the measured pass only, at offsets from its start.
+    engine.arm_faults();
     engine.run_pass();
     engine.report(policy_kind)
 }
@@ -320,6 +382,9 @@ impl<'t> Engine<'t> {
             reply_remaining: SimDuration::ZERO,
             conn_remaining,
             continuation,
+            epoch: self.node_epoch[initial],
+            retries_left: self.config.fault_retries,
+            assigned: false,
         });
         let cleared = self
             .fabric
@@ -342,9 +407,23 @@ impl<'t> Engine<'t> {
         response_s.clear();
         self.measure = Measure {
             started_at: self.queue.now(),
+            phase: PHASE_HEALTHY,
+            phase_started: self.queue.now(),
             response_s,
             ..Measure::default()
         };
+    }
+
+    /// Schedules the fault plan's events, at their offsets from the
+    /// measurement start. The empty plan schedules nothing, so a
+    /// healthy run's event stream is untouched.
+    fn arm_faults(&mut self) {
+        let base = self.queue.now();
+        let Engine { config, queue, .. } = self;
+        for e in config.faults.events() {
+            let up = e.kind == FaultKind::Recover;
+            queue.schedule(base + e.at, Ev::Fault(e.node, up));
+        }
     }
 
     /// Injects new requests while the trace has them, the cluster-wide
@@ -363,7 +442,40 @@ impl<'t> Engine<'t> {
         }
     }
 
+    /// The node a request-lifecycle event executes on, if any. Events
+    /// on the shared fabric (router legs, completion delivery) and the
+    /// engine's own timers have no node and survive crashes.
+    fn event_target(&self, ev: Ev) -> Option<(ReqId, NodeId)> {
+        match ev {
+            Ev::NicIn(id) | Ev::Parse(id) | Ev::Decide(id) | Ev::HandoffOut(id) => {
+                Some((id, self.slab[id as usize].initial))
+            }
+            Ev::HandoffIn(id)
+            | Ev::Serve(id)
+            | Ev::ReplyReady(id)
+            | Ev::ReplyChunk(id)
+            | Ev::NicOut(id)
+            | Ev::DfsBack(id) => Some((id, self.slab[id as usize].service)),
+            Ev::DfsRead(id) | Ev::DfsTransfer(id) => {
+                Some((id, dfs_home(self.slab[id as usize].file, self.config.nodes)))
+            }
+            Ev::RouterOut(_) | Ev::Done(_) | Ev::ClientArrival | Ev::Fault(..) | Ev::Retry(_) => {
+                None
+            }
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        // Liveness gate: an event whose node is down, or whose node
+        // crashed (and possibly rebooted) since the event was
+        // scheduled, finds its work gone — the request aborts here, at
+        // the time the lost operation would have completed.
+        if let Some((id, node)) = self.event_target(ev) {
+            if !self.alive[node] || self.slab[id as usize].epoch != self.node_epoch[node] {
+                self.fail_request(now, id);
+                return;
+            }
+        }
         match ev {
             Ev::NicIn(id) => {
                 let node = self.slab[id as usize].initial;
@@ -393,6 +505,7 @@ impl<'t> Engine<'t> {
                 req.service = assignment.service;
                 req.forwarded = assignment.forwarded;
                 req.decided = now;
+                req.assigned = true;
                 if assignment.forwarded {
                     self.measure.forwarded += 1;
                     let done = self.nodes[initial].cpu.schedule(now, self.cc.forward);
@@ -405,6 +518,11 @@ impl<'t> Engine<'t> {
                 let node = self.slab[id as usize].initial;
                 let done = self.nodes[node].ni_out.schedule(now, self.cc.msg_ni);
                 let arrived = self.fabric.switch_transit(done);
+                // The pending event moves to the service node: track its
+                // epoch from here on (the hand-off is on the wire, so the
+                // initial node's fate no longer matters).
+                let service = self.slab[id as usize].service;
+                self.slab[id as usize].epoch = self.node_epoch[service];
                 self.queue.schedule(arrived, Ev::HandoffIn(id));
             }
             Ev::HandoffIn(id) => {
@@ -430,6 +548,7 @@ impl<'t> Engine<'t> {
                         let sent = self.nodes[node].cpu.schedule(now, self.cc.msg_cpu);
                         let on_wire = self.nodes[node].ni_out.schedule(sent, self.cc.msg_ni);
                         let arrived = self.fabric.switch_transit(on_wire);
+                        self.slab[id as usize].epoch = self.node_epoch[home];
                         self.queue.schedule(arrived, Ev::DfsRead(id));
                     } else {
                         let done = self.nodes[node]
@@ -496,6 +615,9 @@ impl<'t> Engine<'t> {
                     .ni_out
                     .schedule(now, self.cc.file(file).ni_out);
                 let arrived = self.fabric.switch_transit(done);
+                // The file is on the wire back to the service node.
+                let service = self.slab[id as usize].service;
+                self.slab[id as usize].epoch = self.node_epoch[service];
                 self.queue.schedule(arrived, Ev::DfsBack(id));
             }
             Ev::DfsBack(id) => {
@@ -531,6 +653,7 @@ impl<'t> Engine<'t> {
                 self.measure.control_msgs += u64::from(msgs);
                 self.nodes[node].completed += 1;
                 self.measure.completed += 1;
+                self.measure.phase_completed[self.measure.phase] += 1;
                 self.measure
                     .response_s
                     .push(now.saturating_since(injected).as_secs_f64());
@@ -549,7 +672,104 @@ impl<'t> Engine<'t> {
                     self.launch_request(now, node, conn_remaining - 1, true);
                 }
             }
+            Ev::Fault(node, up) => {
+                if up {
+                    self.node_recover(now, node);
+                } else {
+                    self.node_crash(now, node);
+                }
+            }
+            Ev::Retry(id) => {
+                // The client's retry is a fresh connection: it enters
+                // through the router and may land on any live node.
+                let initial = self.policy.arrival_node();
+                let epoch = self.node_epoch[initial];
+                {
+                    let r = &mut self.slab[id as usize];
+                    r.initial = initial;
+                    r.service = initial;
+                    r.forwarded = false;
+                    r.continuation = false;
+                    r.reply_remaining = SimDuration::ZERO;
+                    r.decided = now;
+                    r.served = now;
+                    r.epoch = epoch;
+                    // `injected` is kept: response time spans the whole
+                    // client experience, retries included.
+                }
+                let cleared = self
+                    .fabric
+                    .router_transit_service(now, self.cc.router_request);
+                let at_node = self.fabric.switch_transit(cleared);
+                self.queue.schedule(at_node, Ev::NicIn(id));
+            }
         }
+    }
+
+    /// Aborts a request whose pending work died with a node: the
+    /// policy's load accounting is settled through the matching abort
+    /// hook, then the request either retries as a fresh arrival after
+    /// the client's timeout or is counted as failed.
+    fn fail_request(&mut self, now: SimTime, id: ReqId) {
+        let (assigned, service, initial, file, retries_left) = {
+            let r = &self.slab[id as usize];
+            (r.assigned, r.service, r.initial, r.file, r.retries_left)
+        };
+        if assigned {
+            let msgs = self.policy.abort_assigned(now, service, file);
+            self.charge_messages(now);
+            self.measure.control_msgs += u64::from(msgs);
+        } else {
+            self.policy.abort_undecided(now, initial);
+        }
+        if retries_left > 0 {
+            let r = &mut self.slab[id as usize];
+            r.retries_left -= 1;
+            r.assigned = false;
+            self.measure.retried += 1;
+            let delay = SimDuration::from_secs_f64(self.config.retry_delay_s);
+            self.queue.schedule_after(delay, Ev::Retry(id));
+        } else {
+            self.measure.failed += 1;
+            invariant!(
+                self.outstanding > 0,
+                "request accounting underflow: failure with none outstanding"
+            );
+            self.outstanding -= 1;
+            self.release(id);
+        }
+    }
+
+    /// A node crashes: epoch bumps (orphaning every pending event that
+    /// targets it), hardware wipes, and the policy excludes it.
+    fn node_crash(&mut self, now: SimTime, node: NodeId) {
+        invariant!(self.alive[node], "fault plan crashes node {node} twice");
+        self.alive[node] = false;
+        self.node_epoch[node] += 1;
+        self.down_since[node] = now;
+        if self.down_count == 0 {
+            self.measure.roll_phase(now, PHASE_DEGRADED);
+        }
+        self.down_count += 1;
+        self.nodes[node].crash(now);
+        self.policy.node_down(now, node);
+    }
+
+    /// A node recovers: idle and cold, it rejoins the policy's
+    /// candidate sets.
+    fn node_recover(&mut self, now: SimTime, node: NodeId) {
+        invariant!(
+            !self.alive[node],
+            "fault plan recovers node {node} while it is up"
+        );
+        self.alive[node] = true;
+        self.measure.down_time += now.saturating_since(self.down_since[node]);
+        invariant!(self.down_count > 0, "recovery without a crash");
+        self.down_count -= 1;
+        if self.down_count == 0 {
+            self.measure.roll_phase(now, PHASE_RECOVERED);
+        }
+        self.policy.node_up(now, node);
     }
 
     /// CPU time for a reply: the µm cost plus, for handed-off requests,
@@ -596,10 +816,18 @@ impl<'t> Engine<'t> {
         let mut buf = std::mem::take(&mut self.msg_buf);
         self.policy.drain_messages(&mut buf);
         for &(from, to) in &buf {
-            self.nodes[from].cpu.schedule(now, self.cc.msg_cpu);
-            self.nodes[from].ni_out.schedule(now, self.cc.msg_ni);
-            self.nodes[to].ni_in.schedule(now, self.cc.msg_ni);
-            self.nodes[to].cpu.schedule(now, self.cc.msg_cpu);
+            // A dead endpoint's legs are skipped: the policies suppress
+            // messages involving down nodes, but a node can die between
+            // a message being emitted and this charge. Work must never
+            // accrue on a crashed node's stations.
+            if self.alive[from] {
+                self.nodes[from].cpu.schedule(now, self.cc.msg_cpu);
+                self.nodes[from].ni_out.schedule(now, self.cc.msg_ni);
+            }
+            if self.alive[to] {
+                self.nodes[to].ni_in.schedule(now, self.cc.msg_ni);
+                self.nodes[to].cpu.schedule(now, self.cc.msg_cpu);
+            }
         }
         buf.clear();
         self.msg_buf = buf;
@@ -623,9 +851,34 @@ impl<'t> Engine<'t> {
     }
 
     fn report(&mut self, kind: PolicyKind) -> SimReport {
-        let elapsed = self.queue.now().saturating_since(self.measure.started_at);
+        let now = self.queue.now();
+        let elapsed = now.saturating_since(self.measure.started_at);
         let elapsed_s = elapsed.as_secs_f64();
         let serving: Vec<NodeId> = self.policy.serving_nodes();
+
+        // Close the current phase and tally downtime for nodes the
+        // plan left dead at the end of the run.
+        self.measure.phase_s[self.measure.phase] += now
+            .saturating_since(self.measure.phase_started)
+            .as_secs_f64();
+        self.measure.phase_started = now;
+        let mut down_time = self.measure.down_time;
+        for (node, &alive) in self.alive.iter().enumerate() {
+            if !alive {
+                down_time += now.saturating_since(self.down_since[node]);
+            }
+        }
+        let unavailability = if elapsed_s > 0.0 {
+            (down_time.as_secs_f64() / (elapsed_s * self.config.nodes as f64)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mut phase_rps = [0.0f64; 3];
+        for p in 0..3 {
+            if self.measure.phase_s[p] > 0.0 {
+                phase_rps[p] = self.measure.phase_completed[p] as f64 / self.measure.phase_s[p];
+            }
+        }
 
         let per_node: Vec<NodeReport> = self
             .nodes
@@ -698,6 +951,10 @@ impl<'t> Engine<'t> {
                 self.measure.seg_handoff.mean(),
                 self.measure.seg_service.mean(),
             ],
+            failed: self.measure.failed,
+            retried: self.measure.retried,
+            unavailability,
+            phase_rps,
             events_handled: self.events_handled,
             peak_fel_depth: self.peak_fel,
             per_node,
@@ -796,7 +1053,7 @@ mod tests {
         let trace = small_trace(6);
         let mut cold = small_config(4);
         cold.warmup = false;
-        let mut warm = cold;
+        let mut warm = cold.clone();
         warm.warmup = true;
         let cold_report = simulate(&cold, PolicyKind::Traditional, &trace);
         let warm_report = simulate(&warm, PolicyKind::Traditional, &trace);
@@ -858,7 +1115,7 @@ mod tests {
         let trace = small_trace(21);
         let mut light = small_config(4);
         light.arrivals = crate::ArrivalMode::Poisson { rate_rps: 200.0 };
-        let mut heavy = light;
+        let mut heavy = light.clone();
         heavy.arrivals = crate::ArrivalMode::Poisson { rate_rps: 1_500.0 };
         let lr = simulate(&light, PolicyKind::Traditional, &trace);
         let hr = simulate(&heavy, PolicyKind::Traditional, &trace);
@@ -874,7 +1131,7 @@ mod tests {
     fn persistent_connections_conserve_requests_and_locality() {
         let trace = small_trace(22);
         let base = small_config(4);
-        let mut persistent = base;
+        let mut persistent = base.clone();
         persistent.persistent_mean = 8.0;
         let single = simulate(&base, PolicyKind::L2s, &trace);
         let multi = simulate(&persistent, PolicyKind::L2s, &trace);
@@ -901,7 +1158,7 @@ mod tests {
         let mut base = small_config(12);
         base.cache_kb = 8_000.0;
         base.window = 32;
-        let mut persistent = base;
+        let mut persistent = base.clone();
         persistent.persistent_mean = 8.0;
         let single = simulate(&base, PolicyKind::Lard, &trace);
         let multi = simulate(&persistent, PolicyKind::Lard, &trace);
@@ -918,7 +1175,7 @@ mod tests {
         let trace = small_trace(23);
         let mut local = small_config(4);
         local.cache_kb = 500.0; // force a high miss rate
-        let mut remote = local;
+        let mut remote = local.clone();
         remote.dfs_remote = true;
         let lr = simulate(&local, PolicyKind::Traditional, &trace);
         let rr = simulate(&remote, PolicyKind::Traditional, &trace);
@@ -958,5 +1215,130 @@ mod tests {
             "p99 = {}",
             report.p99_response_s
         );
+    }
+
+    /// A crash/recovery pair sized to `kind`'s healthy run: `node` dies
+    /// at 25% of the healthy elapsed time and reboots at 55%, so the
+    /// run passes through all three phases.
+    fn mid_run_fault(
+        cfg: &SimConfig,
+        kind: PolicyKind,
+        trace: &Trace,
+        node: usize,
+    ) -> crate::FaultPlan {
+        let healthy = simulate(cfg, kind, trace);
+        let e = healthy.elapsed.as_secs_f64();
+        crate::FaultPlan::crash_recover(node, 0.25 * e, 0.55 * e)
+    }
+
+    #[test]
+    fn healthy_runs_report_no_fault_activity() {
+        let trace = small_trace(11);
+        let r = simulate(&small_config(4), PolicyKind::L2s, &trace);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.retried, 0);
+        assert_eq!(r.unavailability, 0.0);
+        assert!(r.phase_rps[0] > 0.0, "all completions are healthy-phase");
+        assert_eq!(r.phase_rps[1], 0.0);
+        assert_eq!(r.phase_rps[2], 0.0);
+    }
+
+    #[test]
+    fn every_policy_survives_a_crash_and_conserves_requests() {
+        let trace = small_trace(12);
+        let base = small_config(4);
+        for kind in PolicyKind::all() {
+            let mut cfg = base.clone();
+            cfg.faults = mid_run_fault(&base, kind, &trace, 2);
+            let r = simulate(&cfg, kind, &trace);
+            assert_eq!(
+                r.completed + r.failed,
+                trace.len() as u64,
+                "{}: every request must complete or terminally fail",
+                kind.name()
+            );
+            assert!(
+                r.unavailability > 0.0 && r.unavailability < 1.0,
+                "{}: unavailability {} out of range",
+                kind.name(),
+                r.unavailability
+            );
+            assert!(
+                r.phase_rps[1] > 0.0,
+                "{}: no degraded-phase completions",
+                kind.name()
+            );
+            assert!(
+                r.phase_rps[2] > 0.0,
+                "{}: no recovered-phase completions",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let trace = small_trace(13);
+        let mut cfg = small_config(4);
+        cfg.faults = mid_run_fault(&cfg, PolicyKind::L2s, &trace, 1);
+        let a = simulate(&cfg, PolicyKind::L2s, &trace);
+        let b = simulate(&cfg, PolicyKind::L2s, &trace);
+        assert_eq!(a, b);
+        assert!(a.retried > 0, "the crash should strand some requests");
+    }
+
+    #[test]
+    fn retries_rescue_requests_that_a_crash_aborts() {
+        let trace = small_trace(14);
+        let mut cfg = small_config(4);
+        cfg.faults = mid_run_fault(&cfg, PolicyKind::Traditional, &trace, 2);
+        cfg.fault_retries = 4;
+        let r = simulate(&cfg, PolicyKind::Traditional, &trace);
+        assert!(r.retried > 0, "the crash should strand some requests");
+        assert_eq!(
+            r.failed, 0,
+            "with live nodes available and retries enabled, nothing is lost"
+        );
+        assert_eq!(r.completed, trace.len() as u64);
+    }
+
+    #[test]
+    fn disabling_retries_turns_aborts_into_failures() {
+        let trace = small_trace(15);
+        let mut cfg = small_config(4);
+        cfg.faults = mid_run_fault(&cfg, PolicyKind::Traditional, &trace, 2);
+        cfg.fault_retries = 0;
+        let r = simulate(&cfg, PolicyKind::Traditional, &trace);
+        assert_eq!(r.retried, 0);
+        assert!(r.failed > 0, "aborted requests must surface as failures");
+        assert_eq!(r.completed + r.failed, trace.len() as u64);
+    }
+
+    #[test]
+    fn degraded_cluster_loses_throughput() {
+        let trace = small_trace(16);
+        let mut cfg = small_config(4);
+        cfg.faults = mid_run_fault(&cfg, PolicyKind::Traditional, &trace, 3);
+        let r = simulate(&cfg, PolicyKind::Traditional, &trace);
+        assert!(
+            r.phase_rps[1] < r.phase_rps[0],
+            "3 nodes ({} r/s) should be slower than 4 ({} r/s)",
+            r.phase_rps[1],
+            r.phase_rps[0]
+        );
+    }
+
+    #[test]
+    fn lard_front_end_crash_is_survivable() {
+        // LARD's front-end is a single point of failure for *state*, but
+        // the simulated cluster detects the crash, fails over arrivals,
+        // and rebuilds the mapping on recovery.
+        let trace = small_trace(17);
+        let mut cfg = small_config(4);
+        cfg.faults = mid_run_fault(&cfg, PolicyKind::Lard, &trace, 0);
+        cfg.fault_retries = 8;
+        let r = simulate(&cfg, PolicyKind::Lard, &trace);
+        assert_eq!(r.completed + r.failed, trace.len() as u64);
+        assert!(r.completed > 0);
     }
 }

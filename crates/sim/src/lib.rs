@@ -32,10 +32,12 @@
 
 mod config;
 mod engine;
+mod faults;
 mod report;
 
 pub use config::{ArrivalMode, SimConfig};
 pub use engine::simulate;
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{NodeReport, SimReport};
 
 // Compile-time Send/Sync audit: the parallel sweep executor in
@@ -51,4 +53,5 @@ fn engine_inputs_and_outputs_cross_threads() {
     send_and_sync::<SimReport>();
     send_and_sync::<NodeReport>();
     send_and_sync::<ArrivalMode>();
+    send_and_sync::<FaultPlan>();
 }

@@ -66,6 +66,22 @@ pub struct SimReport {
     /// through readiness at the service node, and readiness through reply
     /// departure. Useful for locating queueing delay.
     pub segment_means_s: [f64; 3],
+    /// Requests terminally lost to node crashes (aborted and out of
+    /// retries, or aborted with retries disabled). Always 0 on a
+    /// healthy run.
+    pub failed: u64,
+    /// Crash-aborted requests that re-entered the cluster as fresh
+    /// arrivals (each retry of the same request counts once). Always 0
+    /// on a healthy run.
+    pub retried: u64,
+    /// Fraction of node capacity lost to downtime: down node-seconds
+    /// over `elapsed * nodes`, in `[0, 1]`. 0 on a healthy run.
+    pub unavailability: f64,
+    /// Throughput (completed requests per second) by cluster phase:
+    /// `[healthy, degraded, recovered]` — before the first crash, while
+    /// at least one node is down, and after the last recovery. A phase
+    /// the run never entered reports 0.
+    pub phase_rps: [f64; 3],
     /// Simulator events processed over the whole run (warm-up included) —
     /// the denominator-free unit of simulation work, used by the
     /// `perf_baseline` harness to compute events/sec.
@@ -145,6 +161,10 @@ mod tests {
             mean_response_s: 0.0,
             p99_response_s: 0.0,
             segment_means_s: [0.0; 3],
+            failed: 0,
+            retried: 0,
+            unavailability: 0.0,
+            phase_rps: [0.0; 3],
             events_handled: 0,
             peak_fel_depth: 0,
             per_node: vec![node(10), node(10)],
@@ -168,6 +188,10 @@ mod tests {
             mean_response_s: 0.0,
             p99_response_s: 0.0,
             segment_means_s: [0.0; 3],
+            failed: 0,
+            retried: 0,
+            unavailability: 0.0,
+            phase_rps: [0.0; 3],
             events_handled: 0,
             peak_fel_depth: 0,
             per_node: vec![node(19), node(1)],

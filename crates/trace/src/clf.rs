@@ -85,15 +85,20 @@ pub struct LogEntry {
 /// ```
 ///
 /// Returns `None` for lines that do not match the format.
+///
+/// The request field is located structurally, not as the first quoted
+/// span: real logs put arbitrary client-supplied text in the ident and
+/// authuser fields, so a stray `"` there used to shift the request field
+/// and yield a garbage entry. The opening quote is anchored on a known
+/// HTTP method and the closing quote on the numeric status that must
+/// follow it, which also keeps Combined Log Format (trailing quoted
+/// referrer/user-agent fields) parsing correctly.
 pub fn parse_line(line: &str) -> Option<LogEntry> {
     let line = line.trim();
     if line.is_empty() {
         return None;
     }
-    // The request field is the quoted section; find it first since hosts
-    // and dates never contain '"'.
-    let quote_start = line.find('"')?;
-    let quote_end = quote_start + 1 + line[quote_start + 1..].find('"')?;
+    let (quote_start, quote_end) = request_span(line)?;
     let request = &line[quote_start + 1..quote_end];
     let mut req_parts = request.split_whitespace();
     let method = req_parts.next()?.to_string();
@@ -112,6 +117,40 @@ pub fn parse_line(line: &str) -> Option<LogEntry> {
         status,
         bytes,
     })
+}
+
+/// HTTP methods recognized when anchoring the request field's opening
+/// quote (RFC 9110's method registry plus `PATCH`).
+const METHODS: [&str; 9] = [
+    "GET", "HEAD", "POST", "PUT", "DELETE", "CONNECT", "OPTIONS", "TRACE", "PATCH",
+];
+
+/// Finds the byte offsets of the quotes delimiting the request field:
+/// the first `"` immediately followed by a known method and a space, and
+/// the first subsequent `"` whose next non-space character is a digit
+/// (the status code). Returns `None` when no such pair exists.
+fn request_span(line: &str) -> Option<(usize, usize)> {
+    let mut from = 0;
+    let open = loop {
+        let i = from + line[from..].find('"')?;
+        let rest = &line[i + 1..];
+        if METHODS
+            .iter()
+            .any(|m| rest.strip_prefix(m).is_some_and(|r| r.starts_with(' ')))
+        {
+            break i;
+        }
+        from = i + 1;
+    };
+    let mut from = open + 1;
+    loop {
+        let i = from + line[from..].find('"')?;
+        let after = line[i + 1..].trim_start();
+        if after.starts_with(|c: char| c.is_ascii_digit()) {
+            break Some((open, i));
+        }
+        from = i + 1;
+    }
 }
 
 /// Builds a [`Trace`] from Common Log Format text.
@@ -189,6 +228,56 @@ host6 - - [01/Mar/2000:00:00:07 -0500] "GET /index.html HTTP/1.0" 304 0
             parse_line(r#"h - - [d] "GET /x HTTP/1.0" notanumber 5"#),
             None
         );
+    }
+
+    #[test]
+    fn stray_quote_in_ident_does_not_shift_the_request_field() {
+        // Regression: the parser used to take the *first* quoted span as
+        // the request, so client-supplied ident/authuser text containing
+        // a '"' produced a garbage entry (method `evil`, path `user`).
+        let e = parse_line(
+            r#"h "evil user [01/Jan/2000:10:00:00 +0000] "GET /x.html HTTP/1.0" 200 77"#,
+        )
+        .unwrap();
+        assert_eq!(e.method, "GET");
+        assert_eq!(e.path, "/x.html");
+        assert_eq!(e.status, 200);
+        assert_eq!(e.bytes, Some(77));
+    }
+
+    #[test]
+    fn quoted_non_request_text_alone_is_rejected() {
+        // A quoted span that is not `METHOD <sp>...` must not be treated
+        // as the request field.
+        assert_eq!(parse_line(r#"h "quoted junk" - [d] 200 5"#), None);
+        assert_eq!(
+            parse_line(r#"h - - [d] "NOTAMETHOD /x HTTP/1.0" 200 5"#),
+            None
+        );
+        // Method followed by the closing quote instead of a space.
+        assert_eq!(parse_line(r#"h - - [d] "GET" 200 5"#), None);
+    }
+
+    #[test]
+    fn combined_log_format_trailing_quotes_parse() {
+        // Combined Log Format appends quoted referrer and user-agent
+        // fields; anchoring the closing quote on the status keeps them
+        // out of the request span.
+        let e = parse_line(
+            r#"h - - [d] "GET /a.html HTTP/1.0" 200 321 "http://ref.example/" "Mozilla/4.08 [en] (Win98)""#,
+        )
+        .unwrap();
+        assert_eq!(e.method, "GET");
+        assert_eq!(e.path, "/a.html");
+        assert_eq!(e.bytes, Some(321));
+    }
+
+    #[test]
+    fn quote_inside_the_path_recovers() {
+        // The closing quote is the one followed by the numeric status, so
+        // an embedded quote stays part of the path.
+        let e = parse_line(r#"h - - [d] "GET /a"b.html HTTP/1.0" 200 5"#).unwrap();
+        assert_eq!(e.path, "/a\"b.html");
     }
 
     #[test]

@@ -38,7 +38,12 @@ impl CsvTable {
         self.rows.push(row);
     }
 
-    /// Appends a row of floats formatted with 6 significant digits.
+    /// Appends a row of floats formatted with 6 decimal *places*
+    /// (`{x:.6}`), the byte-stable format every golden result file is
+    /// pinned to. Values ≥ 1e7 therefore carry more than 6 significant
+    /// digits and values below 5e-7 print `0.000000`; when magnitudes
+    /// vary that widely, format the fields with [`fmt_sig`] and use
+    /// [`CsvTable::row`] instead.
     pub fn row_f64<I: IntoIterator<Item = f64>>(&mut self, fields: I) {
         self.row(fields.into_iter().map(|x| format!("{x:.6}")));
     }
@@ -94,6 +99,36 @@ pub fn results_dir() -> PathBuf {
     std::env::var_os("L2S_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Formats `x` with `sig` significant digits in plain decimal notation,
+/// rounding the value itself: `fmt_sig(12_345_678.0, 6)` is `"12345700"`,
+/// not the 8-digit raw integer, and `fmt_sig(1.2345678e-5, 6)` is
+/// `"0.0000123457"`, not `"0.000012"`. Zero prints as `"0"`; non-finite
+/// values fall back to Rust's default float formatting. `sig == 0` is a
+/// caller bug rejected by `invariant!` (one digit is used instead when
+/// the invariant is compiled out).
+pub fn fmt_sig(x: f64, sig: usize) -> String {
+    crate::invariant!(sig > 0, "fmt_sig needs at least one significant digit");
+    let sig = sig.max(1);
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    // Round to `sig` digits first, then derive how many decimal places the
+    // *rounded* value needs — rounding can carry into a new decade
+    // (999.9996 at 6 digits becomes 1000.00).
+    let exp = x.abs().log10().floor() as i32;
+    let scale = 10f64.powi(exp + 1 - sig as i32);
+    let rounded = (x / scale).round() * scale;
+    if rounded == 0.0 {
+        return "0".to_string();
+    }
+    let exp = rounded.abs().log10().floor() as i32;
+    let decimals = (sig as i32 - 1 - exp).max(0) as usize;
+    format!("{rounded:.decimals$}")
 }
 
 /// Formats a float compactly for human-facing tables (3 significant
@@ -152,6 +187,51 @@ mod tests {
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back, "v\n7\n");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn row_f64_is_fixed_decimal_places_not_significant_digits() {
+        // Regression: the doc used to claim "6 significant digits" while
+        // the code emitted 6 decimal places. The *format* is load-bearing
+        // (golden CSVs are byte-pinned to it), so the doc was fixed and
+        // this test pins the behavior for both extremes.
+        let mut t = CsvTable::new(["big", "tiny"]);
+        t.row_f64([12_345_678.0, 1e-8]);
+        assert_eq!(t.to_csv_string(), "big,tiny\n12345678.000000,0.000000\n");
+    }
+
+    #[test]
+    fn sig_digit_formatting_rounds_the_value() {
+        assert_eq!(fmt_sig(12_345_678.0, 6), "12345700");
+        assert_eq!(fmt_sig(-12_345_678.0, 6), "-12345700");
+        assert_eq!(fmt_sig(1.2345678e-5, 6), "0.0000123457");
+        assert_eq!(fmt_sig(1.0, 6), "1.00000");
+        assert_eq!(fmt_sig(0.5, 6), "0.500000");
+        assert_eq!(fmt_sig(0.0, 6), "0");
+        assert_eq!(fmt_sig(-0.0, 6), "0");
+        assert_eq!(fmt_sig(123.456, 3), "123");
+        assert_eq!(fmt_sig(7.0, 1), "7");
+    }
+
+    #[test]
+    fn sig_digit_rounding_can_carry_into_a_new_decade() {
+        assert_eq!(fmt_sig(999.9996, 6), "1000.00");
+        assert_eq!(fmt_sig(0.99999995, 6), "1.00000");
+        assert_eq!(fmt_sig(9.99, 2), "10");
+    }
+
+    #[test]
+    fn sig_digit_formatting_is_total() {
+        assert_eq!(fmt_sig(f64::NAN, 6), "NaN");
+        assert_eq!(fmt_sig(f64::INFINITY, 6), "inf");
+        assert_eq!(fmt_sig(f64::NEG_INFINITY, 6), "-inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one significant digit")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn sig_digit_zero_width_is_rejected() {
+        let _ = fmt_sig(1.0, 0);
     }
 
     #[test]

@@ -157,6 +157,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    non_finite: u64,
 }
 
 impl Histogram {
@@ -176,12 +177,25 @@ impl Histogram {
             buckets: vec![0; buckets],
             underflow: 0,
             overflow: 0,
+            non_finite: 0,
         })
     }
 
-    /// Records one observation.
+    /// Records one observation. Non-finite observations are rejected by
+    /// `invariant!` (they indicate an upstream arithmetic bug) and, in
+    /// plain release builds where the invariant is compiled out, counted
+    /// in [`Histogram::non_finite`] instead of being filed into bucket 0:
+    /// `NaN` fails both the `< lo` and `>= hi` comparisons and
+    /// `(NaN / width) as usize == 0`, so it used to corrupt the lowest
+    /// bucket silently.
     pub fn record(&mut self, x: f64) {
-        if x < self.lo {
+        crate::invariant!(
+            x.is_finite(),
+            "non-finite histogram observation ({x}) — an upstream computation produced NaN or infinity"
+        );
+        if !x.is_finite() {
+            self.non_finite += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -212,9 +226,16 @@ impl Histogram {
         self.total() == 0
     }
 
-    /// Total recorded observations, including out-of-range ones.
+    /// Total recorded observations, including out-of-range and rejected
+    /// non-finite ones.
     pub fn total(&self) -> u64 {
-        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow + self.non_finite
+    }
+
+    /// Non-finite observations rejected by [`Histogram::record`]. Always 0
+    /// in builds where `invariant!` aborts instead.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
     }
 
     /// Observations below the histogram range.
@@ -337,6 +358,34 @@ mod tests {
         assert!(Histogram::new(10.0, 1.0, 4).is_err());
         assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
         assert!(Histogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite histogram observation")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn histogram_rejects_nan_observations() {
+        // Regression: NaN fails both range comparisons and
+        // `(NaN / width) as usize == 0`, so it was silently filed into
+        // bucket 0, corrupting the distribution.
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
+    fn histogram_counts_non_finite_separately_in_release() {
+        // In plain release builds the invariant is compiled out; the
+        // observation must land in the dedicated counter, not bucket 0.
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(1.0);
+        assert_eq!(h.non_finite(), 3);
+        assert_eq!(h.bucket(0), 1, "only the finite 1.0 lands in bucket 0");
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 4);
     }
 
     #[test]

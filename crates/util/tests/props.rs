@@ -75,6 +75,90 @@ proptest! {
         }
     }
 
+    /// Merging a two-way split reproduces the sequential accumulator to
+    /// 1e-9 relative tolerance on mean/m2 and *exactly* on count/min/max —
+    /// including the splits the looser test above never exercises: an
+    /// empty left side, an empty right side, and single-element sides.
+    #[test]
+    fn stats_merge_split_matches_sequential_tightly(
+        data in prop::collection::vec(-1e3f64..1e3, 1..64),
+        split_sel in 0usize..66,
+    ) {
+        // Bias the split toward the edges so empty and single-element
+        // sides come up every run, not once in a blue moon.
+        let split = match split_sel {
+            0 => 0,
+            1 => data.len(),
+            2 => 1.min(data.len()),
+            3 => data.len() - 1,
+            s => s % (data.len() + 1),
+        };
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(a.max().to_bits(), whole.max().to_bits());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-9 * (1.0 + whole.mean().abs()));
+        // m2 = population variance * count; compare it through the only
+        // public accessor.
+        let m2_merged = a.variance() * a.count() as f64;
+        let m2_whole = whole.variance() * whole.count() as f64;
+        prop_assert!((m2_merged - m2_whole).abs() <= 1e-9 * (1.0 + m2_whole.abs()));
+    }
+
+    /// Two-element quantiles interpolate linearly between the endpoints.
+    #[test]
+    fn quantile_two_elements_interpolates(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+        q in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let v = quantile(&[lo, hi], q).unwrap();
+        let expect = lo + (hi - lo) * q;
+        prop_assert!((v - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+        prop_assert_eq!(quantile(&[lo, hi], 0.0), Some(lo));
+        prop_assert_eq!(quantile(&[lo, hi], 1.0), Some(hi));
+        prop_assert!((quantile(&[lo, hi], 0.5).unwrap() - (lo + hi) / 2.0).abs() <= 1e-9 * (1.0 + (lo + hi).abs()));
+    }
+
+    /// Every quantile of an all-equal vector is that value exactly.
+    #[test]
+    fn quantile_all_equal_is_constant(
+        x in -1e6f64..1e6,
+        n in 1usize..50,
+        q in 0.0f64..1.0,
+    ) {
+        let v = vec![x; n];
+        prop_assert_eq!(quantile(&v, q).unwrap().to_bits(), x.to_bits());
+    }
+
+    /// A q that lands exactly on a knot (`i / (n-1)`) returns that sorted
+    /// element, with no interpolation leakage from the neighbors.
+    #[test]
+    fn quantile_on_knot_returns_the_element(
+        mut data in prop::collection::vec(-1e6f64..1e6, 2..50),
+    ) {
+        data.sort_by(f64::total_cmp);
+        let n = data.len();
+        for i in 0..n {
+            let q = i as f64 / (n - 1) as f64;
+            let v = quantile(&data, q).unwrap();
+            prop_assert!((v - data[i]).abs() <= 1e-9 * (1.0 + data[i].abs()));
+        }
+    }
+
     /// `below(bound)` stays in range for arbitrary seeds and bounds.
     #[test]
     fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
