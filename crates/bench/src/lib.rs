@@ -41,6 +41,7 @@ use l2s_model::{ModelParams, QueueModel, ServerKind};
 use l2s_sim::{simulate, SimConfig, SimReport};
 use l2s_trace::{Trace, TraceSpec, TraceStats};
 use l2s_util::ascii::{line_chart, Series};
+use l2s_util::cast;
 use l2s_util::csv::{results_dir, CsvTable};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -109,7 +110,7 @@ where
 pub fn trace_seed(spec: &TraceSpec) -> u64 {
     // Stable hash of the trace name.
     spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
     })
 }
 
@@ -236,8 +237,10 @@ pub fn model_line(
                 ..ModelParams::default()
             };
             let model = QueueModel::new(params)?;
-            let derived = model
-                .derived_from_population(ServerKind::LocalityConscious, stats.num_files as f64);
+            let derived = model.derived_from_population(
+                ServerKind::LocalityConscious,
+                cast::len_f64(stats.num_files),
+            );
             Ok((n, model.max_throughput_derived(&derived)))
         })
         .collect()
@@ -288,9 +291,9 @@ pub fn write_throughput_figure_to(
             get(PolicyKind::Lard),
             get(PolicyKind::Traditional),
         ];
-        table.row_f64([n as f64, row[0], row[1], row[2], row[3]]);
+        table.row_f64([cast::len_f64(n), row[0], row[1], row[2], row[3]]);
         for (s, v) in series.iter_mut().zip(row) {
-            s.points.push((n as f64, v));
+            s.points.push((cast::len_f64(n), v));
         }
     }
     let path = dir.join(format!("{fig}.csv"));

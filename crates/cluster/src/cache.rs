@@ -1,7 +1,7 @@
 //! A byte-capacity LRU cache of whole files.
 
 use crate::FileId;
-use l2s_util::invariant;
+use l2s_util::{cast, invariant};
 
 const NIL: usize = usize::MAX;
 
@@ -36,7 +36,7 @@ impl CacheStats {
         if total == 0 {
             0.0
         } else {
-            self.misses as f64 / total as f64
+            cast::exact_f64(self.misses) / cast::exact_f64(total)
         }
     }
 }
@@ -97,7 +97,7 @@ impl LruCache {
     #[inline]
     fn slot_of(&self, file: FileId) -> Option<usize> {
         match self.index.get(file.index()) {
-            Some(&s) if s != NO_SLOT => Some(s as usize),
+            Some(&s) if s != NO_SLOT => Some(cast::wide_usize(s)),
             _ => None,
         }
     }
@@ -189,7 +189,7 @@ impl LruCache {
         if self.index.len() <= file.index() {
             self.index.resize(file.index() + 1, NO_SLOT);
         }
-        self.index[file.index()] = slot as u32;
+        self.index[file.index()] = cast::index_u32(slot);
         self.live += 1;
         self.used_kb += kb;
         self.stats.insertions += 1;

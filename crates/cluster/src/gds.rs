@@ -24,7 +24,7 @@
 //! keys outnumber live ones.
 
 use crate::{CacheStats, FileId};
-use l2s_util::invariant;
+use l2s_util::{cast, invariant};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -120,8 +120,10 @@ impl GdsCache {
         self.heap.clear();
         for (i, e) in self.entries.iter().enumerate() {
             if e.resident {
-                self.heap
-                    .push(Reverse(Self::key(e.pri, FileId::from_raw(i as u32))));
+                self.heap.push(Reverse(Self::key(
+                    e.pri,
+                    FileId::from_raw(cast::index_u32(i)),
+                )));
             }
         }
     }

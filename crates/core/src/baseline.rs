@@ -2,7 +2,7 @@
 
 use crate::{argmin, Assignment, Distributor, NodeId, PolicyKind};
 use l2s_cluster::FileId;
-use l2s_util::{invariant, SimTime};
+use l2s_util::{cast, invariant, SimTime};
 
 /// The paper's **traditional** cluster server: a load-balancing switch
 /// assigns each new request to the node with the fewest open connections
@@ -229,8 +229,8 @@ impl PureLocality {
     /// alive).
     pub fn owner(&self, file: impl Into<FileId>) -> NodeId {
         // Fibonacci hashing spreads sequential ids well.
-        let h = (file.into().raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.ring[(h % self.ring.len() as u64) as usize]
+        let h = u64::from(file.into().raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.ring[cast::index_usize(h % cast::len_u64(self.ring.len()))]
     }
 }
 

@@ -1,6 +1,6 @@
 //! The future-event list.
 
-use l2s_util::{invariant, SimDuration, SimTime};
+use l2s_util::{cast, invariant, SimDuration, SimTime};
 
 /// One scheduled entry; ordered by `(time, seq)` so that events scheduled
 /// for the same instant pop in scheduling order (deterministic FIFO
@@ -142,7 +142,7 @@ impl<E> EventQueue<E> {
             let pos = self.near.partition_point(|e| e.key() > key);
             self.near.insert(pos, entry);
         } else {
-            let b = (epoch(at) & (BUCKET_COUNT as u64 - 1)) as usize;
+            let b = cast::index_usize(epoch(at) & (cast::len_u64(BUCKET_COUNT) - 1));
             self.buckets[b].push(entry);
             self.bucketed += 1;
         }
@@ -159,11 +159,11 @@ impl<E> EventQueue<E> {
     /// bucketed entry exists.
     fn sweep(&mut self) {
         debug_assert!(self.near.is_empty() && self.bucketed > 0);
-        let mask = BUCKET_COUNT as u64 - 1;
+        let mask = cast::len_u64(BUCKET_COUNT) - 1;
         let mut scanned = 0usize;
         loop {
             self.cur_epoch += 1;
-            let b = (self.cur_epoch & mask) as usize;
+            let b = cast::index_usize(self.cur_epoch & mask);
             let bucket = &mut self.buckets[b];
             if !bucket.is_empty() {
                 // Extract current-epoch entries; wrapped future-epoch

@@ -1,0 +1,440 @@
+//! The warn-level ratchet: `lint-baseline.json`.
+//!
+//! Deny-level findings fail a lint run immediately; warn-level findings
+//! (today: `lossy-cast`, `raw-duration`) are *ratcheted* instead. The
+//! committed baseline records, per rule and per file, how many warn
+//! findings are tolerated. A run fails when any `(rule, file)` cell
+//! exceeds its baseline — so new debt cannot land — while cells that
+//! shrink only produce a note suggesting `--update-baseline`, which
+//! regenerates the file from the current findings in one flag.
+//!
+//! The file format is a deliberately tiny JSON subset (string keys,
+//! non-negative integer leaves, two levels of nesting), parsed and
+//! serialized by hand so the lint stays dependency-free, and written
+//! with sorted keys and fixed indentation so it is byte-stable.
+
+use crate::{Diagnostic, Severity};
+use std::collections::BTreeMap;
+
+/// Warn-finding counts keyed by rule, then repository-relative path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `counts[rule][path]` = tolerated warn findings.
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// One cell whose current count exceeds the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Growth {
+    /// Rule identifier.
+    pub rule: String,
+    /// Repository-relative path.
+    pub path: String,
+    /// Tolerated count from `lint-baseline.json` (0 when absent).
+    pub baseline: usize,
+    /// Count observed in this run.
+    pub current: usize,
+}
+
+/// Outcome of comparing a run's warn findings against the baseline.
+#[derive(Clone, Debug, Default)]
+pub struct RatchetResult {
+    /// Cells that grew — each one fails the run.
+    pub growth: Vec<Growth>,
+    /// Cells that shrank — candidates for `--update-baseline`.
+    pub shrunk: Vec<Growth>,
+}
+
+impl Baseline {
+    /// A baseline tolerating nothing.
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Builds the baseline that exactly matches `diags`' warn findings.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for d in diags {
+            if d.severity == Severity::Warn {
+                *counts
+                    .entry(d.rule.to_string())
+                    .or_default()
+                    .entry(d.path.clone())
+                    .or_default() += 1;
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Compares the warn findings in `diags` against this baseline.
+    pub fn ratchet(&self, diags: &[Diagnostic]) -> RatchetResult {
+        let current = Baseline::from_diagnostics(diags);
+        let mut result = RatchetResult::default();
+        // Cells present now: grew, shrank, or held.
+        for (rule, paths) in &current.counts {
+            for (path, &count) in paths {
+                let tolerated = self
+                    .counts
+                    .get(rule)
+                    .and_then(|p| p.get(path))
+                    .copied()
+                    .unwrap_or(0);
+                let cell = Growth {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    baseline: tolerated,
+                    current: count,
+                };
+                if count > tolerated {
+                    result.growth.push(cell);
+                } else if count < tolerated {
+                    result.shrunk.push(cell);
+                }
+            }
+        }
+        // Cells that vanished entirely also shrink the baseline.
+        for (rule, paths) in &self.counts {
+            for (path, &tolerated) in paths {
+                let gone = current.counts.get(rule).and_then(|p| p.get(path)).is_none();
+                if gone && tolerated > 0 {
+                    result.shrunk.push(Growth {
+                        rule: rule.clone(),
+                        path: path.clone(),
+                        baseline: tolerated,
+                        current: 0,
+                    });
+                }
+            }
+        }
+        result
+    }
+
+    /// Serializes with sorted keys, two-space indentation, and a trailing
+    /// newline — byte-stable for any given set of counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n  \"warn\": {");
+        let mut first_rule = true;
+        for (rule, paths) in &self.counts {
+            if paths.is_empty() {
+                continue;
+            }
+            if !first_rule {
+                s.push(',');
+            }
+            first_rule = false;
+            s.push_str("\n    ");
+            push_json_string(&mut s, rule);
+            s.push_str(": {");
+            let mut first_path = true;
+            for (path, count) in paths {
+                if !first_path {
+                    s.push(',');
+                }
+                first_path = false;
+                s.push_str("\n      ");
+                push_json_string(&mut s, path);
+                s.push_str(&format!(": {count}"));
+            }
+            s.push_str("\n    }");
+        }
+        if first_rule {
+            s.push_str("}\n}\n");
+        } else {
+            s.push_str("\n  }\n}\n");
+        }
+        s
+    }
+
+    /// Parses the format written by [`Baseline::to_json`] (tolerant of
+    /// whitespace differences; strict about structure).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("lint-baseline.json: trailing content after document".to_string());
+        }
+        let Json::Object(top) = value else {
+            return Err("lint-baseline.json: top level must be an object".to_string());
+        };
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for (key, val) in top {
+            match (key.as_str(), val) {
+                ("version", Json::Number(1)) => {}
+                ("version", Json::Number(v)) => {
+                    return Err(format!("lint-baseline.json: unsupported version {v}"));
+                }
+                ("warn", Json::Object(rules)) => {
+                    for (rule, paths) in rules {
+                        let Json::Object(paths) = paths else {
+                            return Err(format!(
+                                "lint-baseline.json: rule `{rule}` must map paths to counts"
+                            ));
+                        };
+                        let mut per_path = BTreeMap::new();
+                        for (path, count) in paths {
+                            let Json::Number(n) = count else {
+                                return Err(format!(
+                                    "lint-baseline.json: `{rule}` / `{path}` must be an integer"
+                                ));
+                            };
+                            per_path.insert(path, n);
+                        }
+                        counts.insert(rule, per_path);
+                    }
+                }
+                (other, _) => {
+                    return Err(format!("lint-baseline.json: unknown key `{other}`"));
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// Appends `value` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped).
+pub fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+enum Json {
+    Object(Vec<(String, Json)>),
+    Number(usize),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "lint-baseline.json: expected `{}` at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b) if b.is_ascii_digit() => self.number(),
+            _ => Err(format!(
+                "lint-baseline.json: expected an object or integer at byte {}",
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect_byte(b':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => {
+                    return Err(format!(
+                        "lint-baseline.json: expected `,` or `}}` at byte {}",
+                        self.pos
+                    ));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("lint-baseline.json: unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        _ => {
+                            return Err(
+                                "lint-baseline.json: unsupported escape in string".to_string()
+                            );
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                        self.pos += 1;
+                    } else {
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| "lint-baseline.json: invalid UTF-8".to_string())?;
+                        let Some(c) = s.chars().next() else {
+                            return Err("lint-baseline.json: unterminated string".to_string());
+                        };
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "lint-baseline.json: invalid number".to_string())?;
+        text.parse()
+            .map(Json::Number)
+            .map_err(|e| format!("lint-baseline.json: bad integer `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warn(rule: &'static str, path: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            len: 1,
+            rule,
+            severity: Severity::Warn,
+            message: "m".to_string(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_stably() {
+        let diags = vec![
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+            warn("raw-duration", "crates/b/src/lib.rs"),
+        ];
+        let base = Baseline::from_diagnostics(&diags);
+        let json = base.to_json();
+        let reparsed = Baseline::parse(&json).unwrap();
+        assert_eq!(base, reparsed);
+        assert_eq!(json, reparsed.to_json(), "serialization is a fixed point");
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_baseline_serializes_and_parses() {
+        let base = Baseline::empty();
+        let json = base.to_json();
+        assert_eq!(Baseline::parse(&json).unwrap(), base);
+    }
+
+    #[test]
+    fn growth_fails_and_shrink_notes() {
+        let committed = Baseline::from_diagnostics(&[
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+            warn("raw-duration", "crates/b/src/lib.rs"),
+        ]);
+        // One more lossy-cast in a; the raw-duration in b was fixed.
+        let now = vec![
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+            warn("lossy-cast", "crates/a/src/lib.rs"),
+        ];
+        let result = committed.ratchet(&now);
+        assert_eq!(result.growth.len(), 1);
+        assert_eq!(result.growth[0].rule, "lossy-cast");
+        assert_eq!(
+            (result.growth[0].baseline, result.growth[0].current),
+            (2, 3)
+        );
+        assert_eq!(result.shrunk.len(), 1);
+        assert_eq!(result.shrunk[0].rule, "raw-duration");
+    }
+
+    #[test]
+    fn new_file_counts_as_growth_from_zero() {
+        let committed = Baseline::empty();
+        let result = committed.ratchet(&[warn("lossy-cast", "crates/new/src/lib.rs")]);
+        assert_eq!(result.growth.len(), 1);
+        assert_eq!(result.growth[0].baseline, 0);
+    }
+
+    #[test]
+    fn deny_findings_never_enter_the_baseline() {
+        let mut d = warn("panic", "crates/a/src/lib.rs");
+        d.severity = Severity::Deny;
+        assert!(Baseline::from_diagnostics(&[d]).counts.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"warn\": {}}").is_err());
+        assert!(Baseline::parse("{\"warn\": {\"r\": 3}}").is_err());
+        assert!(Baseline::parse("{\"mystery\": {}}").is_err());
+        assert!(Baseline::parse("{\"version\": 1} trailing").is_err());
+    }
+}

@@ -1,0 +1,496 @@
+//! A minimal, dependency-free Rust lexer for the lint's token-level rules.
+//!
+//! The lexer classifies every byte of a source file into one of eight token
+//! kinds — identifiers (keywords included), numbers, string-likes, char
+//! literals, lifetimes, line comments, block comments, and punctuation —
+//! with 1-based line:column positions. It is *total* over well-formed
+//! source: the only errors are unterminated string literals and block
+//! comments, which `rustc` would reject anyway. Anything it does not
+//! recognise (stray non-ASCII punctuation, for instance) is emitted as a
+//! one-character `Punct` token rather than an error, so the lint never
+//! refuses to scan a file it merely finds odd.
+//!
+//! Correctness the rules rely on:
+//!
+//! - comment and string *contents* are single opaque tokens, so a needle
+//!   like a panicking-macro name inside a doc comment or a format string
+//!   can never match an identifier rule;
+//! - identifiers are complete maximal tokens, so `assert_stable` is one
+//!   ident and is never confused with `assert`;
+//! - raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+//!   C strings (`c"…"`), nested block comments, and escapes inside char
+//!   and string literals are all handled, so the token stream does not
+//!   desynchronise mid-file.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A numeric literal, including suffixes (`1_000u64`, `1.5e-9`).
+    Number,
+    /// A string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A `//` comment through end of line (doc comments included).
+    LineComment,
+    /// A `/* … */` comment, nesting handled (doc comments included).
+    BlockComment,
+    /// Any other single character: operators, brackets, `;`, `#`, ….
+    Punct,
+}
+
+/// One lexed token: classification plus location and byte span.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// An unterminated string or block comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the unterminated token starts.
+    pub line: usize,
+    /// 1-based column where the unterminated token starts.
+    pub col: usize,
+    /// What was left open.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: unterminated {}", self.line, self.col, self.what)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one *character*, keeping line:col in sync. Multi-byte
+    /// UTF-8 sequences advance the column by one.
+    fn bump(&mut self) {
+        let Some(b) = self.peek(0) else { return };
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+        } else {
+            let ch_len = self.src[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, |c| c.len_utf8());
+            self.col += 1;
+            self.pos += ch_len;
+        }
+    }
+
+    /// Advances while `pred` holds on the current byte.
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a token vector. Whitespace is skipped; every other
+/// character lands in exactly one token. Fails only on unterminated
+/// strings and block comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(b) = cur.peek(0) {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        let kind = match b {
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut cur, line, col)?;
+                TokenKind::BlockComment
+            }
+            b'r' if starts_raw_string(cur.src, cur.pos, 1) => {
+                lex_raw_string(&mut cur, line, col, 1)?;
+                TokenKind::Str
+            }
+            b'b' if cur.peek(1) == Some(b'r') && starts_raw_string(cur.src, cur.pos, 2) => {
+                lex_raw_string(&mut cur, line, col, 2)?;
+                TokenKind::Str
+            }
+            b'b' | b'c' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                lex_quoted(&mut cur, b'"', line, col, "string literal")?;
+                TokenKind::Str
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                lex_quoted(&mut cur, b'\'', line, col, "byte literal")?;
+                TokenKind::Char
+            }
+            b'r' if cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#type`.
+                cur.bump();
+                cur.bump();
+                cur.bump_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ if is_ident_start(b) => {
+                cur.bump_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokenKind::Number
+            }
+            b'"' => {
+                lex_quoted(&mut cur, b'"', line, col, "string literal")?;
+                TokenKind::Str
+            }
+            b'\'' => lex_quote(&mut cur, line, col)?,
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            line,
+            col,
+            start,
+            end: cur.pos,
+        });
+    }
+    Ok(out)
+}
+
+/// After a leading `'`: a char literal if it closes, else a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>, line: usize, col: usize) -> Result<TokenKind, LexError> {
+    // `'\...'` is always a char literal; `'x'` is one when the third
+    // character closes it; otherwise `'ident` is a lifetime (a loop
+    // label or generic parameter — no closing quote).
+    if cur.peek(1) == Some(b'\\') {
+        lex_quoted(cur, b'\'', line, col, "char literal")?;
+        return Ok(TokenKind::Char);
+    }
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) != Some(b'\'') {
+        cur.bump();
+        cur.bump_while(is_ident_continue);
+        return Ok(TokenKind::Lifetime);
+    }
+    lex_quoted(cur, b'\'', line, col, "char literal")?;
+    Ok(TokenKind::Char)
+}
+
+/// Consumes a `close`-delimited literal with backslash escapes; the cursor
+/// sits on the opening delimiter.
+fn lex_quoted(
+    cur: &mut Cursor<'_>,
+    close: u8,
+    line: usize,
+    col: usize,
+    what: &'static str,
+) -> Result<(), LexError> {
+    cur.bump();
+    loop {
+        match cur.peek(0) {
+            None => return Err(LexError { line, col, what }),
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b) if b == close => {
+                cur.bump();
+                return Ok(());
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// True when `src[pos..]` begins a raw string after `prefix_len` marker
+/// bytes (`r` or `br`): any number of `#` then `"`.
+fn starts_raw_string(src: &str, pos: usize, prefix_len: usize) -> bool {
+    let rest = src.as_bytes().get(pos + prefix_len..).unwrap_or(&[]);
+    let hashes = rest.iter().take_while(|&&b| b == b'#').count();
+    rest.get(hashes) == Some(&b'"')
+}
+
+/// Consumes `r#"…"#`-style raw strings (the cursor sits on `r` or `b`).
+fn lex_raw_string(
+    cur: &mut Cursor<'_>,
+    line: usize,
+    col: usize,
+    prefix_len: usize,
+) -> Result<(), LexError> {
+    for _ in 0..prefix_len {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => {
+                return Err(LexError {
+                    line,
+                    col,
+                    what: "raw string literal",
+                })
+            }
+            Some(b'"') => {
+                cur.bump();
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some(b'#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    return Ok(());
+                }
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Consumes a `/* … */` comment with nesting (the cursor sits on `/`).
+fn lex_block_comment(cur: &mut Cursor<'_>, line: usize, col: usize) -> Result<(), LexError> {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (None, _) => {
+                return Err(LexError {
+                    line,
+                    col,
+                    what: "block comment",
+                })
+            }
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            _ => cur.bump(),
+        }
+    }
+    Ok(())
+}
+
+/// Consumes a numeric literal: digits, `_` separators, radix prefixes,
+/// type suffixes, exponents, and a fractional part when the `.` is
+/// followed by a digit (so `0..10` and `1.max(2)` lex as number-punct).
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    loop {
+        match cur.peek(0) {
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
+                // `1e-9` / `1E+9`: the sign belongs to the exponent.
+                let exp = b == b'e' || b == b'E';
+                cur.bump();
+                if exp && matches!(cur.peek(0), Some(b'+') | Some(b'-')) {
+                    cur.bump();
+                }
+            }
+            Some(b'.') if cur.peek(1).is_some_and(|c| c.is_ascii_digit()) => cur.bump(),
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_are_maximal_tokens() {
+        assert_eq!(
+            idents("assert_stable(x); assert!(y)"),
+            vec!["assert_stable", "x", "assert", "y"]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = "let s = \".unwrap() HashMap\"; // HashMap .unwrap()\n/* assert!(x) */ done";
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let src = r###"let a = r#"quote " inside"#; let b = br"x"; let c = b"y"; let d = r"z";"###;
+        assert_eq!(
+            idents(src),
+            vec!["let", "a", "let", "b", "let", "c", "let", "d"]
+        );
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 4);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let a: &'static str = f::<'b>('c', '\\n', b'd');";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'b"]);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = "let q = '\\''; let bs = '\\\\'; next";
+        assert_eq!(idents(src), vec!["let", "q", "let", "bs", "next"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        let toks = kinds("1_000u64 + 1.5e-9 + 0xFF; for i in 0..10 {}");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "1.5e-9", "0xFF", "0", "10"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_line_col() {
+        let src = "fn f() {\n    let x = 1;\n}\n";
+        let toks = lex(src).unwrap();
+        let x = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text(src) == "x")
+            .unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn multibyte_text_in_comments_and_strings() {
+        let src = "// ‘fancy’ comment with é\nlet s = \"héllo—world\"; fin";
+        assert_eq!(idents(src), vec!["let", "s", "fin"]);
+        let toks = lex(src).unwrap();
+        let fin = toks.last().unwrap();
+        assert_eq!(fin.line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "r#type"]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("let s = \"oops").unwrap_err();
+        assert_eq!(err.what, "string literal");
+        assert_eq!((err.line, err.col), (1, 9));
+        assert!(lex("/* never closed").is_err());
+        assert!(lex(r##"let s = r#"open"##).is_err());
+    }
+
+    #[test]
+    fn every_non_whitespace_byte_is_covered() {
+        let src = "fn main() { let v: Vec<u8> = b\"ab\".to_vec(); v[0] += 1; }";
+        let toks = lex(src).unwrap();
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            for c in covered[t.start..t.end].iter_mut() {
+                *c = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            assert_eq!(
+                covered[i],
+                !b.is_ascii_whitespace(),
+                "byte {i} `{}`",
+                b as char
+            );
+        }
+    }
+}

@@ -3,160 +3,140 @@
 //! The simulator's headline guarantee is bit-for-bit reproducibility: the
 //! same seed and configuration must produce the same figures on every
 //! machine. That guarantee is easy to break silently — one iterated
-//! `HashMap`, one wall-clock read, one entropy-seeded generator — so this
-//! crate enforces the determinism rules statically, as a dependency-free
-//! binary that CI (and `cargo run -p l2s-lint`) runs over the source tree.
+//! hash map, one wall-clock read, one entropy-seeded generator, one
+//! NaN-ambivalent float sort — so this crate enforces the determinism
+//! rules statically, as a dependency-free binary that CI (and
+//! `cargo run -p l2s-lint`) runs over the source tree.
 //!
-//! # Rules
+//! Since v2 the lint is built on an in-tree Rust lexer ([`lexer`]): every
+//! file is tokenized into identifiers, punctuation, and opaque
+//! literal/comment spans, and all rules ([`rules`]) match *tokens* with
+//! line:column positions. Needles inside string literals, char literals,
+//! and comments can therefore never produce findings, and identifier
+//! matches are exact — `assert_stable` can never trip the `assert` rule.
 //!
-//! | id | scope | checks |
-//! |----|-------|--------|
-//! | `hash-iter` | determinism crates | no `HashMap`/`HashSet`: their iteration order is randomized per-process, which breaks replay; use `BTreeMap`/`BTreeSet` (keyed-only uses may be allowlisted) |
-//! | `wall-clock` | determinism crates | no `std::time::Instant`/`SystemTime`: simulation time must come from the event queue |
-//! | `entropy` | whole workspace | no `thread_rng`, `rand::random`, `from_entropy`, or `OsRng`: all randomness flows from explicit seeds |
-//! | `panic` | library sources | no `.unwrap()`/`.expect()`/`panic!`-family calls in library code (binaries, tests, and allowlisted harness code exempt); use `Result` or `invariant!` for real preconditions |
-//! | `assert` | library sources | no bare `assert!`/`assert_eq!`/`assert_ne!` in library code outside `#[cfg(test)]`: they abort release figure runs unconditionally; use `Result` for caller errors or `invariant!` so strictness is policy-controlled (`debug_assert!` is fine) |
-//! | `lint-attrs` | every crate | each `lib.rs` carries `#![warn(missing_docs)]` and `#![forbid(unsafe_code)]` |
+//! # Rule catalog
 //!
-//! Scanning is line-based and deliberately simple: comment lines are
-//! skipped, and everything at or after a `#[cfg(test)]` marker in a file is
-//! treated as test code. `src/bin/` directories and `src/main.rs` are
-//! binary targets and exempt from the `panic` rule's scope (they are still
-//! subject to the determinism rules when inside a determinism crate).
+//! | id | severity | scope | checks |
+//! |----|----------|-------|--------|
+//! | `hash-iter` | deny | types: determinism crates; chains: workspace | no hash-container types in determinism crates; *anywhere*, no iteration adapters (`.keys()`, `.values()`, `.iter()`, …) or `for` loops on hash-bound receivers, matched through method chains |
+//! | `wall-clock` | deny | determinism crates | no `Instant`/`SystemTime`: simulation time comes from the event queue |
+//! | `entropy` | deny | workspace | no `thread_rng`, `rand::random`, `from_entropy`, or `OsRng`: all randomness flows from explicit seeds |
+//! | `panic` | deny | library sources | no `.unwrap()`/`.expect()`/`panic!`-family in library code (binaries and tests exempt); use `Result` or `invariant!` |
+//! | `assert` | deny | library sources | no bare `assert!`/`assert_eq!`/`assert_ne!` outside tests; `debug_assert!` is fine |
+//! | `crate-header` | deny | every crate | each `lib.rs` declares `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]` |
+//! | `float-order` | deny | library sources | no `partial_cmp`: float orderings must use `total_cmp` (or an integer key) so NaN cannot reorder replay |
+//! | `lossy-cast` | warn | library sources | numeric `as` casts can truncate or lose precision silently; use `From`/`TryFrom` or `l2s_util::cast` helpers |
+//! | `raw-duration` | warn | library sources | `from_secs_f64`/`secs_to_nanos` call sites outside `CostCache`: per-event float→nanosecond conversion belongs in the cost cache or setup code |
+//!
+//! # Severities and the baseline ratchet
+//!
+//! **Deny** findings fail the run immediately. **Warn** findings are
+//! ratcheted against the committed [`lint-baseline.json`](baseline): a run
+//! fails only when some `(rule, file)` cell *grows* past its tolerated
+//! count, so existing debt is visible but frozen, and
+//! `--update-baseline` regenerates the file (shrinking it is one flag).
 //!
 //! # Allowlist
 //!
-//! Vetted exceptions live in `lint-allow.txt` at the repository root, one
-//! per line: `<rule-id> <path> <justification>`. The justification is
-//! mandatory; unused entries are reported so the file cannot rot.
+//! Vetted exceptions live in `lint-allow.txt` at the repository root:
+//!
+//! ```text
+//! <rule> <path> <justification>            # suppress rule in file
+//! <rule> <path> warn <justification>       # demote deny findings to warn
+//! <rule> <path> deny <justification>       # promote warn findings to deny
+//! ```
+//!
+//! The justification is mandatory; unused entries are reported so the
+//! file cannot rot. The optional severity column turns an entry into a
+//! reclassification instead of a suppression: `warn` moves a deny rule's
+//! findings into the ratchet for a legacy file, `deny` locks a cleaned
+//! file so warn-level debt can never return to it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod lexer;
+pub mod output;
+pub mod rules;
+
+use baseline::Baseline;
+use output::Summary;
+use rules::FileContext;
 use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Crates whose sources feed simulation results and therefore must be
-/// deterministic (hash-iteration and wall-clock rules apply).
+/// deterministic (hash-container and wall-clock type bans apply).
 pub const DETERMINISM_CRATES: &[&str] = &[
     "util", "devs", "net", "zipf", "trace", "cluster", "core", "model", "sim",
 ];
 
-// The needles are assembled with `concat!` from split halves so that this
-// file never contains the forbidden token itself — otherwise the lint
-// would flag its own source when scanning the workspace.
-const HASH_NEEDLES: &[(&str, &str)] = &[
-    (
-        concat!("Hash", "Map"),
-        "hash maps iterate in randomized order; use BTreeMap (allowlist keyed-only uses)",
-    ),
-    (
-        concat!("Hash", "Set"),
-        "hash sets iterate in randomized order; use BTreeSet (allowlist keyed-only uses)",
-    ),
+/// Every rule id with its default severity, in catalog order.
+pub const RULES: &[(&str, Severity)] = &[
+    ("hash-iter", Severity::Deny),
+    ("wall-clock", Severity::Deny),
+    ("entropy", Severity::Deny),
+    ("panic", Severity::Deny),
+    ("assert", Severity::Deny),
+    ("crate-header", Severity::Deny),
+    ("float-order", Severity::Deny),
+    ("lossy-cast", Severity::Warn),
+    ("raw-duration", Severity::Warn),
 ];
 
-const WALL_CLOCK_NEEDLES: &[(&str, &str)] = &[
-    (
-        concat!("Inst", "ant"),
-        "wall-clock reads are nondeterministic; simulation time comes from the event queue",
-    ),
-    (
-        concat!("System", "Time"),
-        "wall-clock reads are nondeterministic; simulation time comes from the event queue",
-    ),
-];
+/// How a finding is enforced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the run immediately.
+    Deny,
+    /// Ratcheted against `lint-baseline.json`; fails only on growth.
+    Warn,
+}
 
-const ENTROPY_NEEDLES: &[(&str, &str)] = &[
-    (
-        concat!("thread_", "rng"),
-        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
-    ),
-    (
-        concat!("rand::rand", "om"),
-        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
-    ),
-    (
-        concat!("from_", "entropy"),
-        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
-    ),
-    (
-        concat!("Os", "Rng"),
-        "entropy-seeded RNG breaks replay; seed a DetRng explicitly",
-    ),
-];
-
-const PANIC_NEEDLES: &[(&str, &str)] = &[
-    (
-        concat!(".unw", "rap()"),
-        "library code must not abort; return a Result or use invariant!",
-    ),
-    (
-        concat!(".exp", "ect("),
-        "library code must not abort; return a Result or use invariant!",
-    ),
-    (
-        concat!("pan", "ic!("),
-        "library code must not abort; return a Result or use invariant!",
-    ),
-    (
-        concat!("unreach", "able!("),
-        "library code must not abort; restructure so the branch is impossible by type",
-    ),
-    (
-        concat!("to", "do!("),
-        "unfinished code must not ship in library crates",
-    ),
-    (
-        concat!("unimpl", "emented!("),
-        "unfinished code must not ship in library crates",
-    ),
-];
-
-// Matched with a word-boundary check on the preceding character so that
-// `debug_assert!` (which is allowed — it already vanishes in release
-// builds) does not trigger the rule.
-const ASSERT_NEEDLES: &[(&str, &str)] = &[
-    (
-        concat!("ass", "ert!("),
-        "bare asserts abort release figure runs; return a Result or use invariant!",
-    ),
-    (
-        concat!("ass", "ert_eq!("),
-        "bare asserts abort release figure runs; return a Result or use invariant!",
-    ),
-    (
-        concat!("ass", "ert_ne!("),
-        "bare asserts abort release figure runs; return a Result or use invariant!",
-    ),
-];
-
-const ATTR_MISSING_DOCS: &str = "#![warn(missing_docs)]";
-const ATTR_FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
-
-/// One lint finding, pointing at a repository-relative `path:line`.
+/// One lint finding, pointing at a repository-relative `path:line:col`.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
     /// Repository-relative path of the offending file.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`hash-iter`, `wall-clock`, `entropy`, `panic`,
-    /// `assert`, `lint-attrs`).
+    /// 1-based column (in characters) of the matched token.
+    pub col: usize,
+    /// Matched token length in characters (caret span width).
+    pub len: usize,
+    /// Rule identifier from the catalog.
     pub rule: &'static str,
+    /// Enforcement level after allowlist reclassification.
+    pub severity: Severity,
     /// Human-readable explanation.
     pub message: String,
+    /// The source line, for rendering.
+    pub snippet: String,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
         )
     }
+}
+
+/// What an allowlist entry does to matching findings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllowAction {
+    /// Drop the finding entirely.
+    Suppress,
+    /// Reclassify deny findings as warn (into the baseline ratchet).
+    Demote,
+    /// Reclassify warn findings as deny (lock a cleaned file).
+    Promote,
 }
 
 /// One vetted exception from `lint-allow.txt`.
@@ -166,13 +146,15 @@ pub struct AllowEntry {
     pub rule: String,
     /// Repository-relative file the exception applies to.
     pub path: String,
+    /// What the entry does (suppress, demote, promote).
+    pub action: AllowAction,
     /// Why the exception is sound (mandatory).
     pub justification: String,
     used: bool,
 }
 
-/// The parsed allowlist. Entries suppress all diagnostics of their rule in
-/// their file; each records whether it actually suppressed anything.
+/// The parsed allowlist. Each entry records whether it actually affected
+/// a finding, so stale entries can be reported.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
     entries: Vec<AllowEntry>,
@@ -184,10 +166,10 @@ impl Allowlist {
         Allowlist::default()
     }
 
-    /// Parses the `lint-allow.txt` format: one `<rule> <path>
-    /// <justification>` entry per line; `#` comments and blank lines are
-    /// ignored. A missing justification is an error — exceptions must be
-    /// argued, not just declared.
+    /// Parses the `lint-allow.txt` format: one entry per line as
+    /// `<rule> <path> [deny|warn] <justification>`; `#` comments and
+    /// blank lines are ignored. A missing justification is an error —
+    /// exceptions must be argued, not just declared.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut entries = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -196,15 +178,22 @@ impl Allowlist {
                 continue;
             }
             let mut parts = line.splitn(3, char::is_whitespace);
-            let (Some(rule), Some(path), Some(justification)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(rule), Some(path), Some(rest)) = (parts.next(), parts.next(), parts.next())
             else {
                 return Err(format!(
-                    "lint-allow.txt:{}: expected `<rule> <path> <justification>`, got `{line}`",
+                    "lint-allow.txt:{}: expected `<rule> <path> [deny|warn] <justification>`, got `{line}`",
                     idx + 1
                 ));
             };
-            let justification = justification.trim();
+            let rest = rest.trim();
+            let (action, justification) = match rest.split_once(char::is_whitespace) {
+                Some(("deny", j)) => (AllowAction::Promote, j.trim()),
+                Some(("warn", j)) => (AllowAction::Demote, j.trim()),
+                // A bare severity column with nothing after it falls
+                // through to the missing-justification error below.
+                _ if rest == "deny" || rest == "warn" => (AllowAction::Suppress, ""),
+                _ => (AllowAction::Suppress, rest),
+            };
             if justification.is_empty() {
                 return Err(format!(
                     "lint-allow.txt:{}: entry for {rule} {path} has no justification",
@@ -214,6 +203,7 @@ impl Allowlist {
             entries.push(AllowEntry {
                 rule: rule.to_string(),
                 path: path.to_string(),
+                action,
                 justification: justification.to_string(),
                 used: false,
             });
@@ -221,19 +211,41 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    /// True when `rule` is excepted in `path`; marks the entry as used.
-    fn permits(&mut self, rule: &str, path: &str) -> bool {
-        let mut hit = false;
-        for e in &mut self.entries {
-            if e.rule == rule && e.path == path {
-                e.used = true;
-                hit = true;
+    /// Applies the allowlist to raw findings: suppression drops them,
+    /// demotion/promotion retags their severity. Matching entries are
+    /// marked used.
+    fn apply(&mut self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        let mut out = Vec::with_capacity(diags.len());
+        'diag: for mut d in diags {
+            // Suppression wins over reclassification.
+            for e in &mut self.entries {
+                if e.action == AllowAction::Suppress && e.rule == d.rule && e.path == d.path {
+                    e.used = true;
+                    continue 'diag;
+                }
             }
+            for e in &mut self.entries {
+                if e.rule != d.rule || e.path != d.path {
+                    continue;
+                }
+                match e.action {
+                    AllowAction::Demote if d.severity == Severity::Deny => {
+                        d.severity = Severity::Warn;
+                        e.used = true;
+                    }
+                    AllowAction::Promote if d.severity == Severity::Warn => {
+                        d.severity = Severity::Deny;
+                        e.used = true;
+                    }
+                    _ => {}
+                }
+            }
+            out.push(d);
         }
-        hit
+        out
     }
 
-    /// Entries that suppressed nothing in the last run — stale exceptions
+    /// Entries that affected nothing in the last run — stale exceptions
     /// that should be deleted.
     pub fn unused(&self) -> Vec<&AllowEntry> {
         self.entries.iter().filter(|e| !e.used).collect()
@@ -246,41 +258,66 @@ struct CrateSrc {
     src: PathBuf,
 }
 
-/// Lints the workspace rooted at `root` and returns all diagnostics not
-/// suppressed by `allow`, sorted by `(path, line, rule)`. Errors are I/O
-/// problems (unreadable tree), not findings.
-pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> Result<Vec<Diagnostic>, String> {
+/// Everything one lint pass learned about the tree.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// All findings after allowlist application, sorted by
+    /// `(path, line, col, …)` and deduplicated.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Crates discovered and scanned.
+    pub crates_scanned: usize,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings at the given severity.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+}
+
+/// Lints the workspace rooted at `root` and returns the report. Errors
+/// are I/O or lexing problems (unreadable tree, unterminated literal),
+/// not findings.
+pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> Result<Report, String> {
     let crates = discover_crates(root)?;
     let mut raw = Vec::new();
+    let mut files_scanned = 0usize;
 
     for krate in &crates {
         let deterministic = DETERMINISM_CRATES.contains(&krate.name.as_str());
-        check_lib_attrs(root, krate, &mut raw)?;
+        let lib = krate.src.join("lib.rs");
+        if lib.is_file() {
+            raw.extend(rules::check_crate_header(
+                &rel_path(root, &lib),
+                &krate.name,
+                &read(&lib)?,
+            )?);
+        }
         for file in rust_sources(&krate.src)? {
             let rel = rel_path(root, &file);
             let text = read(&file)?;
-            let is_binary = is_binary_target(&file);
-            let mut rules: Vec<(&'static str, &[(&str, &str)])> = Vec::new();
-            if deterministic {
-                rules.push(("hash-iter", HASH_NEEDLES));
-                rules.push(("wall-clock", WALL_CLOCK_NEEDLES));
-            }
-            rules.push(("entropy", ENTROPY_NEEDLES));
-            if !is_binary {
-                rules.push(("panic", PANIC_NEEDLES));
-                rules.push(("assert", ASSERT_NEEDLES));
-            }
-            scan_file(&rel, &text, &rules, &mut raw);
+            let ctx = FileContext {
+                rel_path: &rel,
+                deterministic,
+                is_binary: is_binary_target(&file),
+            };
+            raw.extend(rules::scan_file(&ctx, &text)?);
+            files_scanned += 1;
         }
     }
 
-    let mut out: Vec<Diagnostic> = raw
-        .into_iter()
-        .filter(|d| !allow.permits(d.rule, &d.path))
-        .collect();
-    out.sort();
-    out.dedup();
-    Ok(out)
+    let mut diagnostics = allow.apply(raw);
+    diagnostics.sort();
+    diagnostics.dedup();
+    Ok(Report {
+        diagnostics,
+        crates_scanned: crates.len(),
+        files_scanned,
+    })
 }
 
 /// The workspace's crates: every directory under `crates/`, plus the root
@@ -314,87 +351,7 @@ fn discover_crates(root: &Path) -> Result<Vec<CrateSrc>, String> {
     Ok(crates)
 }
 
-/// Every `lib.rs` must opt into the workspace's documentation and safety
-/// attributes.
-fn check_lib_attrs(root: &Path, krate: &CrateSrc, out: &mut Vec<Diagnostic>) -> Result<(), String> {
-    let lib = krate.src.join("lib.rs");
-    if !lib.is_file() {
-        return Ok(());
-    }
-    let text = read(&lib)?;
-    let rel = rel_path(root, &lib);
-    for attr in [ATTR_MISSING_DOCS, ATTR_FORBID_UNSAFE] {
-        if !text.contains(attr) {
-            out.push(Diagnostic {
-                path: rel.clone(),
-                line: 1,
-                rule: "lint-attrs",
-                message: format!("crate `{}` is missing the `{attr}` attribute", krate.name),
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Applies line-based needle rules to one file. Comment lines are skipped;
-/// once `#[cfg(test)]` appears, the rest of the file is test code and
-/// exempt (the workspace keeps test modules at the bottom of each file).
-fn scan_file(
-    rel: &str,
-    text: &str,
-    rules: &[(&'static str, &[(&str, &str)])],
-    out: &mut Vec<Diagnostic>,
-) {
-    let mut in_test = false;
-    for (idx, line) in text.lines().enumerate() {
-        if line.contains("#[cfg(test)]") {
-            in_test = true;
-        }
-        if in_test || line.trim_start().starts_with("//") {
-            continue;
-        }
-        for (rule, needles) in rules {
-            for (needle, message) in needles.iter() {
-                let hit = if *rule == "assert" {
-                    contains_word_start(line, needle)
-                } else {
-                    line.contains(needle)
-                };
-                if hit {
-                    out.push(Diagnostic {
-                        path: rel.to_string(),
-                        line: idx + 1,
-                        rule,
-                        message: format!("`{needle}`: {message}"),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// True when `line` contains `needle` at a position not preceded by an
-/// identifier character — so `debug_assert!(` does not match an
-/// `assert!(` needle, but `::std::assert!(` and a bare `assert!(` do.
-fn contains_word_start(line: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(needle) {
-        let abs = from + pos;
-        let preceded = line[..abs]
-            .chars()
-            .next_back()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if !preceded {
-            return true;
-        }
-        from = abs + 1;
-    }
-    false
-}
-
-/// All `.rs` files under `src`, recursively, in sorted order. `src/bin/`
-/// is descended into (determinism rules still apply there); binary-target
-/// detection happens per file via [`is_binary_target`].
+/// All `.rs` files under `src`, recursively, in sorted order.
 fn rust_sources(src: &Path) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
     if !src.is_dir() {
@@ -423,8 +380,8 @@ fn rust_sources(src: &Path) -> Result<Vec<PathBuf>, String> {
 }
 
 /// True for compilation roots of binary targets (`src/main.rs`,
-/// `src/bin/**`), which are exempt from the `panic` rule: a CLI aborting
-/// on bad input is acceptable, a library doing so is not.
+/// `src/bin/**`), which are exempt from the library-only rules: a CLI
+/// aborting on bad input is acceptable, a library doing so is not.
 fn is_binary_target(path: &Path) -> bool {
     if path.file_name().is_some_and(|n| n == "main.rs") {
         return true;
@@ -441,235 +398,642 @@ fn read(path: &Path) -> Result<String, String> {
     fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
 }
 
+/// Output format of a CLI run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// rustc-style rendered diagnostics with caret spans.
+    Text,
+    /// Byte-stable machine-readable report on stdout.
+    Json,
+}
+
+/// Parsed CLI options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Workspace root to lint (default `.`).
+    pub root: PathBuf,
+    /// Output format (default text).
+    pub format: Format,
+    /// Regenerate `lint-baseline.json` from this run's warn findings.
+    pub update_baseline: bool,
+}
+
+impl Options {
+    /// Parses CLI arguments (everything after the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options {
+            root: PathBuf::from("."),
+            format: Format::Text,
+            update_baseline: false,
+        };
+        let mut args = args.into_iter();
+        let mut root_set = false;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--format requires a value (text|json)".to_string())?;
+                    opts.format = parse_format(&value)?;
+                }
+                _ if arg.starts_with("--format=") => {
+                    opts.format = parse_format(&arg["--format=".len()..])?;
+                }
+                "--update-baseline" => opts.update_baseline = true,
+                _ if arg.starts_with("--") => {
+                    return Err(format!(
+                        "unknown flag `{arg}` (try --format json, --update-baseline)"
+                    ));
+                }
+                _ if !root_set => {
+                    opts.root = PathBuf::from(arg);
+                    root_set = true;
+                }
+                _ => return Err(format!("unexpected argument `{arg}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_format(value: &str) -> Result<Format, String> {
+    match value {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        other => Err(format!("unknown format `{other}` (expected text or json)")),
+    }
+}
+
+/// Runs a complete lint pass: allowlist, scan, baseline ratchet,
+/// rendering, and summary. Returns the process exit code:
+///
+/// * `0` — clean: no deny findings, no warn growth over the baseline;
+/// * `1` — findings: deny findings present or warn counts grew;
+/// * `2` — I/O or configuration error (unreadable tree, malformed
+///   allowlist or baseline, bad flags).
+pub fn run(opts: &Options, out: &mut dyn Write, err: &mut dyn Write) -> u8 {
+    match run_inner(opts, out, err) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}");
+            2
+        }
+    }
+}
+
+fn run_inner(opts: &Options, out: &mut dyn Write, err: &mut dyn Write) -> Result<u8, String> {
+    let allow_path = opts.root.join("lint-allow.txt");
+    let mut allow = if allow_path.is_file() {
+        Allowlist::parse(&read(&allow_path)?)?
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = lint_workspace(&opts.root, &mut allow)?;
+
+    let baseline_path = opts.root.join("lint-baseline.json");
+    let mut committed = if baseline_path.is_file() {
+        Baseline::parse(&read(&baseline_path)?)?
+    } else {
+        Baseline::empty()
+    };
+
+    if opts.update_baseline {
+        committed = Baseline::from_diagnostics(&report.diagnostics);
+        fs::write(&baseline_path, committed.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        let _ = writeln!(
+            err,
+            "l2s-lint: baseline regenerated at {}",
+            baseline_path.display()
+        );
+    }
+
+    let ratchet = committed.ratchet(&report.diagnostics);
+    let deny_count = report.at(Severity::Deny).count();
+    let warn_count = report.at(Severity::Warn).count();
+    let summary = Summary {
+        crates_scanned: report.crates_scanned,
+        files_scanned: report.files_scanned,
+        rules: RULES.len(),
+        deny: deny_count,
+        warn: warn_count,
+        growth: ratchet.growth.len(),
+        allow_unused: allow.unused().len(),
+    };
+
+    match opts.format {
+        Format::Json => {
+            let _ = out
+                .write_all(output::render_json(&report.diagnostics, &ratchet, &summary).as_bytes());
+        }
+        Format::Text => {
+            // Deny findings render in full; warn findings render only in
+            // cells that grew past the baseline (the rest are debt that
+            // is already tolerated and counted in the summary).
+            for d in report.at(Severity::Deny) {
+                let _ = writeln!(out, "{}", output::render_text(d));
+            }
+            for g in &ratchet.growth {
+                let _ = writeln!(
+                    out,
+                    "baseline: warn[{}] in {} grew {} -> {} (fix the new findings or argue an allowlist entry)",
+                    g.rule, g.path, g.baseline, g.current
+                );
+                for d in report.at(Severity::Warn) {
+                    if d.rule == g.rule && d.path == g.path {
+                        let _ = writeln!(out, "{}", output::render_text(d));
+                    }
+                }
+            }
+            for g in &ratchet.shrunk {
+                let _ = writeln!(
+                    err,
+                    "note: warn[{}] in {} shrank {} -> {}; run with --update-baseline to ratchet down",
+                    g.rule, g.path, g.baseline, g.current
+                );
+            }
+        }
+    }
+
+    for stale in allow.unused() {
+        let _ = writeln!(
+            err,
+            "warning: unused allowlist entry `{} {}` ({}) — delete it",
+            stale.rule, stale.path, stale.justification
+        );
+    }
+
+    let _ = writeln!(err, "{}", summary.render());
+    let clean = deny_count == 0 && ratchet.growth.is_empty();
+    if clean {
+        let _ = writeln!(err, "l2s-lint: clean");
+        Ok(0)
+    } else {
+        let _ = writeln!(
+            err,
+            "l2s-lint: {} deny finding(s), {} baseline growth cell(s)",
+            deny_count,
+            ratchet.growth.len()
+        );
+        Ok(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::fs;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    /// Builds a throwaway fake workspace under the OS temp dir and returns
-    /// its root. Callers clean up via `TempWorkspace`'s `Drop`.
-    struct TempWorkspace {
+    /// Crate header every synthetic lib.rs needs to stay crate-header clean.
+    const HEADER: &str = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// A throwaway workspace in the OS temp dir; removed on drop.
+    struct Workspace {
         root: PathBuf,
     }
 
-    impl TempWorkspace {
-        fn new(tag: &str) -> Self {
+    impl Workspace {
+        /// Builds `crates/<name>/src/<file>` trees from `(path, source)`
+        /// pairs like `("core/src/lib.rs", "...")`, adding a Cargo.toml
+        /// per crate so discovery finds them.
+        fn new(files: &[(&str, &str)]) -> Workspace {
+            let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
             let root =
-                std::env::temp_dir().join(format!("l2s-lint-test-{}-{tag}", std::process::id()));
-            let _ = fs::remove_dir_all(&root);
-            fs::create_dir_all(root.join("crates")).unwrap();
-            TempWorkspace { root }
+                std::env::temp_dir().join(format!("l2s-lint-test-{}-{seq}", std::process::id()));
+            for (path, source) in files {
+                let full = root.join("crates").join(path);
+                fs::create_dir_all(full.parent().unwrap()).unwrap();
+                fs::write(&full, source).unwrap();
+                let krate = path.split('/').next().unwrap();
+                let manifest = root.join("crates").join(krate).join("Cargo.toml");
+                fs::write(&manifest, "[package]\n").unwrap();
+            }
+            Workspace { root }
         }
 
-        fn write(&self, rel: &str, content: &str) {
-            let path = self.root.join(rel);
-            fs::create_dir_all(path.parent().unwrap()).unwrap();
-            fs::write(path, content).unwrap();
+        fn lint(&self) -> Report {
+            self.lint_with(&mut Allowlist::empty())
+        }
+
+        fn lint_with(&self, allow: &mut Allowlist) -> Report {
+            lint_workspace(&self.root, allow).unwrap()
         }
     }
 
-    impl Drop for TempWorkspace {
+    impl Drop for Workspace {
         fn drop(&mut self) {
             let _ = fs::remove_dir_all(&self.root);
         }
     }
 
-    const CLEAN_LIB: &str =
-        "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\npub fn f() {}\n";
+    fn rules_of(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.rule).collect()
+    }
 
     #[test]
-    fn reintroduced_hash_map_in_core_fails_with_file_and_line() {
-        let ws = TempWorkspace::new("hashmap");
-        ws.write("crates/core/Cargo.toml", "[package]\nname = \"l2s\"\n");
-        ws.write(
-            "crates/core/src/lib.rs",
-            concat!(
-                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n",
-                "//! Docs.\n",
-                "use std::collections::Hash",
-                "Map;\n",
-                "/// State.\npub struct S { m: Hash",
-                "Map<u32, u32> }\n",
-            ),
+    fn hash_map_in_determinism_crate_is_flagged_with_position() {
+        let ws = Workspace::new(&[(
+            "core/src/lib.rs",
+            &format!("{HEADER}pub fn f() {{\n    let m: std::collections::HashMap<u32, u32> = Default::default();\n    drop(m);\n}}\n"),
+        )]);
+        let report = ws.lint();
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == "hash-iter")
+            .expect("HashMap type must be flagged in a determinism crate");
+        assert_eq!(d.path, "crates/core/src/lib.rs");
+        assert_eq!(d.line, 4);
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.col > 1, "column must be real, got {}", d.col);
+    }
+
+    #[test]
+    fn non_determinism_crates_may_hold_hash_containers_but_not_iterate() {
+        let src = format!(
+            "{HEADER}use std::collections::HashMap;\npub fn f(m: &HashMap<u32, u32>) -> usize {{ m.len() }}\n"
         );
-        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
-        assert_eq!(diags.len(), 2, "{diags:?}");
-        assert_eq!(diags[0].path, "crates/core/src/lib.rs");
-        assert_eq!(diags[0].line, 4);
-        assert_eq!(diags[0].rule, "hash-iter");
-        assert_eq!(diags[1].line, 6);
-        // The rendered form carries file:line for editors.
-        assert!(diags[0]
-            .to_string()
-            .starts_with("crates/core/src/lib.rs:4: [hash-iter]"));
+        let ws = Workspace::new(&[("lint/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        assert!(
+            report.diagnostics.is_empty(),
+            "keyed-only HashMap use outside determinism crates is fine: {:?}",
+            report.diagnostics
+        );
+
+        let src = format!(
+            "{HEADER}use std::collections::HashMap;\npub fn f(m: &HashMap<u32, u32>) -> Vec<u32> {{ m.keys().copied().collect() }}\n"
+        );
+        let ws = Workspace::new(&[("lint/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        assert_eq!(
+            rules_of(&report),
+            vec!["hash-iter"],
+            "iteration adapters on hash receivers are banned workspace-wide"
+        );
+    }
+
+    #[test]
+    fn chain_and_for_loop_hash_iteration_are_flagged() {
+        let src = format!(
+            "{HEADER}use std::collections::HashMap;\n\
+             pub struct S {{ cache: HashMap<u32, u32> }}\n\
+             impl S {{\n\
+                 pub fn a(&self) -> usize {{ self.cache.iter().count() }}\n\
+                 pub fn b(&self) {{ for k in self.cache.keys() {{ drop(k); }} }}\n\
+             }}\n\
+             pub fn c() -> usize {{ HashMap::<u32, u32>::new().iter().count() }}\n"
+        );
+        let ws = Workspace::new(&[("lint/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        let hash_iter = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "hash-iter")
+            .count();
+        assert!(
+            hash_iter >= 3,
+            "field chain, for-loop head, and constructor chain must all flag: {:?}",
+            report.diagnostics
+        );
     }
 
     #[test]
     fn wall_clock_and_entropy_are_flagged() {
-        let ws = TempWorkspace::new("clock");
-        ws.write("crates/sim/Cargo.toml", "[package]\nname = \"l2s-sim\"\n");
-        ws.write(
-            "crates/sim/src/lib.rs",
-            concat!(
-                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
-                "/// T.\npub fn t() { let _ = std::time::Inst",
-                "ant::now(); }\n",
-                "/// R.\npub fn r() { let _ = rand::thread_",
-                "rng(); }\n",
+        let src = format!(
+            "{HEADER}pub fn f() -> std::time::Instant {{ std::time::Instant::now() }}\n\
+             pub fn g() -> u64 {{ rand::random() }}\n"
+        );
+        let ws = Workspace::new(&[("sim/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        assert!(rules_of(&report).contains(&"wall-clock"));
+        assert!(rules_of(&report).contains(&"entropy"));
+    }
+
+    #[test]
+    fn unwrap_flagged_in_libraries_but_not_binaries_or_tests() {
+        let lib = format!("{HEADER}pub fn f(v: Option<u32>) -> u32 {{ v.unwrap() }}\n");
+        let bin = "fn main() { Some(1).unwrap(); }\n";
+        let tests = format!(
+            "{HEADER}pub fn ok() {{}}\n\
+             #[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{ Some(1).unwrap(); }}\n}}\n"
+        );
+        let ws = Workspace::new(&[
+            ("net/src/lib.rs", lib.as_str()),
+            ("net/src/main.rs", bin),
+            ("devs/src/lib.rs", tests.as_str()),
+        ]);
+        let report = ws.lint();
+        let panics: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "panic")
+            .collect();
+        assert_eq!(panics.len(), 1, "only the library unwrap flags: {panics:?}");
+        assert_eq!(panics[0].path, "crates/net/src/lib.rs");
+    }
+
+    #[test]
+    fn bare_assert_flagged_but_debug_assert_and_prefixed_idents_are_not() {
+        let src = format!(
+            "{HEADER}pub fn f(x: u64) {{\n\
+                 assert!(x > 0);\n\
+                 debug_assert!(x > 0);\n\
+                 debug_assert_eq!(x, x);\n\
+             }}\n\
+             /// Call `debug_assert_eq!` and `assert!` liberally in tests.\n\
+             pub fn assert_stable(x: u64) -> u64 {{ x }}\n\
+             pub fn g(x: u64) -> u64 {{ assert_stable(x) }}\n"
+        );
+        let ws = Workspace::new(&[("zipf/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        let asserts: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "assert")
+            .collect();
+        assert_eq!(
+            asserts.len(),
+            1,
+            "exactly the bare assert! flags: {asserts:?}"
+        );
+        assert_eq!(asserts[0].line, 4);
+    }
+
+    #[test]
+    fn needles_in_strings_and_comments_never_flag() {
+        let src = format!(
+            "{HEADER}// HashMap.iter() thread_rng() .unwrap() assert!(x) partial_cmp\n\
+             /* Instant::now() panic!(\"x\") as usize from_secs_f64(1.0) */\n\
+             pub const DOC: &str = \"call .unwrap() on a HashMap then assert!(true) as f64\";\n\
+             pub const RAW: &str = r#\"SystemTime::now() partial_cmp OsRng\"#;\n\
+             pub fn f() -> char {{ 'a' }}\n"
+        );
+        let ws = Workspace::new(&[("core/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        assert!(
+            report.diagnostics.is_empty(),
+            "string/comment contents are opaque to every rule: {:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn missing_crate_header_attrs_are_flagged_per_crate() {
+        let ws = Workspace::new(&[
+            (
+                "core/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() {}\n",
             ),
-        );
-        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
-        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
-        assert!(rules.contains(&"wall-clock"), "{diags:?}");
-        assert!(rules.contains(&"entropy"), "{diags:?}");
+            ("net/src/lib.rs", "#![warn(missing_docs)]\npub fn g() {}\n"),
+        ]);
+        let report = ws.lint();
+        let headers: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "crate-header")
+            .collect();
+        assert_eq!(headers.len(), 2, "one missing attr per crate: {headers:?}");
+        assert!(headers
+            .iter()
+            .any(|d| d.path.contains("core") && d.message.contains("missing_docs")));
+        assert!(headers
+            .iter()
+            .any(|d| d.path.contains("net") && d.message.contains("unsafe_code")));
     }
 
     #[test]
-    fn unwrap_flagged_in_lib_but_not_in_bin_or_tests() {
-        let ws = TempWorkspace::new("panic");
-        ws.write("crates/net/Cargo.toml", "[package]\nname = \"l2s-net\"\n");
-        ws.write(
-            "crates/net/src/lib.rs",
-            concat!(
-                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
-                "/// F.\npub fn f(v: Option<u32>) -> u32 { v.unw",
-                "rap() }\n",
-                "// comment mentioning .unw",
-                "rap() is fine\n",
-                "#[cfg(test)]\nmod tests { fn g() { None::<u32>.unw",
-                "rap(); } }\n",
-            ),
+    fn float_order_flags_partial_cmp() {
+        let src = format!(
+            "{HEADER}pub fn f(mut v: Vec<f64>) -> Vec<f64> {{\n\
+                 v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                 v\n\
+             }}\n"
         );
-        ws.write(
-            "crates/net/src/bin/tool.rs",
-            concat!("fn main() { None::<u32>.unw", "rap(); }\n"),
-        );
-        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
-        assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].rule, "panic");
-        assert_eq!(diags[0].path, "crates/net/src/lib.rs");
-        assert_eq!(diags[0].line, 5);
+        let ws = Workspace::new(&[("model/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        assert!(rules_of(&report).contains(&"float-order"));
     }
 
     #[test]
-    fn bare_assert_flagged_but_debug_assert_and_tests_exempt() {
-        let ws = TempWorkspace::new("assert");
-        ws.write("crates/zipf/Cargo.toml", "[package]\nname = \"l2s-zipf\"\n");
-        ws.write(
-            "crates/zipf/src/lib.rs",
-            concat!(
-                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
-                "/// F.\npub fn f(n: u64) { ass",
-                "ert!(n > 0); }\n",
-                "/// G.\npub fn g(n: u64) { debug_ass",
-                "ert!(n > 0); }\n",
-                "/// H.\npub fn h(n: u64) { ::std::ass",
-                "ert_eq!(n, 1); }\n",
-                "#[cfg(test)]\nmod tests { fn t() { ass",
-                "ert_ne!(1, 2); } }\n",
-            ),
+    fn lossy_cast_is_warn_severity_and_test_exempt() {
+        let src = format!(
+            "{HEADER}pub fn f(x: u64) -> f64 {{ x as f64 }}\n\
+             #[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{ let _ = 1u64 as f64; }}\n}}\n"
         );
-        ws.write(
-            "crates/zipf/src/bin/tool.rs",
-            concat!("fn main() { ass", "ert!(true); }\n"),
-        );
-        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
-        assert_eq!(diags.len(), 2, "{diags:?}");
-        assert!(diags.iter().all(|d| d.rule == "assert"));
-        assert_eq!(diags[0].line, 5, "bare assert in f");
-        assert_eq!(diags[1].line, 9, "path-qualified assert_eq in h");
+        let ws = Workspace::new(&[("trace/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        let casts: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "lossy-cast")
+            .collect();
+        assert_eq!(casts.len(), 1, "test-module cast must be exempt: {casts:?}");
+        assert_eq!(casts[0].severity, Severity::Warn);
     }
 
     #[test]
-    fn word_boundary_matcher() {
-        let needle = concat!("ass", "ert!(");
-        assert!(contains_word_start(concat!("ass", "ert!(x > 0)"), needle));
-        assert!(contains_word_start(
-            concat!("    ::core::ass", "ert!(x)"),
-            needle
-        ));
-        assert!(!contains_word_start(
-            concat!("debug_ass", "ert!(x)"),
-            needle
-        ));
-        assert!(!contains_word_start(concat!("my_ass", "ert!(x)  "), needle));
-        // A shadowed match must not mask a later bare one.
-        assert!(contains_word_start(
-            concat!("debug_ass", "ert!(x); ass", "ert!(y)"),
-            needle
-        ));
-    }
-
-    #[test]
-    fn missing_lint_attrs_are_reported_per_crate() {
-        let ws = TempWorkspace::new("attrs");
-        ws.write("crates/zipf/Cargo.toml", "[package]\nname = \"l2s-zipf\"\n");
-        ws.write("crates/zipf/src/lib.rs", "//! Docs.\npub fn f() {}\n");
-        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
-        assert_eq!(diags.len(), 2, "{diags:?}");
-        assert!(diags.iter().all(|d| d.rule == "lint-attrs"));
-        assert!(diags.iter().any(|d| d.message.contains("missing_docs")));
-        assert!(diags.iter().any(|d| d.message.contains("unsafe_code")));
+    fn raw_duration_flags_calls_but_not_definitions_or_cost_cache() {
+        let src = format!(
+            "{HEADER}pub fn from_secs_f64(s: f64) -> u64 {{ s as u64 }}\n\
+             pub fn hot(s: f64) -> u64 {{ from_secs_f64(s) }}\n\
+             pub struct CostCache;\n\
+             impl CostCache {{\n\
+                 pub fn build(s: f64) -> u64 {{ from_secs_f64(s) }}\n\
+             }}\n"
+        );
+        let ws = Workspace::new(&[("cluster/src/lib.rs", src.as_str())]);
+        let report = ws.lint();
+        let raw: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "raw-duration")
+            .collect();
+        assert_eq!(
+            raw.len(),
+            1,
+            "only the non-CostCache call site flags: {raw:?}"
+        );
+        assert_eq!(raw[0].line, 4);
     }
 
     #[test]
     fn allowlist_suppresses_and_tracks_usage() {
-        let ws = TempWorkspace::new("allow");
-        ws.write("crates/cluster/Cargo.toml", "[package]\nname = \"c\"\n");
-        ws.write(
-            "crates/cluster/src/lib.rs",
-            concat!(
-                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
-                "/// S.\npub struct S { m: std::collections::Hash",
-                "Map<u32, u32> }\n",
-            ),
-        );
-        let mut allow = Allowlist::parse(concat!(
-            "# comment\n",
-            "hash-iter crates/cluster/src/lib.rs keyed lookup only\n",
-            "panic crates/never/src/lib.rs stale entry\n",
-        ))
+        let lib = format!("{HEADER}pub fn f(v: Option<u32>) -> u32 {{ v.unwrap() }}\n");
+        let ws = Workspace::new(&[("net/src/lib.rs", lib.as_str())]);
+        let mut allow = Allowlist::parse(
+            "panic crates/net/src/lib.rs vetted: documented precondition\n\
+             entropy crates/net/src/lib.rs never matches anything\n",
+        )
         .unwrap();
-        let diags = lint_workspace(&ws.root, &mut allow).unwrap();
-        assert!(diags.is_empty(), "{diags:?}");
-        let unused: Vec<&str> = allow.unused().iter().map(|e| e.path.as_str()).collect();
-        assert_eq!(unused, vec!["crates/never/src/lib.rs"]);
-    }
-
-    #[test]
-    fn allowlist_rejects_missing_justification() {
-        assert!(Allowlist::parse("hash-iter crates/x/src/lib.rs\n").is_err());
-        assert!(Allowlist::parse("hash-iter crates/x/src/lib.rs   \n").is_err());
-    }
-
-    #[test]
-    fn non_determinism_crates_may_use_hash_containers() {
-        let ws = TempWorkspace::new("scope");
-        ws.write("crates/lint/Cargo.toml", "[package]\nname = \"l2s-lint\"\n");
-        ws.write(
-            "crates/lint/src/lib.rs",
-            concat!(
-                "#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n//! Docs.\n",
-                "/// S.\npub struct S { m: std::collections::Hash",
-                "Map<u32, u32> }\n",
-            ),
+        let report = ws.lint_with(&mut allow);
+        assert!(
+            report.diagnostics.iter().all(|d| d.rule != "panic"),
+            "suppressed finding must not surface"
         );
-        let diags = lint_workspace(&ws.root, &mut Allowlist::empty()).unwrap();
-        assert!(diags.is_empty(), "{diags:?}");
+        let unused: Vec<String> = allow.unused().iter().map(|e| e.rule.clone()).collect();
+        assert_eq!(
+            unused,
+            vec!["entropy".to_string()],
+            "stale entries are reported"
+        );
     }
 
     #[test]
-    fn the_real_repository_passes_with_its_checked_in_allowlist() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .unwrap()
-            .parent()
+    fn allowlist_severity_column_demotes_and_promotes() {
+        let lib = format!(
+            "{HEADER}pub fn f(v: Option<u32>) -> u32 {{ v.unwrap() }}\n\
+             pub fn g(x: u64) -> f64 {{ x as f64 }}\n"
+        );
+        let ws = Workspace::new(&[("net/src/lib.rs", lib.as_str())]);
+        let mut allow = Allowlist::parse(
+            "panic crates/net/src/lib.rs warn legacy file, ratchet the debt\n\
+             lossy-cast crates/net/src/lib.rs deny cleaned file, lock it\n",
+        )
+        .unwrap();
+        let report = ws.lint_with(&mut allow);
+        let panic = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == "panic")
             .unwrap();
-        let allow_text = fs::read_to_string(root.join("lint-allow.txt")).unwrap();
-        let mut allow = Allowlist::parse(&allow_text).unwrap();
-        let diags = lint_workspace(root, &mut allow).unwrap();
-        assert!(diags.is_empty(), "lint violations in tree: {diags:#?}");
-        let unused: Vec<_> = allow.unused();
-        assert!(unused.is_empty(), "stale allowlist entries: {unused:?}");
+        let cast = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == "lossy-cast")
+            .unwrap();
+        assert_eq!(panic.severity, Severity::Warn, "deny entry demoted to warn");
+        assert_eq!(cast.severity, Severity::Deny, "warn entry promoted to deny");
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn allowlist_rejects_entries_without_justification() {
+        assert!(Allowlist::parse("panic crates/net/src/lib.rs\n").is_err());
+        assert!(Allowlist::parse("panic crates/net/src/lib.rs warn\n").is_err());
+        assert!(Allowlist::parse("# just a comment\n\n")
+            .unwrap()
+            .unused()
+            .is_empty());
+    }
+
+    fn run_to_strings(opts: &Options) -> (u8, String, String) {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run(opts, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    #[test]
+    fn run_exits_zero_on_clean_one_on_findings_two_on_errors() {
+        let clean = format!("{HEADER}pub fn f() {{}}\n");
+        let ws = Workspace::new(&[("core/src/lib.rs", clean.as_str())]);
+        let opts = Options {
+            root: ws.root.clone(),
+            format: Format::Text,
+            update_baseline: false,
+        };
+        let (code, _, err) = run_to_strings(&opts);
+        assert_eq!(code, 0);
+        assert!(err.contains("l2s-lint: clean"));
+        // The implicit root package is always discovered alongside crates/.
+        assert!(err.contains("scanned 1 files across 2 crates"));
+
+        let dirty = format!("{HEADER}pub fn f(v: Option<u32>) -> u32 {{ v.unwrap() }}\n");
+        let ws = Workspace::new(&[("core/src/lib.rs", dirty.as_str())]);
+        let opts = Options {
+            root: ws.root.clone(),
+            format: Format::Text,
+            update_baseline: false,
+        };
+        let (code, out, err) = run_to_strings(&opts);
+        assert_eq!(code, 1);
+        assert!(out.contains("deny[panic]"));
+        assert!(err.contains("1 deny finding(s)"));
+
+        let opts = Options {
+            root: PathBuf::from("/nonexistent/l2s-lint-root"),
+            format: Format::Text,
+            update_baseline: false,
+        };
+        let (code, _, err) = run_to_strings(&opts);
+        assert_eq!(code, 2);
+        assert!(err.contains("error:"));
+    }
+
+    #[test]
+    fn ratchet_fails_growth_and_update_baseline_resets_it() {
+        let warny = format!("{HEADER}pub fn f(x: u64) -> f64 {{ x as f64 }}\n");
+        let ws = Workspace::new(&[("core/src/lib.rs", warny.as_str())]);
+        // Empty committed baseline: the warn finding is growth.
+        fs::write(
+            ws.root.join("lint-baseline.json"),
+            "{\n  \"version\": 1,\n  \"warn\": {}\n}\n",
+        )
+        .unwrap();
+        let opts = Options {
+            root: ws.root.clone(),
+            format: Format::Text,
+            update_baseline: false,
+        };
+        let (code, out, _) = run_to_strings(&opts);
+        assert_eq!(code, 1, "warn growth over the baseline fails the run");
+        assert!(out.contains("baseline: warn[lossy-cast]"));
+
+        let opts = Options {
+            root: ws.root.clone(),
+            format: Format::Text,
+            update_baseline: true,
+        };
+        let (code, _, err) = run_to_strings(&opts);
+        assert_eq!(code, 0, "--update-baseline tolerates current counts");
+        assert!(err.contains("baseline regenerated"));
+        let written = fs::read_to_string(ws.root.join("lint-baseline.json")).unwrap();
+        assert!(written.contains("\"crates/core/src/lib.rs\": 1"));
+    }
+
+    #[test]
+    fn json_output_is_byte_stable_across_runs() {
+        let dirty = format!(
+            "{HEADER}pub fn f(v: Option<u32>) -> u32 {{ v.unwrap() }}\n\
+             pub fn g(x: u64) -> f64 {{ x as f64 }}\n"
+        );
+        let ws = Workspace::new(&[("core/src/lib.rs", dirty.as_str())]);
+        let opts = Options {
+            root: ws.root.clone(),
+            format: Format::Json,
+            update_baseline: false,
+        };
+        let (code_a, out_a, _) = run_to_strings(&opts);
+        let (code_b, out_b, _) = run_to_strings(&opts);
+        assert_eq!(code_a, code_b);
+        assert_eq!(
+            out_a, out_b,
+            "JSON report must be byte-identical run to run"
+        );
+        assert!(out_a.contains("\"rule\": \"panic\""));
+        assert!(out_a.contains("\"severity\": \"warn\""));
+        assert!(out_a.contains("\"summary\""));
+    }
+
+    #[test]
+    fn options_parse_handles_formats_roots_and_bad_flags() {
+        let opts = Options::parse(["--format".to_string(), "json".to_string()]).unwrap();
+        assert_eq!(opts.format, Format::Json);
+        let opts = Options::parse(["--format=text".to_string(), "/tmp/x".to_string()]).unwrap();
+        assert_eq!(opts.format, Format::Text);
+        assert_eq!(opts.root, PathBuf::from("/tmp/x"));
+        let opts = Options::parse(["--update-baseline".to_string()]).unwrap();
+        assert!(opts.update_baseline);
+        assert!(Options::parse(["--format".to_string(), "xml".to_string()]).is_err());
+        assert!(Options::parse(["--bogus".to_string()]).is_err());
+        assert!(Options::parse(["a".to_string(), "b".to_string()]).is_err());
     }
 }

@@ -1,61 +1,21 @@
-//! CLI entry point: `cargo run -p l2s-lint [workspace-root]`.
+//! CLI entry point: `cargo run -p l2s-lint -- [workspace-root] [--format text|json] [--update-baseline]`.
 //!
-//! Exit status: 0 when the tree is clean, 1 when violations are found,
-//! 2 on I/O or allowlist-format errors.
+//! Exit status: 0 when the tree is clean at deny level and no warn cell
+//! grew past `lint-baseline.json`, 1 when findings fail the run, 2 on
+//! I/O or configuration errors (bad flags, malformed allowlist or
+//! baseline, unreadable tree).
 
-use l2s_lint::{lint_workspace, Allowlist};
-use std::path::PathBuf;
+use l2s_lint::{run, Options};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-
-    let allow_path = root.join("lint-allow.txt");
-    let mut allow = if allow_path.is_file() {
-        let text = match std::fs::read_to_string(&allow_path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", allow_path.display());
-                return ExitCode::from(2);
-            }
-        };
-        match Allowlist::parse(&text) {
-            Ok(allow) => allow,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    } else {
-        Allowlist::empty()
-    };
-
-    let diags = match lint_workspace(&root, &mut allow) {
-        Ok(diags) => diags,
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-
-    for d in &diags {
-        println!("{d}");
-    }
-    for stale in allow.unused() {
-        eprintln!(
-            "warning: unused allowlist entry `{} {}` ({}) — delete it",
-            stale.rule, stale.path, stale.justification
-        );
-    }
-
-    if diags.is_empty() {
-        eprintln!("l2s-lint: clean");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("l2s-lint: {} violation(s)", diags.len());
-        ExitCode::from(1)
-    }
+    let code = run(&opts, &mut std::io::stdout(), &mut std::io::stderr());
+    ExitCode::from(code)
 }

@@ -1,0 +1,205 @@
+//! Diagnostic rendering: rustc-style text with caret spans, and a
+//! byte-stable JSON report for CI artifacts.
+
+use crate::baseline::{push_json_string, RatchetResult};
+use crate::{Diagnostic, Severity};
+
+/// Renders one diagnostic in the familiar compiler shape:
+///
+/// ```text
+/// deny[panic]: `.unwrap()` aborts on failure; …
+///   --> crates/net/src/lib.rs:5:40
+///    |
+///  5 | pub fn f(v: Option<u32>) -> u32 { v.unwrap() }
+///    |                                     ^^^^^^
+/// ```
+pub fn render_text(d: &Diagnostic) -> String {
+    let level = match d.severity {
+        Severity::Deny => "deny",
+        Severity::Warn => "warn",
+    };
+    let line_no = d.line.to_string();
+    let gutter = " ".repeat(line_no.len());
+    let caret_pad = " ".repeat(d.col.saturating_sub(1));
+    let carets = "^".repeat(d.len.max(1));
+    format!(
+        "{level}[{rule}]: {msg}\n\
+         {gutter}--> {path}:{line}:{col}\n\
+         {gutter} |\n\
+         {line_no} | {snippet}\n\
+         {gutter} | {caret_pad}{carets}\n",
+        rule = d.rule,
+        msg = d.message,
+        path = d.path,
+        line = d.line,
+        col = d.col,
+        snippet = d.snippet,
+    )
+}
+
+/// Counts used by the one-line summary and the JSON report.
+pub struct Summary {
+    /// Crates discovered and scanned.
+    pub crates_scanned: usize,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Rules in the catalog.
+    pub rules: usize,
+    /// Deny-severity findings (each fails the run).
+    pub deny: usize,
+    /// Warn-severity findings (ratcheted against the baseline).
+    pub warn: usize,
+    /// Baseline cells that grew (each fails the run).
+    pub growth: usize,
+    /// Stale allowlist entries.
+    pub allow_unused: usize,
+}
+
+impl Summary {
+    /// The one-line scan summary printed at the end of every text run.
+    pub fn render(&self) -> String {
+        format!(
+            "l2s-lint: scanned {} files across {} crates with {} rules: {} deny, {} warn ({} over baseline)",
+            self.files_scanned, self.crates_scanned, self.rules, self.deny, self.warn, self.growth,
+        )
+    }
+}
+
+/// Renders the machine-readable report: every finding (deny and warn),
+/// the baseline comparison, and the summary. Ordering is the sorted
+/// diagnostic order and all values are integers or strings, so the same
+/// tree always yields the same bytes.
+pub fn render_json(diags: &[Diagnostic], ratchet: &RatchetResult, summary: &Summary) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"path\": ");
+        push_json_string(&mut s, &d.path);
+        s.push_str(&format!(", \"line\": {}, \"column\": {}, ", d.line, d.col));
+        s.push_str("\"rule\": ");
+        push_json_string(&mut s, d.rule);
+        s.push_str(", \"severity\": ");
+        push_json_string(
+            &mut s,
+            match d.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            },
+        );
+        s.push_str(", \"message\": ");
+        push_json_string(&mut s, &d.message);
+        s.push('}');
+    }
+    if diags.is_empty() {
+        s.push_str("],\n");
+    } else {
+        s.push_str("\n  ],\n");
+    }
+    s.push_str("  \"baseline_growth\": [");
+    for (i, g) in ratchet.growth.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"rule\": ");
+        push_json_string(&mut s, &g.rule);
+        s.push_str(", \"path\": ");
+        push_json_string(&mut s, &g.path);
+        s.push_str(&format!(
+            ", \"baseline\": {}, \"current\": {}}}",
+            g.baseline, g.current
+        ));
+    }
+    if ratchet.growth.is_empty() {
+        s.push_str("],\n");
+    } else {
+        s.push_str("\n  ],\n");
+    }
+    s.push_str(&format!(
+        "  \"summary\": {{\"crates\": {}, \"files\": {}, \"rules\": {}, \"deny\": {}, \"warn\": {}, \"baseline_growth\": {}, \"allowlist_unused\": {}}}\n}}\n",
+        summary.crates_scanned,
+        summary.files_scanned,
+        summary.rules,
+        summary.deny,
+        summary.warn,
+        summary.growth,
+        summary.allow_unused,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::RatchetResult;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 5,
+            col: 37,
+            len: 6,
+            rule: "panic",
+            severity: Severity::Deny,
+            message: "`.unwrap()` aborts".to_string(),
+            snippet: "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_points_carets_at_the_span() {
+        let text = render_text(&diag());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "deny[panic]: `.unwrap()` aborts");
+        assert_eq!(lines[1], " --> crates/x/src/lib.rs:5:37");
+        assert_eq!(
+            lines[3],
+            "5 | pub fn f(v: Option<u32>) -> u32 { v.unwrap() }"
+        );
+        // Column 37 in the snippet is the `u` of unwrap; the caret line
+        // shares the snippet line's `| ` gutter so carets align.
+        assert_eq!(lines[4], format!("  | {}{}", " ".repeat(36), "^".repeat(6)));
+    }
+
+    #[test]
+    fn json_is_identical_across_renders() {
+        let diags = vec![diag()];
+        let ratchet = RatchetResult::default();
+        let summary = Summary {
+            crates_scanned: 1,
+            files_scanned: 2,
+            rules: 9,
+            deny: 1,
+            warn: 0,
+            growth: 0,
+            allow_unused: 0,
+        };
+        let a = render_json(&diags, &ratchet, &summary);
+        let b = render_json(&diags, &ratchet, &summary);
+        assert_eq!(a, b);
+        assert!(a.contains("\"severity\": \"deny\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes_in_messages() {
+        let mut d = diag();
+        d.message = "path \"C:\\tmp\"".to_string();
+        let json = render_json(
+            &[d],
+            &RatchetResult::default(),
+            &Summary {
+                crates_scanned: 0,
+                files_scanned: 0,
+                rules: 0,
+                deny: 1,
+                warn: 0,
+                growth: 0,
+                allow_unused: 0,
+            },
+        );
+        assert!(json.contains(r#""message": "path \"C:\\tmp\"""#));
+    }
+}

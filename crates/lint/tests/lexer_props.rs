@@ -1,0 +1,110 @@
+//! Property-based tests for the lexer: the identifier stream — the only
+//! thing the rules match on — must be completely insensitive to the
+//! contents of comments and literals.
+
+use l2s_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Source fragments the generator composes. Comments and literals carry
+/// deliberately hostile payloads: rule needles, nested quotes, nested
+/// block comments.
+const FRAGMENTS: &[&str] = &[
+    "foo",
+    "bar_baz",
+    "r#type",
+    "x9",
+    "_under",
+    "42",
+    "0xFFu64",
+    "1.5e-3",
+    "+",
+    "(",
+    ")",
+    "::",
+    ".",
+    ";",
+    "=>",
+    "'a'",
+    "'\\n'",
+    "'static",
+    "\"str with .unwrap() and HashMap.iter()\"",
+    "\"escaped \\\" quote and assert!(x)\"",
+    "r#\"raw \"inner\" partial_cmp thread_rng\"#",
+    "b\"bytes panic!(now)\"",
+    "// line comment with Instant::now() and todo!()\n",
+    "/* block /* nested */ from_secs_f64(1.0) as usize */",
+];
+
+/// Indices of fragments that are comments.
+fn is_comment(frag: &str) -> bool {
+    frag.starts_with("//") || frag.starts_with("/*")
+}
+
+/// Indices of fragments that are string/char literals (replaceable
+/// without touching the ident stream).
+fn is_literal(frag: &str) -> bool {
+    frag.starts_with('"')
+        || frag.starts_with("r#\"")
+        || frag.starts_with("b\"")
+        || (frag.starts_with('\'') && frag.ends_with('\''))
+}
+
+/// The identifier token texts of `src`, in order.
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .expect("generated source must lex")
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src).to_string())
+        .collect()
+}
+
+proptest! {
+    /// Deleting every comment and replacing every string/char literal
+    /// with a number leaves the identifier sequence untouched: literal
+    /// and comment interiors are opaque to the rules by construction.
+    #[test]
+    fn stripping_comments_and_literals_preserves_idents(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..60),
+    ) {
+        let mut full = String::new();
+        let mut stripped = String::new();
+        for &p in &picks {
+            let frag = FRAGMENTS[p];
+            full.push_str(frag);
+            full.push(' ');
+            if is_comment(frag) {
+                // Comments vanish entirely.
+            } else if is_literal(frag) {
+                // Literals become an inert number token.
+                stripped.push_str("0 ");
+            } else {
+                stripped.push_str(frag);
+                stripped.push(' ');
+            }
+        }
+        prop_assert_eq!(idents(&full), idents(&stripped));
+    }
+
+    /// Lexing is total over the fragment language and every token's span
+    /// round-trips: `text()` is exactly the source slice, and spans are
+    /// in order and non-overlapping.
+    #[test]
+    fn tokens_tile_the_source_in_order(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..60),
+    ) {
+        let mut src = String::new();
+        for &p in &picks {
+            src.push_str(FRAGMENTS[p]);
+            src.push(' ');
+        }
+        let tokens = lex(&src).expect("generated source must lex");
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "tokens must not overlap");
+            prop_assert!(t.end > t.start, "tokens must be non-empty");
+            prop_assert_eq!(t.text(&src), &src[t.start..t.end]);
+            prev_end = t.end;
+        }
+    }
+}

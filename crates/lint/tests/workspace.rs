@@ -1,0 +1,243 @@
+//! Integration tests over the real repository: every source file must
+//! lex, the committed tree must be clean at deny level with no baseline
+//! growth, the JSON report must be byte-stable, and the installed binary
+//! must honor the documented exit-code contract.
+
+use l2s_lint::lexer::lex;
+use l2s_lint::{run, Allowlist, Format, Options, Severity};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The repository root (two levels above this crate's manifest).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Every `.rs` file under the workspace's crate sources and test trees.
+fn all_rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn every_workspace_source_file_lexes() {
+    let files = all_rust_files(&repo_root());
+    assert!(
+        files.len() > 50,
+        "workspace walk found suspiciously few files: {}",
+        files.len()
+    );
+    for file in files {
+        let src = fs::read_to_string(&file).unwrap();
+        let tokens = lex(&src)
+            .unwrap_or_else(|e| panic!("{}: lexer rejected real source: {e}", file.display()));
+        assert!(
+            !src.trim().is_empty() || tokens.is_empty(),
+            "{}: non-empty file produced no tokens",
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn committed_tree_is_deny_clean_with_no_growth_or_stale_allows() {
+    let root = repo_root();
+    let allow = fs::read_to_string(root.join("lint-allow.txt")).unwrap();
+    let mut allow = Allowlist::parse(&allow).unwrap();
+    let report = l2s_lint::lint_workspace(&root, &mut allow).unwrap();
+
+    let deny: Vec<String> = report.at(Severity::Deny).map(|d| d.to_string()).collect();
+    assert!(
+        deny.is_empty(),
+        "deny findings in the committed tree:\n{}",
+        deny.join("\n")
+    );
+
+    let stale: Vec<String> = allow
+        .unused()
+        .iter()
+        .map(|e| format!("{} {}", e.rule, e.path))
+        .collect();
+    assert!(stale.is_empty(), "stale lint-allow.txt entries: {stale:?}");
+
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = run(
+        &Options {
+            root: root.clone(),
+            format: Format::Text,
+            update_baseline: false,
+        },
+        &mut out,
+        &mut err,
+    );
+    assert_eq!(
+        code,
+        0,
+        "committed tree must pass the ratchet:\n{}{}",
+        String::from_utf8_lossy(&out),
+        String::from_utf8_lossy(&err)
+    );
+}
+
+#[test]
+fn json_report_is_byte_stable_on_the_real_tree() {
+    let opts = Options {
+        root: repo_root(),
+        format: Format::Json,
+        update_baseline: false,
+    };
+    let render = || {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run(&opts, &mut out, &mut err);
+        (code, out)
+    };
+    let (code_a, a) = render();
+    let (code_b, b) = render();
+    assert_eq!(code_a, code_b);
+    assert_eq!(a, b, "same tree must render byte-identical JSON");
+    let text = String::from_utf8(a).unwrap();
+    assert!(text.starts_with("{\n  \"version\": 1,"));
+    assert!(text.ends_with("}\n"));
+    assert!(text.contains("\"summary\""));
+}
+
+/// A throwaway workspace for driving the installed binary.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str, files: &[(&str, &str)]) -> TempTree {
+        let root = std::env::temp_dir().join(format!("l2s-lint-ws-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for (path, source) in files {
+            let full = root.join(path);
+            fs::create_dir_all(full.parent().unwrap()).unwrap();
+            fs::write(&full, source).unwrap();
+        }
+        TempTree { root }
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const HEADER: &str = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+
+fn lint_binary(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_l2s-lint"))
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("l2s-lint binary must run")
+}
+
+#[test]
+fn binary_exit_codes_cover_clean_findings_and_errors() {
+    let clean = TempTree::new(
+        "clean",
+        &[
+            ("crates/core/Cargo.toml", "[package]\n"),
+            (
+                "crates/core/src/lib.rs",
+                &format!("{HEADER}pub fn f() {{}}\n"),
+            ),
+        ],
+    );
+    let output = lint_binary(&clean.root, &[]);
+    assert_eq!(output.status.code(), Some(0), "clean tree exits 0");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("l2s-lint: clean"), "summary missing: {err}");
+
+    let dirty = TempTree::new(
+        "dirty",
+        &[
+            ("crates/core/Cargo.toml", "[package]\n"),
+            (
+                "crates/core/src/lib.rs",
+                &format!("{HEADER}pub fn f(v: Option<u32>) -> u32 {{ v.unwrap() }}\n"),
+            ),
+        ],
+    );
+    let output = lint_binary(&dirty.root, &[]);
+    assert_eq!(output.status.code(), Some(1), "deny findings exit 1");
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(out.contains("deny[panic]"), "finding not rendered: {out}");
+
+    let output = lint_binary(Path::new("/nonexistent/l2s-lint-tree"), &[]);
+    assert_eq!(output.status.code(), Some(2), "unreadable tree exits 2");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_l2s-lint"))
+        .arg("--format")
+        .arg("xml")
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "bad flags exit 2");
+}
+
+#[test]
+fn binary_ratchet_rejects_synthetic_baseline_growth() {
+    // One warn finding against a committed baseline that tolerates zero:
+    // the ratchet must fail the run even though nothing is deny-level.
+    let tree = TempTree::new(
+        "ratchet",
+        &[
+            ("crates/core/Cargo.toml", "[package]\n"),
+            (
+                "crates/core/src/lib.rs",
+                &format!("{HEADER}pub fn f(x: u64) -> f64 {{ x as f64 }}\n"),
+            ),
+            (
+                "lint-baseline.json",
+                "{\n  \"version\": 1,\n  \"warn\": {}\n}\n",
+            ),
+        ],
+    );
+    let output = lint_binary(&tree.root, &[]);
+    assert_eq!(output.status.code(), Some(1), "warn growth exits 1");
+    let out = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        out.contains("baseline: warn[lossy-cast]"),
+        "growth not reported: {out}"
+    );
+
+    // --update-baseline ratchets the debt in and the run goes green.
+    let output = lint_binary(&tree.root, &["--update-baseline"]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "regenerated baseline exits 0"
+    );
+    let baseline = fs::read_to_string(tree.root.join("lint-baseline.json")).unwrap();
+    assert!(baseline.contains("\"crates/core/src/lib.rs\": 1"));
+    let output = lint_binary(&tree.root, &[]);
+    assert_eq!(output.status.code(), Some(0), "tolerated debt stays green");
+}

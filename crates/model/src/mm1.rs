@@ -67,7 +67,8 @@ impl Mm1 {
     /// `P(n) = (1-ρ)ρⁿ`, or `None` when saturated.
     pub fn prob_n(&self, n: u32) -> Option<f64> {
         let rho = self.utilization();
-        self.is_stable().then(|| (1.0 - rho) * rho.powi(n as i32))
+        self.is_stable()
+            .then(|| (1.0 - rho) * rho.powi(l2s_util::cast::small_i32(u64::from(n))))
     }
 }
 

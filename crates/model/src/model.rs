@@ -2,6 +2,7 @@
 
 use crate::params::{ModelParams, ServerKind};
 use crate::Mm1;
+use l2s_util::cast;
 use l2s_zipf::ZipfLaw;
 
 /// Hit-rate quantities derived from Table 1's definitions.
@@ -135,7 +136,7 @@ impl QueueModel {
             ServerKind::LocalityConscious => {
                 let hit_rate = z(p.conscious_cache_kb());
                 let h = z(p.replication * p.cache_kb);
-                let n = p.nodes as f64;
+                let n = cast::len_f64(p.nodes);
                 Derived {
                     hit_rate,
                     replicated_hit: h,
@@ -162,7 +163,7 @@ impl QueueModel {
             ServerKind::LocalityConscious => {
                 let replicated_files = p.replication * p.cache_kb / p.avg_file_kb;
                 let h = law.z(replicated_files);
-                let n = p.nodes as f64;
+                let n = cast::len_f64(p.nodes);
                 Derived {
                     hit_rate,
                     replicated_hit: h,
@@ -209,7 +210,7 @@ impl QueueModel {
                 if *d <= 0.0 {
                     f64::INFINITY
                 } else {
-                    *count as f64 / d
+                    cast::len_f64(*count) / d
                 }
             })
             .fold(f64::INFINITY, f64::min)
@@ -264,7 +265,7 @@ impl QueueModel {
                 continue;
             }
             // Per-copy arrival rate of visits and mean service per visit.
-            let visit_rate = lambda * visits / copies as f64;
+            let visit_rate = lambda * visits / cast::len_f64(copies);
             let mean_service = demand / visits;
             let queue = Mm1::new(visit_rate, 1.0 / mean_service);
             let per_visit = queue.mean_response()?;

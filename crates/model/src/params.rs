@@ -153,7 +153,7 @@ impl ModelParams {
     /// `Clc = N(1-R)C + RC` (the replicated fraction holds the same hot
     /// files everywhere, so it counts only once).
     pub fn conscious_cache_kb(&self) -> f64 {
-        let n = self.nodes as f64;
+        let n = l2s_util::cast::len_f64(self.nodes);
         n * (1.0 - self.replication) * self.cache_kb + self.replication * self.cache_kb
     }
 

@@ -1,6 +1,7 @@
 //! Parameter-space sweeps that regenerate the paper's model figures.
 
 use crate::{ModelParams, QueueModel, ServerKind};
+use l2s_util::cast;
 
 /// A throughput (or ratio) surface over the paper's two axes: the
 /// locality-oblivious hit rate and the average requested-file size.
@@ -49,10 +50,10 @@ pub fn default_axes(hit_steps: usize, size_steps: usize) -> (Vec<f64>, Vec<f64>)
         "surface axes need at least two steps each"
     );
     let hit_rates = (0..hit_steps)
-        .map(|i| 0.02 + 0.98 * i as f64 / (hit_steps - 1) as f64)
+        .map(|i| 0.02 + 0.98 * cast::len_f64(i) / cast::len_f64(hit_steps - 1))
         .collect();
     let sizes_kb = (0..size_steps)
-        .map(|j| 4.0 + 124.0 * j as f64 / (size_steps - 1) as f64)
+        .map(|j| 4.0 + 124.0 * cast::len_f64(j) / cast::len_f64(size_steps - 1))
         .collect();
     (hit_rates, sizes_kb)
 }

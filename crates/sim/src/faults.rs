@@ -51,7 +51,7 @@ pub struct FaultPlan {
 
 /// Sort key: time, then recoveries before crashes, then node id.
 fn order_key(e: &FaultEvent) -> (SimDuration, u8, usize) {
-    (e.at, (e.kind == FaultKind::Crash) as u8, e.node)
+    (e.at, u8::from(e.kind == FaultKind::Crash), e.node)
 }
 
 impl FaultPlan {

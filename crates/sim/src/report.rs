@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use l2s_util::SimDuration;
+use l2s_util::{cast, SimDuration};
 
 /// Per-node measurements over the measurement window.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,7 +26,7 @@ impl NodeReport {
         if total == 0 {
             0.0
         } else {
-            self.cache_misses as f64 / total as f64
+            cast::exact_f64(self.cache_misses) / cast::exact_f64(total)
         }
     }
 }
@@ -104,16 +104,17 @@ impl SimReport {
             .per_node
             .iter()
             .filter(|n| n.completed > 0 || n.cache_hits + n.cache_misses > 0)
-            .map(|n| n.completed as f64)
+            .map(|n| cast::exact_f64(n.completed))
             .collect();
         if served.len() < 2 {
             return 0.0;
         }
-        let mean = served.iter().sum::<f64>() / served.len() as f64;
+        let mean = served.iter().sum::<f64>() / cast::len_f64(served.len());
         if mean == 0.0 {
             return 0.0;
         }
-        let var = served.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / served.len() as f64;
+        let var =
+            served.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / cast::len_f64(served.len());
         var.sqrt() / mean
     }
 }

@@ -7,6 +7,7 @@
 //! requests with a known, positive size are kept.
 
 use crate::{FileId, FileSet, Trace};
+use l2s_util::cast;
 use std::collections::BTreeMap;
 
 /// Interns URL paths as dense [`FileId`]s in first-seen order.
@@ -34,7 +35,7 @@ impl FileInterner {
         if let Some(&id) = self.ids.get(path) {
             return id;
         }
-        let id = FileId::from_raw(self.ids.len() as u32);
+        let id = FileId::from_raw(cast::index_u32(self.ids.len()));
         self.ids.insert(path.to_string(), id);
         id
     }
@@ -175,7 +176,7 @@ pub fn parse_log(name: &str, text: &str) -> Trace {
         if bytes == 0 {
             continue;
         }
-        let kb = bytes as f64 / 1024.0;
+        let kb = cast::exact_f64(bytes) / 1024.0;
         let id = interner.intern(&entry.path);
         if id.index() == sizes_kb.len() {
             sizes_kb.push(kb);

@@ -1,6 +1,7 @@
 //! Trace characterization — the quantities of the paper's Table 2.
 
 use crate::Trace;
+use l2s_util::cast;
 
 /// Summary statistics of a trace, matching the columns of Table 2 plus
 /// the working-set size discussed in Section 5.1.
@@ -69,14 +70,14 @@ pub fn estimate_alpha(trace: &Trace) -> f64 {
     let mut sxx = 0.0;
     let mut sxy = 0.0;
     for (i, &c) in points.iter().take(n).enumerate() {
-        let x = ((i + 1) as f64).ln();
-        let y = (c as f64).ln();
+        let x = cast::len_f64(i + 1).ln();
+        let y = cast::exact_f64(c).ln();
         sx += x;
         sy += y;
         sxx += x * x;
         sxy += x * y;
     }
-    let nf = n as f64;
+    let nf = cast::len_f64(n);
     let denom = nf * sxx - sx * sx;
     if denom.abs() < 1e-12 {
         return 0.0;

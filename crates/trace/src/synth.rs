@@ -1,7 +1,7 @@
 //! Synthetic trace generation calibrated to the paper's Table 2.
 
 use crate::{FileSet, Trace};
-use l2s_util::DetRng;
+use l2s_util::{cast, DetRng};
 use l2s_zipf::{ZipfLaw, ZipfSampler};
 
 /// A recipe for a synthetic WWW trace, pinned to the statistics the
@@ -148,15 +148,15 @@ impl TraceSpec {
         let mut sizes: Vec<f64> = (0..self.num_files)
             .map(|_| size_rng.lognormal(mu, sigma).clamp(0.1, 16_384.0))
             .collect();
-        let mean: f64 = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        let mean: f64 = sizes.iter().sum::<f64>() / cast::len_f64(sizes.len());
         let scale = self.avg_file_kb / mean;
         for s in &mut sizes {
             *s = (*s * scale).clamp(0.05, 32_768.0);
         }
 
         // 2. Rank -> size assignment via calibrated noisy sort.
-        let law = ZipfLaw::new(self.num_files as f64, self.alpha);
-        let probs: Vec<f64> = (1..=self.num_files as u64)
+        let law = ZipfLaw::new(cast::len_f64(self.num_files), self.alpha);
+        let probs: Vec<f64> = (1..=cast::len_u64(self.num_files))
             .map(|r| law.rank_probability(r))
             .collect();
         let rank_sizes = assign_sizes(&mut assign_rng, &sizes, &probs, self.avg_request_kb);
@@ -166,11 +166,11 @@ impl TraceSpec {
         // the recent-request window (uniformly), modeling the recency
         // bursts of real access logs on top of the stationary Zipf law.
         let sampler = ZipfSampler::new(self.num_files, self.alpha);
-        let mut rank_to_id: Vec<u32> = (0..self.num_files as u32).collect();
+        let mut rank_to_id: Vec<u32> = (0..cast::index_u32(self.num_files)).collect();
         perm_rng.shuffle(&mut rank_to_id);
         let mut sizes_by_id = vec![0.0; self.num_files];
         for (rank, &id) in rank_to_id.iter().enumerate() {
-            sizes_by_id[id as usize] = rank_sizes[rank];
+            sizes_by_id[cast::wide_usize(id)] = rank_sizes[rank];
         }
         let window = self.temporal_window.max(1);
         let mut recent: Vec<u32> = Vec::with_capacity(window);
@@ -181,7 +181,7 @@ impl TraceSpec {
             {
                 recent[req_rng.index(recent.len())]
             } else {
-                rank_to_id[(sampler.sample(&mut req_rng) - 1) as usize]
+                rank_to_id[cast::index_usize(sampler.sample(&mut req_rng) - 1)]
             };
             if recent.len() < window {
                 recent.push(file);
@@ -209,7 +209,7 @@ fn assign_sizes(rng: &mut DetRng, sizes: &[f64], probs: &[f64], target_kb: f64) 
     let n = sizes.len();
     let mut sorted = sizes.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
-    let population_mean: f64 = sizes.iter().sum::<f64>() / n as f64;
+    let population_mean: f64 = sizes.iter().sum::<f64>() / cast::len_f64(n);
     let ascending = target_kb <= population_mean;
     if !ascending {
         sorted.reverse();
@@ -228,8 +228,8 @@ fn assign_sizes(rng: &mut DetRng, sizes: &[f64], probs: &[f64], target_kb: f64) 
     let build = |eta: f64| -> Vec<f64> {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_unstable_by(|&a, &b| {
-            let ka = a as f64 + eta * n as f64 * noise[a];
-            let kb = b as f64 + eta * n as f64 * noise[b];
+            let ka = cast::len_f64(a) + eta * cast::len_f64(n) * noise[a];
+            let kb = cast::len_f64(b) + eta * cast::len_f64(n) * noise[b];
             ka.total_cmp(&kb)
         });
         // order[rank] = which sorted-size slot rank gets.

@@ -1,5 +1,6 @@
 //! Core trace types.
 
+use l2s_util::cast;
 use std::fmt;
 
 /// Identifies one file served by the cluster — a dense index into a
@@ -107,7 +108,7 @@ impl FileSet {
         if self.sizes_kb.is_empty() {
             0.0
         } else {
-            self.total_kb() / self.sizes_kb.len() as f64
+            self.total_kb() / cast::len_f64(self.sizes_kb.len())
         }
     }
 
@@ -116,7 +117,7 @@ impl FileSet {
         self.sizes_kb
             .iter()
             .enumerate()
-            .map(|(i, &s)| (FileId::from_raw(i as u32), s))
+            .map(|(i, &s)| (FileId::from_raw(cast::index_u32(i)), s))
     }
 }
 
@@ -187,7 +188,7 @@ impl Trace {
             return 0.0;
         }
         let total: f64 = self.requests.iter().map(|&f| self.files.size_kb(f)).sum();
-        total / self.requests.len() as f64
+        total / cast::len_f64(self.requests.len())
     }
 
     /// Total distinct bytes requested (the trace's working set), in KB.

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ascii;
+pub mod cast;
 pub mod csv;
 pub mod invariant;
 pub mod pool;

@@ -1,5 +1,6 @@
 //! Summary statistics for simulation measurements.
 
+use crate::cast;
 use std::fmt;
 
 /// Numerically stable online mean/variance accumulator (Welford's method),
@@ -29,7 +30,7 @@ impl OnlineStats {
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
+        self.mean += delta / cast::exact_f64(self.count);
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
@@ -44,8 +45,8 @@ impl OnlineStats {
             *self = other.clone();
             return;
         }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
+        let n1 = cast::exact_f64(self.count);
+        let n2 = cast::exact_f64(other.count);
         let delta = other.mean - self.mean;
         let total = n1 + n2;
         self.mean += delta * n2 / total;
@@ -74,7 +75,7 @@ impl OnlineStats {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            self.m2 / cast::exact_f64(self.count)
         }
     }
 
@@ -95,7 +96,7 @@ impl OnlineStats {
 
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
-        self.mean() * self.count as f64
+        self.mean() * cast::exact_f64(self.count)
     }
 
     /// Freezes into an immutable [`Summary`].
@@ -142,10 +143,10 @@ pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let q = q.clamp(0.0, 1.0);
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
+    let pos = q * cast::len_f64(sorted.len() - 1);
+    let lo = cast::floor_index(pos.floor());
+    let hi = cast::floor_index(pos.ceil());
+    let frac = pos - cast::len_f64(lo);
     Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
@@ -200,8 +201,8 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let width = (self.hi - self.lo) / self.buckets.len() as f64;
-            let idx = ((x - self.lo) / width) as usize;
+            let width = (self.hi - self.lo) / cast::len_f64(self.buckets.len());
+            let idx = cast::floor_index((x - self.lo) / width);
             // Guard against floating point landing exactly on `hi`.
             let idx = idx.min(self.buckets.len() - 1);
             self.buckets[idx] += 1;
@@ -250,8 +251,11 @@ impl Histogram {
 
     /// Inclusive-exclusive bounds of bucket `i`.
     pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
-        let width = (self.hi - self.lo) / self.buckets.len() as f64;
-        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+        let width = (self.hi - self.lo) / cast::len_f64(self.buckets.len());
+        (
+            self.lo + cast::len_f64(i) * width,
+            self.lo + cast::len_f64(i + 1) * width,
+        )
     }
 }
 

@@ -23,7 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use l2s_util::DetRng;
+use l2s_util::{cast, DetRng};
 
 /// Euler–Mascheroni constant, used by tests and the `α = 1` fast path.
 pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
@@ -42,24 +42,24 @@ pub fn harmonic(n: f64, alpha: f64) -> f64 {
     if n <= 0.0 {
         return 0.0;
     }
-    if n <= EXACT_TERMS as f64 {
+    if n <= cast::len_f64(EXACT_TERMS) {
         // Exact sum of the integer part plus a linear fraction of the next
         // term keeps the function continuous and monotone for small n.
-        let whole = n.floor() as usize;
+        let whole = cast::floor_index(n.floor());
         let mut sum = 0.0;
         for i in 1..=whole {
-            sum += (i as f64).powf(-alpha);
+            sum += cast::len_f64(i).powf(-alpha);
         }
-        let frac = n - whole as f64;
+        let frac = n - cast::len_f64(whole);
         if frac > 0.0 {
-            sum += frac * ((whole + 1) as f64).powf(-alpha);
+            sum += frac * cast::len_f64(whole + 1).powf(-alpha);
         }
         return sum;
     }
-    let m = EXACT_TERMS as f64;
+    let m = cast::len_f64(EXACT_TERMS);
     let mut head = 0.0;
     for i in 1..=EXACT_TERMS {
-        head += (i as f64).powf(-alpha);
+        head += cast::len_f64(i).powf(-alpha);
     }
     // Euler–Maclaurin: Σ_{m+1..n} f(i) ≈ ∫_m^n f + (f(n) - f(m))/2
     //                  + (f'(n) - f'(m))/12, with f(x) = x^{-α}.
@@ -112,10 +112,10 @@ impl ZipfLaw {
     /// Probability of a request hitting exactly rank `i` (1-based).
     pub fn rank_probability(&self, rank: u64) -> f64 {
         l2s_util::invariant!(rank >= 1, "ranks are 1-based");
-        if rank as f64 > self.files {
+        if cast::exact_f64(rank) > self.files {
             return 0.0;
         }
-        (rank as f64).powf(-self.alpha) / self.total
+        cast::exact_f64(rank).powf(-self.alpha) / self.total
     }
 
     /// The paper's `z(n, F)`: accumulated probability of a request for
@@ -206,7 +206,7 @@ impl ZipfSampler {
         let mut cdf = Vec::with_capacity(files);
         let mut acc = 0.0;
         for i in 1..=files {
-            acc += (i as f64).powf(-alpha);
+            acc += cast::len_f64(i).powf(-alpha);
             cdf.push(acc);
         }
         let total = acc;
@@ -230,12 +230,12 @@ impl ZipfSampler {
     #[inline]
     pub fn sample(&self, rng: &mut DetRng) -> u64 {
         let u = rng.f64();
-        (self.cdf.partition_point(|&c| c < u) + 1).min(self.cdf.len()) as u64
+        cast::len_u64((self.cdf.partition_point(|&c| c < u) + 1).min(self.cdf.len()))
     }
 
     /// Probability of rank `i` (1-based), for tests and analysis.
     pub fn probability(&self, rank: u64) -> f64 {
-        let i = rank as usize;
+        let i = cast::index_usize(rank);
         l2s_util::invariant!(i >= 1 && i <= self.cdf.len(), "rank {rank} out of range");
         if i == 1 {
             self.cdf[0]
