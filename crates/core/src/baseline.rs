@@ -1,6 +1,6 @@
 //! The traditional server and the two single-minded baselines.
 
-use crate::{argmin, Assignment, Distributor, NodeId, PolicyKind};
+use crate::{Assignment, Distributor, LoadIndex, NodeId, PolicyKind};
 use l2s_cluster::FileId;
 use l2s_util::{cast, invariant, SimTime};
 
@@ -18,15 +18,24 @@ use l2s_util::{cast, invariant, SimTime};
 pub struct Traditional {
     loads: Vec<u32>,
     alive: Vec<bool>,
+    /// Least-loaded index over the live nodes, mirroring `loads` — keeps
+    /// the per-arrival fewest-connections pick O(log n) instead of a
+    /// full scan.
+    index: LoadIndex,
 }
 
 impl Traditional {
     /// A traditional server over `n` nodes.
     pub fn new(n: usize) -> Self {
         l2s_util::invariant!(n >= 1, "need at least one node");
+        let mut index = LoadIndex::new(n);
+        for node in 0..n {
+            index.insert(node, 0);
+        }
         Traditional {
             loads: vec![0; n],
             alive: vec![true; n],
+            index,
         }
     }
 }
@@ -40,17 +49,12 @@ impl Distributor for Traditional {
         // The switch delivers the connection straight to the node that
         // will serve it, and tracks the connection from acceptance time
         // (otherwise a burst of simultaneous arrivals would all pile
-        // onto the momentarily-least-loaded node). Dead nodes are out of
-        // rotation; filtering preserves index order, so healthy-cluster
-        // behavior (lowest-index tie-break) is unchanged.
-        let node = argmin(
-            self.loads
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|&(i, _)| self.alive[i]),
-        );
+        // onto the momentarily-least-loaded node). Dead nodes are absent
+        // from the index, and the index breaks load ties toward the
+        // lowest id, so the pick is identical to the old filtered scan.
+        let node = self.index.argmin().unwrap_or(0);
         self.loads[node] += 1;
+        self.index.set_if_present(node, self.loads[node]);
         node
     }
 
@@ -58,6 +62,7 @@ impl Distributor for Traditional {
         // The connection stays where it is; the switch sees one more
         // request on it.
         self.loads[holder] += 1;
+        self.index.set_if_present(holder, self.loads[holder]);
     }
 
     fn assign(&mut self, _now: SimTime, initial: NodeId, _file: FileId) -> Assignment {
@@ -75,6 +80,7 @@ impl Distributor for Traditional {
             "load conservation violated: completion on node {node} without an open connection"
         );
         self.loads[node] -= 1;
+        self.index.set_if_present(node, self.loads[node]);
         0
     }
 
@@ -88,10 +94,14 @@ impl Distributor for Traditional {
 
     fn node_down(&mut self, _now: SimTime, node: NodeId) {
         self.alive[node] = false;
+        self.index.remove(node);
     }
 
     fn node_up(&mut self, _now: SimTime, node: NodeId) {
         self.alive[node] = true;
+        // Strays from before the crash are still settling, so the node
+        // rejoins at its live connection count, not at zero.
+        self.index.insert(node, self.loads[node]);
     }
 
     fn abort_undecided(&mut self, _now: SimTime, initial: NodeId) {
@@ -100,6 +110,7 @@ impl Distributor for Traditional {
             "load conservation violated: abort on node {initial} without an open connection"
         );
         self.loads[initial] -= 1;
+        self.index.set_if_present(initial, self.loads[initial]);
     }
 }
 

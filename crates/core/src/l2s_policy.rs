@@ -257,6 +257,14 @@ impl Distributor for L2s {
             }
         };
 
+        // L2S deliberately keeps the naive scans where LARD and the
+        // traditional switch now use `LoadIndex`: every decision here
+        // reads the *initial node's own stale view*, and maintaining one
+        // index per observer would cost O(n) index updates per broadcast
+        // — strictly worse than the rare whole-cluster scans below,
+        // which only run on a file's first overloaded request or under
+        // dual overload. Member-set scans are bounded by the replication
+        // degree. See DESIGN.md "Scaling architecture".
         let service = if !sets[file.index()].members.is_empty() {
             let members = &sets[file.index()].members;
             if members.contains(&initial) && own_load <= cfg.t_high {

@@ -24,7 +24,7 @@
 //! only updates its load information at the front-end when 4 local
 //! connections have terminated since the last update").
 
-use crate::{argmin_rotating, Assignment, Distributor, NodeId, PolicyKind};
+use crate::{argmin_rotating, Assignment, Distributor, LoadIndex, NodeId, PolicyKind};
 use l2s_cluster::FileId;
 use l2s_util::{invariant, SimDuration, SimTime};
 
@@ -125,6 +125,11 @@ pub struct Lard {
     /// The *live* back-end node ids, precomputed so least-loaded scans
     /// borrow instead of collecting.
     back_ends: Vec<NodeId>,
+    /// Least-loaded index mirroring `viewed_loads` over exactly the
+    /// `back_ends` membership, so the whole-cluster scans in `assign`
+    /// cost O(log n) per request instead of O(n). Member-set scans stay
+    /// naive — sets are bounded by the replication degree.
+    view_index: LoadIndex,
     /// Per-node liveness; crashed back-ends leave every server set, and
     /// a crashed front-end loses its distribution state.
     alive: Vec<bool>,
@@ -158,6 +163,10 @@ impl Lard {
         l2s_util::invariant!(n >= 1, "need at least one node");
         l2s_util::invariant!(config.t_low < config.t_high, "T_low must be below T_high");
         l2s_util::invariant!(config.report_batch >= 1, "report batch must be at least 1");
+        let mut view_index = LoadIndex::new(n);
+        for node in back_end_range(n) {
+            view_index.insert(node, 0);
+        }
         Lard {
             config,
             nodes: n,
@@ -169,6 +178,7 @@ impl Lard {
             unreported: vec![0; n],
             sets: Vec::new(),
             back_ends: back_end_range(n).collect(),
+            view_index,
             alive: vec![true; n],
             tie_cursor: 0,
             outbox: Vec::new(),
@@ -268,20 +278,23 @@ impl Distributor for Lard {
         let Lard {
             viewed_loads,
             sets,
-            back_ends,
+            view_index,
             tie_cursor,
             ..
         } = self;
         let loads = &*viewed_loads;
         let set = &mut sets[file.index()];
         let target = if set.members.is_empty() {
-            let n = argmin_rotating(back_ends, |i| loads[i], tie_cursor);
+            // Whole-cluster least-loaded pick via the index
+            // (selection-identical to the old scan over `back_ends`,
+            // which is non-empty here).
+            let n = view_index.argmin_rotating(tie_cursor).unwrap_or(0);
             set.members.push(n);
             set.last_modified = now;
             n
         } else {
             let n = argmin_rotating(&set.members, |m| loads[m], tie_cursor);
-            let m = argmin_rotating(back_ends, |i| loads[i], tie_cursor);
+            let m = view_index.argmin_rotating(tie_cursor).unwrap_or(n);
             let mut chosen = n;
             let overloaded =
                 loads[n] > cfg.t_high && loads[m] < cfg.t_low || loads[n] >= 2 * cfg.t_high;
@@ -323,6 +336,8 @@ impl Distributor for Lard {
         // The front-end/dispatcher made the assignment, so its view
         // updates immediately.
         self.viewed_loads[target] += 1;
+        self.view_index
+            .set_if_present(target, self.viewed_loads[target]);
         let control_msgs = if self.dispatched && self.nodes > 1 {
             // Query + reply between the accepting node and the
             // dispatcher.
@@ -352,6 +367,8 @@ impl Distributor for Lard {
         if in_set {
             self.true_loads[holder] += 1;
             self.viewed_loads[holder] += 1;
+            self.view_index
+                .set_if_present(holder, self.viewed_loads[holder]);
             Assignment {
                 service: holder,
                 forwarded: false,
@@ -371,7 +388,8 @@ impl Distributor for Lard {
         if !self.alive[node] {
             // An engine-settled connection on a crashed node: the
             // front-end observes the connection reset directly, so the
-            // view updates without a report message.
+            // view updates without a report message. (A dead node is
+            // absent from the index, so there is nothing to mirror.)
             self.viewed_loads[node] = self.viewed_loads[node].saturating_sub(1);
             return 0;
         }
@@ -380,6 +398,8 @@ impl Distributor for Lard {
             let batch = self.unreported[node];
             self.unreported[node] = 0;
             self.viewed_loads[node] = self.viewed_loads[node].saturating_sub(batch);
+            self.view_index
+                .set_if_present(node, self.viewed_loads[node]);
             if node == self.front_end() || !self.alive[self.front_end()] {
                 // Degenerate single-node server (the "report" is local),
                 // or no front-end to report to.
@@ -423,6 +443,7 @@ impl Distributor for Lard {
             // set; files it owned alone are reassigned by their next
             // request (set pruned empty = never requested).
             self.back_ends.retain(|&b| b != node);
+            self.view_index.remove(node);
             for set in &mut self.sets {
                 let before = set.members.len();
                 set.members.retain(|&m| m != node);
@@ -445,11 +466,15 @@ impl Distributor for Lard {
             // This rare out-of-band exchange is not charged as messages.
             self.viewed_loads.copy_from_slice(&self.true_loads);
             self.unreported.fill(0);
+            for &b in &self.back_ends {
+                self.view_index.update(b, self.viewed_loads[b]);
+            }
         } else {
             self.back_ends.push(node);
             self.back_ends.sort_unstable();
             self.viewed_loads[node] = self.true_loads[node];
             self.unreported[node] = 0;
+            self.view_index.insert(node, self.viewed_loads[node]);
         }
     }
 }

@@ -32,6 +32,9 @@
 mod baseline;
 mod l2s_policy;
 mod lard;
+mod load_index;
+
+pub use load_index::LoadIndex;
 
 pub use baseline::{PureLocality, RoundRobin, Traditional};
 pub use l2s_policy::{L2s, L2sConfig};
@@ -231,6 +234,10 @@ pub trait Distributor {
 /// Shared helper: index of the minimum value, lowest index winning ties.
 /// Returns 0 for an empty iterator (policies always have at least one
 /// node, enforced by their constructors).
+///
+/// Production call sites moved to [`LoadIndex`]; this stays as the
+/// reference model the index's equivalence tests compare against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn argmin<T: PartialOrd + Copy>(values: impl Iterator<Item = (usize, T)>) -> usize {
     let mut best: Option<(usize, T)> = None;
     for (i, v) in values {

@@ -1,9 +1,73 @@
 //! Property-based tests of the distribution policies' protocol
 //! invariants under arbitrary workloads.
 
-use l2s::{Distributor, L2s, L2sConfig, PolicyKind};
+use l2s::{Distributor, L2s, L2sConfig, LoadIndex, PolicyKind};
 use l2s_util::{DetRng, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// Reference model for [`LoadIndex`]: the naive scans the policies used
+/// before indexed dispatch, over an explicit `(node, load)` map.
+struct NaiveLoads {
+    load: Vec<Option<u32>>,
+}
+
+impl NaiveLoads {
+    fn new(capacity: usize) -> Self {
+        NaiveLoads {
+            load: vec![None; capacity],
+        }
+    }
+
+    /// Present node ids in ascending order — the "sorted live list"
+    /// every policy maintains for its candidate slice.
+    fn members(&self) -> Vec<usize> {
+        (0..self.load.len())
+            .filter(|&i| self.load[i].is_some())
+            .collect()
+    }
+
+    /// Least load, lowest node id on ties: the old filtered scan in
+    /// `Traditional::arrival_node`.
+    fn argmin(&self) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for (i, l) in self.load.iter().enumerate() {
+            if let Some(l) = *l {
+                if best.map(|(bl, _)| l < bl).unwrap_or(true) {
+                    best = Some((l, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// First strict minimum in cyclic order from the cursor: the old
+    /// `argmin_rotating` over the live list, verbatim.
+    fn argmin_rotating(&self, cursor: &mut usize) -> Option<usize> {
+        let members = self.members();
+        if members.is_empty() {
+            return None;
+        }
+        let n = members.len();
+        let start = *cursor % n;
+        *cursor = cursor.wrapping_add(1);
+        let mut best = members[start];
+        let mut best_load = self.load[best].unwrap();
+        let mut idx = start;
+        for _ in 1..n {
+            idx += 1;
+            if idx == n {
+                idx = 0;
+            }
+            let c = members[idx];
+            let l = self.load[c].unwrap();
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        Some(best)
+    }
+}
 
 /// Drives a policy through a random arrival/completion schedule and
 /// checks the protocol invariants at every step.
@@ -119,6 +183,50 @@ proptest! {
             }
             for k in 0..nodes {
                 prop_assert_eq!(policy.viewed_load(k, k), policy.open_connections(k));
+            }
+        }
+    }
+
+    /// The indexed load structure is selection-identical to the naive
+    /// scans under arbitrary insert/update/remove interleavings —
+    /// including tie-breaking on node id — for both the lowest-id
+    /// argmin and the rotating-cursor variant. This is the contract
+    /// that keeps every golden CSV byte-identical under indexed
+    /// dispatch.
+    #[test]
+    fn load_index_matches_naive_scans(
+        capacity in 1usize..40,
+        ops in prop::collection::vec((any::<u16>(), 0u32..5, any::<bool>()), 1..300),
+        start_cursor in any::<usize>(),
+    ) {
+        let mut ix = LoadIndex::new(capacity);
+        let mut model = NaiveLoads::new(capacity);
+        let mut ix_cursor = start_cursor;
+        let mut model_cursor = start_cursor;
+        for (pick, load, use_rotating) in ops {
+            let node = pick as usize % capacity;
+            // Toggle membership on a fresh load value, or update in
+            // place: every op ends with both structures agreeing on
+            // membership, so all three mutators get exercised.
+            if model.load[node].is_some() {
+                if load == 0 {
+                    ix.remove(node);
+                    model.load[node] = None;
+                } else {
+                    ix.update(node, load);
+                    model.load[node] = Some(load);
+                }
+            } else {
+                ix.insert(node, load);
+                model.load[node] = Some(load);
+            }
+            prop_assert_eq!(ix.len(), model.members().len());
+            prop_assert_eq!(ix.argmin(), model.argmin());
+            if use_rotating {
+                let fast = ix.argmin_rotating(&mut ix_cursor);
+                let naive = model.argmin_rotating(&mut model_cursor);
+                prop_assert_eq!(fast, naive);
+                prop_assert_eq!(ix_cursor, model_cursor, "cursor advancement diverged");
             }
         }
     }

@@ -24,5 +24,5 @@
 mod queue;
 mod resource;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use resource::{DelayStation, FifoResource};

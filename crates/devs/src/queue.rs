@@ -4,42 +4,51 @@ use l2s_util::{cast, invariant, SimDuration, SimTime};
 
 /// One scheduled entry; ordered by `(time, seq)` so that events scheduled
 /// for the same instant pop in scheduling order (deterministic FIFO
-/// tie-breaking).
+/// tie-breaking). Keys are unique (`seq` never repeats), so the pop
+/// sequence is the fully sorted order regardless of which lane an entry
+/// traversed — the simulator's determinism does not depend on queue
+/// internals.
 struct Entry<E> {
     time: SimTime,
     seq: u64,
     event: E,
 }
 
-impl<E> Entry<E> {
-    /// The total order popped: earliest time first, scheduling order
-    /// within a timestamp. Keys are unique (`seq` never repeats), so the
-    /// pop sequence is the fully sorted order regardless of which lane an
-    /// entry traversed — the simulator's determinism does not depend on
-    /// queue internals.
-    #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
-    }
-}
-
 /// log2 of the calendar bucket width in nanoseconds: 2^18 ns = 262 µs.
 /// A power of two turns time-to-bucket mapping into a shift. The width
-/// sits between the switch/NI hop delays (1-7 µs) that dominate
-/// scheduling traffic and the CPU-quantum/disk delays (1-28 ms) that
-/// define the far horizon, so near-lane inserts search a short window
-/// while far events spread over a hundred-odd buckets. Chosen
-/// empirically: 2^16-2^18 measure within noise of each other on the
-/// perf-baseline sweep; 2^15 and 2^20 are measurably slower.
+/// sets the near/far split — events within the current epoch go to the
+/// sorted near ring (sequential memmove insert), later ones to a random
+/// calendar bucket (a dependent pointer chase at insert and again at
+/// sweep) — so wider buckets trade random-access far traffic for
+/// sequential ring shifting. Measured across widths at 16 and 256
+/// nodes: 33 µs (right when the near lane was a binary heap, whose
+/// sift depth the width must bound) loses 20-30 % under the ring, and
+/// 1 ms overshoots — per-epoch event cardinality grows linearly with
+/// cluster size, and at 256 nodes millisecond epochs mean ~40
+/// shifted entries (≈1 KB memmove) per event. 262 µs keeps the
+/// CPU-scale delays (hops, NI, parse) in the ring, leaves the
+/// quantum- and disk-scale ones in the calendar, and shifts ~9
+/// entries per event at 256 nodes.
 const BUCKET_SHIFT: u32 = 18;
 
-/// Number of calendar buckets (power of two). The calendar spans
-/// `BUCKET_COUNT << BUCKET_SHIFT` ns = 134 ms, beyond the longest delay
-/// the cluster model schedules (a ~28 ms disk read), so in steady state
-/// an insert never wraps onto a bucket still holding older epochs — and
-/// if one does (e.g. open-loop arrivals at very low rates), the
-/// per-entry epoch check keeps the pop order exact anyway.
-const BUCKET_COUNT: usize = 512;
+/// Number of calendar buckets (power of two, a multiple of 4096 so both
+/// bitmap levels stay full words). The calendar spans
+/// `BUCKET_COUNT << BUCKET_SHIFT` ns ≈ 1.07 s — two orders past the
+/// longest single delay (a ~28 ms disk read), so only deep per-node
+/// disk backlogs under large admission windows ever wrap. Wrapped
+/// entries land on buckets still holding earlier laps and take the
+/// sweep's entry-by-entry epoch-filter path. Raising the bucket count
+/// instead of the width was measured and *lost* — 8x the count means
+/// 768 KB of bucket headers (vs 96 KB, L2-resident), and the extra
+/// misses on the headers cost more than the wrap filtering saved at
+/// every cluster size.
+const BUCKET_COUNT: usize = 4096;
+
+/// Words in the occupancy bitmap: one bit per bucket.
+const OCC_WORDS: usize = BUCKET_COUNT / 64;
+
+/// Words in the bitmap's summary level: one bit per occupancy word.
+const SUM_WORDS: usize = OCC_WORDS / 64;
 
 /// Epoch of a timestamp: its global bucket number (not wrapped).
 #[inline]
@@ -57,34 +66,89 @@ fn epoch(t: SimTime) -> u64 {
 ///
 /// A two-stage calendar queue split by a moving time `horizon`:
 ///
-/// * `near` — events inside the bucket epoch currently being serviced
-///   (`time < horizon`), kept fully sorted in *descending* `(time, seq)`
-///   order so the earliest event pops from the vector's end in O(1).
-///   Inserts binary-search their slot; the window is one bucket wide
-///   (262 µs), so the lane stays short and inserts move little memory.
+/// * the *near lane* — events inside the bucket epoch currently being
+///   serviced (`time < horizon`), kept sorted *descending* on
+///   `(time, seq)` so the minimum is at the tail: pop is O(1). The lane
+///   is struct-of-arrays: `near_key` holds the 16-byte keys and
+///   `near_ev` the payloads, index-matched. Inserts binary-search the
+///   dense key lane and memmove both lanes. This replaced a binary
+///   min-heap after operation counters showed the heap's sift work is
+///   the queue's dominant scale-variant cost: sifts grow with per-epoch
+///   event cardinality k (event density rises linearly with cluster
+///   size — ~2.3 dependent-compare swaps per event at 256 nodes versus
+///   0.15 at 16), while the ring's memmoves are sequential and k is
+///   bounded by one epoch's worth of events (tens, not the admission
+///   window), so an insert shifts a couple hundred bytes. Cheap deep
+///   lanes also let the buckets be wide ([`BUCKET_SHIFT`]), halving
+///   the random calendar traffic the heap's depth bound forced.
 /// * `buckets` — a calendar of [`BUCKET_COUNT`] unsorted vectors for
 ///   events at or beyond the horizon. Insertion is O(1): push onto
 ///   bucket `epoch(time) % BUCKET_COUNT`. When the near lane drains, the
 ///   sweep advances to the next epoch holding events, extracts exactly
-///   that epoch's entries (wrapped future-epoch entries stay put), sorts
-///   them, and installs them as the new near lane.
+///   that epoch's entries (wrapped future-epoch entries stay put) into a
+///   reusable scratch buffer and sorts them into the near lanes. A
+///   two-level occupancy bitmap (one bit per bucket plus a summary word
+///   per 64 buckets) lets the sweep jump straight to the next non-empty
+///   bucket, so runs whose inter-event gaps span many bucket widths
+///   (disk-bound, small clusters) never walk empty epochs one by one.
 ///
 /// Both stages order by the same total key `(time, seq)`, and `seq`
-/// never repeats, so the pop sequence is the fully sorted event order.
+/// never repeats, so the pop sequence is the fully sorted event order —
+/// lane internals cannot reorder equal keys because keys are unique.
 pub struct EventQueue<E> {
-    /// Sorted descending by `(time, seq)`; global minimum at the end.
-    near: Vec<Entry<E>>,
+    /// Near-lane keys `(time, seq)`, sorted descending; the minimum —
+    /// the next pop — is at the tail.
+    near_key: Vec<(SimTime, u64)>,
+    /// Payload lane, index-matched to `near_key`.
+    near_ev: Vec<E>,
     /// Calendar buckets, unsorted; entry `e` lives at
     /// `epoch(e.time) & (BUCKET_COUNT - 1)`.
     buckets: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap: bit `b` of word `b / 64` is set iff
+    /// `buckets[b]` is non-empty.
+    occupied: Box<[u64; OCC_WORDS]>,
+    /// Summary level: bit `w` of word `w / 64` is set iff
+    /// `occupied[w] != 0`.
+    summary: [u64; SUM_WORDS],
+    /// Reusable sweep staging buffer (capacity stays warm across sweeps).
+    scratch: Vec<Entry<E>>,
     /// Total entries across all buckets.
     bucketed: usize,
     /// Epoch the near lane is serving; `horizon` is its exclusive end.
     cur_epoch: u64,
-    /// Lane split: `near` holds times strictly below this.
+    /// Lane split: the near lane holds times strictly below this.
     horizon: SimTime,
     seq: u64,
     now: SimTime,
+    stats: QueueStats,
+}
+
+/// Operation counters, maintained unconditionally (each costs one
+/// add to state the operation already touches). They answer *where the
+/// queue's work goes* independently of wall-clock noise: `ins_shifted`
+/// totals the ring entries memmoved by near-lane inserts (the effective
+/// insert depth), `sweep_sorted` the entries sweeps sorted, `deferred`
+/// the wrapped entries re-filtered by sweeps, `scanned` the buckets
+/// visited (including bitmap-skipped ones).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled into the near-lane ring.
+    pub near_pushes: u64,
+    /// Events scheduled into calendar buckets.
+    pub far_pushes: u64,
+    /// Ring entries shifted (memmoved) by near-lane inserts.
+    pub ins_shifted: u64,
+    /// Entries sorted into the near lane by sweeps.
+    pub sweep_sorted: u64,
+    /// Sweeps that refilled the near lane.
+    pub sweeps: u64,
+    /// Buckets advanced over by sweeps (occupied or bitmap-skipped).
+    pub scanned: u64,
+    /// Entries inspected by sweeps but left for a later lap (wrapped
+    /// beyond the calendar span).
+    pub deferred: u64,
+    /// Full-lap fallbacks (every pending entry wrapped at least once).
+    pub full_laps: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -103,8 +167,13 @@ impl<E> EventQueue<E> {
     /// steady-state scheduling never reallocates the hot lane.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            near: Vec::with_capacity(capacity),
+            near_key: Vec::with_capacity(capacity),
+            near_ev: Vec::with_capacity(capacity),
             buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            occupied: Box::new([0; OCC_WORDS]),
+            summary: [0; SUM_WORDS],
+            scratch: Vec::new(),
+            stats: QueueStats::default(),
             bucketed: 0,
             cur_epoch: 0,
             horizon: SimTime::from_nanos(1 << BUCKET_SHIFT),
@@ -132,19 +201,78 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        let entry = Entry {
-            time: at,
-            seq,
-            event,
-        };
         if at < self.horizon {
-            let key = entry.key();
-            let pos = self.near.partition_point(|e| e.key() > key);
-            self.near.insert(pos, entry);
+            self.stats.near_pushes += 1;
+            let key = (at, seq);
+            // Descending lane: first index whose key is not greater than
+            // ours. Keys are unique, so no tie handling is needed.
+            let pos = self.near_key.partition_point(|&k| k > key);
+            self.stats.ins_shifted += cast::len_u64(self.near_key.len() - pos);
+            self.near_key.insert(pos, key);
+            self.near_ev.insert(pos, event);
         } else {
+            self.stats.far_pushes += 1;
             let b = cast::index_usize(epoch(at) & (cast::len_u64(BUCKET_COUNT) - 1));
-            self.buckets[b].push(entry);
+            self.buckets[b].push(Entry {
+                time: at,
+                seq,
+                event,
+            });
+            self.occupied[b >> 6] |= 1 << (b & 63);
+            self.summary[b >> 12] |= 1 << ((b >> 6) & 63);
             self.bucketed += 1;
+        }
+    }
+
+    /// Clears bucket `b`'s occupancy bit (call when the bucket empties).
+    #[inline]
+    fn mark_empty(&mut self, b: usize) {
+        let w = b >> 6;
+        self.occupied[w] &= !(1 << (b & 63));
+        if self.occupied[w] == 0 {
+            self.summary[w >> 6] &= !(1 << (w & 63));
+        }
+    }
+
+    /// First non-empty occupancy word at or after word `from`, in
+    /// circular order, via the summary level; `None` when the whole
+    /// bitmap is clear.
+    #[inline]
+    fn next_word(&self, from: usize) -> Option<usize> {
+        let s0 = from >> 6;
+        let masked = self.summary[s0] & (!0u64 << (from & 63));
+        if masked != 0 {
+            return Some((s0 << 6) | cast::index_usize(u64::from(masked.trailing_zeros())));
+        }
+        // At most SUM_WORDS further words to inspect; the final step
+        // re-reads `s0` unmasked, which is the circular wrap.
+        for step in 1..=SUM_WORDS {
+            let s = (s0 + step) & (SUM_WORDS - 1);
+            if self.summary[s] != 0 {
+                let w = cast::index_usize(u64::from(self.summary[s].trailing_zeros()));
+                return Some((s << 6) | w);
+            }
+        }
+        None
+    }
+
+    /// First occupied bucket index at or after `start` in circular
+    /// order. Caller guarantees at least one bucket is occupied
+    /// (`bucketed > 0`).
+    #[inline]
+    fn next_occupied(&self, start: usize) -> usize {
+        let w0 = start >> 6;
+        let in_word = self.occupied[w0] & (!0u64 << (start & 63));
+        if in_word != 0 {
+            return (w0 << 6) | cast::index_usize(u64::from(in_word.trailing_zeros()));
+        }
+        // Later words via the summary level, wrapping past the end.
+        let from = (w0 + 1) & (OCC_WORDS - 1);
+        match self.next_word(from) {
+            Some(w) => (w << 6) | cast::index_usize(u64::from(self.occupied[w].trailing_zeros())),
+            None => invariant::invariant_failed(format_args!(
+                "occupancy bitmap empty with bucketed entries pending"
+            )),
         }
     }
 
@@ -158,45 +286,60 @@ impl<E> EventQueue<E> {
     /// lane. Caller guarantees the near lane is empty and at least one
     /// bucketed entry exists.
     fn sweep(&mut self) {
-        debug_assert!(self.near.is_empty() && self.bucketed > 0);
-        let mask = cast::len_u64(BUCKET_COUNT) - 1;
+        debug_assert!(self.near_key.is_empty() && self.bucketed > 0);
+        let mask = BUCKET_COUNT - 1;
         let mut scanned = 0usize;
         loop {
-            self.cur_epoch += 1;
-            let b = cast::index_usize(self.cur_epoch & mask);
+            // Jump to the next occupied bucket instead of probing empty
+            // epochs one by one — sparse runs (inter-event gaps of many
+            // bucket widths) advance in O(1) word scans per sweep.
+            let from = cast::index_usize((self.cur_epoch + 1) & cast::len_u64(mask));
+            let b = self.next_occupied(from);
+            let skipped = (b.wrapping_sub(from)) & mask;
+            self.cur_epoch += 1 + cast::len_u64(skipped);
+            scanned += 1 + skipped;
+            self.stats.scanned += cast::len_u64(1 + skipped);
             let bucket = &mut self.buckets[b];
-            if !bucket.is_empty() {
-                // Extract current-epoch entries; wrapped future-epoch
-                // entries stay for a later lap. The common case — every
-                // entry current — moves the whole vector, keeping its
-                // capacity warm in `near` and handing the (empty) old
-                // near buffer to the bucket.
-                if bucket.iter().all(|e| epoch(e.time) == self.cur_epoch) {
-                    self.near = std::mem::replace(bucket, std::mem::take(&mut self.near));
-                } else {
-                    let mut i = 0;
-                    while i < bucket.len() {
-                        if epoch(bucket[i].time) == self.cur_epoch {
-                            self.near.push(bucket.swap_remove(i));
-                        } else {
-                            i += 1;
-                        }
+            // Extract current-epoch entries into the scratch buffer;
+            // wrapped future-epoch entries stay for a later lap. The
+            // common case — every entry current — swaps the whole
+            // vector, keeping both buffers' capacity warm.
+            if bucket.iter().all(|e| epoch(e.time) == self.cur_epoch) {
+                std::mem::swap(bucket, &mut self.scratch);
+                self.mark_empty(b);
+            } else {
+                let mut i = 0;
+                while i < bucket.len() {
+                    if epoch(bucket[i].time) == self.cur_epoch {
+                        self.scratch.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
                     }
                 }
-                if !self.near.is_empty() {
-                    self.bucketed -= self.near.len();
-                    self.near.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
-                    self.horizon = SimTime::from_nanos((self.cur_epoch + 1) << BUCKET_SHIFT);
-                    return;
-                }
+                self.stats.deferred += cast::len_u64(bucket.len());
             }
-            scanned += 1;
+            if !self.scratch.is_empty() {
+                self.stats.sweeps += 1;
+                self.stats.sweep_sorted += cast::len_u64(self.scratch.len());
+                self.bucketed -= self.scratch.len();
+                // Descending, so the epoch's earliest entry lands at the
+                // tail; the lane was empty on entry.
+                self.scratch
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                for e in self.scratch.drain(..) {
+                    self.near_key.push((e.time, e.seq));
+                    self.near_ev.push(e.event);
+                }
+                self.horizon = SimTime::from_nanos((self.cur_epoch + 1) << BUCKET_SHIFT);
+                return;
+            }
             if scanned >= BUCKET_COUNT {
                 // A full lap found nothing current: every pending entry
                 // wrapped at least once (delays beyond the calendar
                 // span). Jump straight to just before the earliest
                 // pending epoch instead of lapping epoch by epoch. The
                 // minimum always exists (`bucketed > 0` on entry).
+                self.stats.full_laps += 1;
                 let min_epoch = self.buckets.iter().flatten().map(|e| epoch(e.time)).min();
                 if let Some(min_epoch) = min_epoch {
                     self.cur_epoch = min_epoch - 1;
@@ -209,40 +352,47 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.near.is_empty() {
+        if self.near_key.is_empty() {
             if self.bucketed == 0 {
                 return None;
             }
             self.sweep();
         }
-        let entry = self.near.pop()?;
+        let (time, _) = self.near_key.pop()?;
+        let event = self.near_ev.pop()?;
         invariant!(
-            entry.time >= self.now,
+            time >= self.now,
             "clock monotonicity violated: popped {at} behind now {now}",
-            at = entry.time,
+            at = time,
             now = self.now
         );
-        self.now = entry.time;
-        Some((entry.time, entry.event))
+        self.now = time;
+        Some((time, event))
     }
 
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        // Every near event precedes every bucketed event.
-        if let Some(e) = self.near.last() {
-            return Some(e.time);
+        // Every near event precedes every bucketed event, and the lane
+        // is descending: its minimum is at the tail.
+        if let Some(&(time, _)) = self.near_key.last() {
+            return Some(time);
         }
         self.buckets.iter().flatten().map(|e| e.time).min()
     }
 
+    /// Operation counters since construction.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.near.len() + self.bucketed
+        self.near_key.len() + self.bucketed
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.near.is_empty() && self.bucketed == 0
+        self.near_key.is_empty() && self.bucketed == 0
     }
 }
 
@@ -338,6 +488,36 @@ mod tests {
         assert_eq!(order, vec![2, 3, 1]);
     }
 
+    /// The two near lanes stay index-matched through mixed inserts,
+    /// sweeps, and pops: every popped payload equals the id encoded in
+    /// its own timestamp.
+    #[test]
+    fn near_lanes_stay_in_lockstep() {
+        let mut rng = l2s_util::DetRng::new(9);
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        let mut scheduled = 0u64;
+        let mut popped = 0usize;
+        for round in 0..2_000u64 {
+            // Encode the timestamp in the payload so any lane skew is
+            // immediately visible.
+            let at = now + 1 + rng.below(500_000);
+            q.schedule(t(at), (at, round));
+            scheduled += 1;
+            if rng.below(3) > 0 {
+                let (time, (at, _)) = q.pop().unwrap();
+                assert_eq!(time, t(at), "payload skewed from its key");
+                now = time.as_nanos();
+                popped += 1;
+            }
+        }
+        while let Some((time, (at, _))) = q.pop() {
+            assert_eq!(time, t(at));
+            popped += 1;
+        }
+        assert_eq!(popped as u64, scheduled);
+    }
+
     /// Delays far beyond the calendar span (multiple wraps) still pop in
     /// order — the epoch check defers wrapped entries to their own lap.
     #[test]
@@ -373,14 +553,14 @@ mod tests {
     #[test]
     fn matches_sorted_reference_under_mixed_delays() {
         let delays: [u64; 8] = [
-            1_000,       // switch hop
-            7_143,       // NI
-            158_700,     // parse
-            1_000_000,   // CPU quantum
-            29_000_000,  // disk read
-            100,         // immediate
-            70_000_000,  // beyond the calendar span
-            250_000_000, // multiple wraps
+            1_000,         // switch hop
+            7_143,         // NI
+            158_700,       // parse
+            1_000_000,     // CPU quantum
+            29_000_000,    // disk read
+            100,           // immediate
+            70_000_000,    // deep disk backlog
+            3_000_000_000, // beyond the calendar span (multiple wraps)
         ];
         let mut rng = l2s_util::DetRng::new(17);
         let mut q = EventQueue::new();

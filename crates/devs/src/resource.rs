@@ -88,6 +88,27 @@ impl FifoResource {
         }
     }
 
+    /// Earliest time a job could be admitted, as a lower bound computed
+    /// from the current backlog: the completion instant of the in-flight
+    /// job whose departure first brings the backlog below capacity.
+    /// `None` when a job would be admitted at `now` already (or the
+    /// station is unbounded).
+    ///
+    /// The bound stays valid under everything that can happen before
+    /// that instant: later submissions append *later* completion times
+    /// (they can only move true admission later), and the passage of
+    /// time merely drains already-finished entries without touching the
+    /// gating element. Callers may therefore cache the value and skip
+    /// admission checks until the clock reaches it.
+    pub fn next_admission(&self, now: SimTime) -> Option<SimTime> {
+        let cap = self.capacity?;
+        let len = self.completions.len();
+        if len < cap || self.queue_len(now) < cap {
+            return None;
+        }
+        self.completions.get(len - cap).copied()
+    }
+
     /// Submits a job at `now` needing `service` time; returns its
     /// completion time, or `None` if the buffer is full.
     pub fn try_schedule(&mut self, now: SimTime, service: SimDuration) -> Option<SimTime> {

@@ -108,6 +108,14 @@ impl Fabric {
         self.router.would_accept(now)
     }
 
+    /// Earliest time the router could admit another inbound message, as
+    /// a cacheable lower bound; `None` when it would accept one at
+    /// `now`. See [`FifoResource::next_admission`] for why the bound
+    /// survives later router traffic.
+    pub fn next_admission(&self, now: SimTime) -> Option<SimTime> {
+        self.router.next_admission(now)
+    }
+
     /// Pushes `kb` KB through the router at `now`; returns the time the
     /// transfer clears the router, under FIFO contention. Used for both
     /// inbound requests and outbound replies (the same box carries both

@@ -103,6 +103,11 @@ pub struct SimConfig {
     /// Client-side delay before a crash-aborted request retries,
     /// modeling connection-timeout detection. Default 0.5 s.
     pub retry_delay_s: f64,
+    /// When true (the default), every response time is recorded
+    /// individually so the report's p99 is exact. Scaling sweeps over
+    /// 10⁸+ requests disable this: the report then carries a streaming
+    /// mean (identical workload, O(1) memory) and a p99 of 0.
+    pub response_samples: bool,
 }
 
 impl SimConfig {
@@ -129,6 +134,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             fault_retries: 1,
             retry_delay_s: 0.5,
+            response_samples: true,
         }
     }
 

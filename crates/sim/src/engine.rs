@@ -1,47 +1,15 @@
 //! The event-driven simulation engine.
 
+use crate::arena::{Flow, ReqArena, ReqId, Route, Timing};
+use crate::workload::{TraceWorkload, Workload};
 use crate::{ArrivalMode, FaultKind, NodeReport, SimConfig, SimReport};
 use l2s::{Distributor, L2s, Lard, NodeId, PolicyKind, PureLocality, RoundRobin, Traditional};
 use l2s_cluster::{build_nodes, FileId, NodeHardware};
 use l2s_devs::EventQueue;
 use l2s_net::Fabric;
-use l2s_trace::Trace;
+use l2s_trace::{FileSet, Trace};
 use l2s_util::stats::quantile;
-use l2s_util::{invariant, DetRng, OnlineStats, SimDuration, SimTime};
-
-/// Index into the in-flight request slab.
-type ReqId = u32;
-
-/// In-flight request state.
-#[derive(Clone, Debug)]
-struct Req {
-    file: FileId,
-    kb: f64,
-    initial: NodeId,
-    service: NodeId,
-    injected: SimTime,
-    decided: SimTime,
-    served: SimTime,
-    forwarded: bool,
-    /// Reply CPU work not yet charged (chunked into scheduling quanta).
-    reply_remaining: SimDuration,
-    /// Further requests this client connection will issue after the
-    /// current one (persistent-connection mode).
-    conn_remaining: u32,
-    /// Whether this request continues an existing persistent connection.
-    continuation: bool,
-    /// Epoch of the node the *pending* event targets, captured when the
-    /// event was scheduled. A crash bumps the node's epoch, so a stale
-    /// event (scheduled before the crash) no longer matches and the
-    /// request is aborted when it fires.
-    epoch: u32,
-    /// Crash-abort retries this request has left.
-    retries_left: u32,
-    /// Whether the policy's `assign` has been called and not yet
-    /// settled by `complete` — decides which abort hook releases the
-    /// policy's load accounting.
-    assigned: bool,
-}
+use l2s_util::{cast, invariant, DetRng, OnlineStats, SimDuration, SimTime};
 
 /// Lifecycle events. Each event marks a request's *arrival* at a
 /// contended station, so every FIFO queue sees jobs in true arrival
@@ -79,8 +47,11 @@ enum Ev {
     DfsTransfer(ReqId),
     /// DFS file arrived back at the requesting node's NI.
     DfsBack(ReqId),
-    /// A scheduled fault fires on a node (`true` = recovery).
-    Fault(NodeId, bool),
+    /// A scheduled fault fires on a node (`true` = recovery). The node
+    /// id is stored narrow so `Ev` stays 8 bytes — the queue moves
+    /// every event through its lanes several times, and halving the
+    /// payload halves that traffic.
+    Fault(u32, bool),
     /// A crash-aborted request re-enters the cluster after the client's
     /// timeout-and-retry delay.
     Retry(ReqId),
@@ -103,6 +74,9 @@ struct Measure {
     decided: u64,
     control_msgs: u64,
     response_s: Vec<f64>,
+    /// Streaming response-time moments for runs that disable
+    /// per-request samples (`SimConfig::response_samples = false`).
+    resp_stats: OnlineStats,
     seg_ingress: OnlineStats,
     seg_handoff: OnlineStats,
     seg_service: OnlineStats,
@@ -149,8 +123,9 @@ struct CostCache {
     per_file: Vec<FileCost>,
 }
 
-/// Per-file service times (dense by interned file id).
+/// Per-file size and service times (dense by interned file id).
 struct FileCost {
+    kb: f64,
     mem_reply: SimDuration,
     disk_read: SimDuration,
     ni_out: SimDuration,
@@ -158,12 +133,12 @@ struct FileCost {
 }
 
 impl CostCache {
-    fn new(config: &SimConfig, trace: &Trace) -> Self {
+    fn new(config: &SimConfig, files: &FileSet) -> Self {
         let costs = &config.costs;
-        let files = trace.files();
         let per_file = files
             .iter()
             .map(|(_, kb)| FileCost {
+                kb,
                 mem_reply: costs.mem_reply(kb),
                 disk_read: costs.disk_read(kb),
                 ni_out: costs.ni_out(kb),
@@ -190,16 +165,20 @@ impl CostCache {
 
 struct Engine<'t> {
     config: SimConfig,
-    trace: &'t Trace,
+    workload: &'t mut dyn Workload,
     limit: usize,
     policy: Box<dyn Distributor>,
     nodes: Vec<NodeHardware>,
     fabric: Fabric,
     queue: EventQueue<Ev>,
-    slab: Vec<Req>,
-    free: Vec<ReqId>,
+    arena: ReqArena,
     next_request: usize,
     outstanding: usize,
+    /// Cached lower bound on the next router admission: while the clock
+    /// is below this, `try_inject` skips the per-event admission query
+    /// entirely. Valid because the bound only ever moves later — see
+    /// [`Fabric::next_admission`].
+    router_gate: SimTime,
     measure: Measure,
     msg_buf: Vec<(NodeId, NodeId)>,
     cc: CostCache,
@@ -243,22 +222,42 @@ fn build_policy(kind: PolicyKind, config: &SimConfig) -> Box<dyn Distributor> {
 /// Runs one simulation of `trace` under `policy_kind` and returns the
 /// measured report. See the crate docs for the modeled lifecycle.
 pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> SimReport {
+    let mut workload = TraceWorkload::new(trace);
+    simulate_workload(config, policy_kind, &mut workload)
+}
+
+/// Runs one simulation drawing requests from `workload` — the
+/// trace-free entry point scaling sweeps use with a streaming
+/// [`SynthWorkload`](crate::SynthWorkload), where memory stays flat in
+/// the request count. [`simulate`] is this function over a
+/// [`TraceWorkload`] and produces identical reports for the same
+/// request sequence.
+pub fn simulate_workload(
+    config: &SimConfig,
+    policy_kind: PolicyKind,
+    workload: &mut dyn Workload,
+) -> SimReport {
     config.validate().expect("invalid simulation configuration");
-    l2s_util::invariant!(!trace.is_empty(), "cannot simulate an empty trace");
+    l2s_util::invariant!(!workload.is_empty(), "cannot simulate an empty workload");
     let limit = config
         .max_requests
-        .map(|m| m.min(trace.len()))
-        .unwrap_or(trace.len());
+        .map(|m| m.min(workload.len()))
+        .unwrap_or(workload.len());
     l2s_util::invariant!(limit > 0, "max_requests must leave at least one request");
 
     let mut policy = build_policy(policy_kind, config);
     // Files are interned densely, so policies can size their per-file
     // tables once instead of growing them request by request.
-    policy.hint_files(trace.files().len());
+    policy.hint_files(workload.files().len());
     let window = config.total_window();
+    let cc = CostCache::new(config, workload.files());
+    // Per-request samples are the default; scaling sweeps run lean and
+    // keep O(1) response statistics instead.
+    let sample_cap = if config.response_samples { limit } else { 0 };
+    let warmup = config.warmup;
     let mut engine = Engine {
         config: config.clone(),
-        trace,
+        workload,
         limit,
         policy,
         nodes: build_nodes(
@@ -271,16 +270,16 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
         // Every in-flight request holds at most one pending event, plus
         // one slot for the open-loop arrival timer.
         queue: EventQueue::with_capacity(window + 1),
-        slab: Vec::with_capacity(window),
-        free: Vec::with_capacity(window),
+        arena: ReqArena::with_capacity(window),
         next_request: 0,
         outstanding: 0,
+        router_gate: SimTime::ZERO,
         measure: Measure {
-            response_s: Vec::with_capacity(limit),
+            response_s: Vec::with_capacity(sample_cap),
             ..Measure::default()
         },
         msg_buf: Vec::with_capacity(64),
-        cc: CostCache::new(config, trace),
+        cc,
         rng: DetRng::new(config.seed),
         events_handled: 0,
         peak_fel: 0,
@@ -290,9 +289,10 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
         down_count: 0,
     };
 
-    if config.warmup {
+    if warmup {
         engine.run_pass();
         engine.reset_measurement();
+        engine.workload.rewind();
         engine.next_request = 0;
     }
     // Faults apply to the measured pass only, at offsets from its start.
@@ -302,8 +302,8 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
 }
 
 impl<'t> Engine<'t> {
-    /// Drives one full pass over the (possibly capped) trace: injects as
-    /// arrivals dictate and drains every event.
+    /// Drives one full pass over the (possibly capped) workload: injects
+    /// as arrivals dictate and drains every event.
     fn run_pass(&mut self) {
         match self.config.arrivals {
             ArrivalMode::ClosedLoop => {
@@ -331,8 +331,8 @@ impl<'t> Engine<'t> {
         );
     }
 
-    /// Open-loop mode: schedules the next client arrival, if the trace
-    /// has requests left.
+    /// Open-loop mode: schedules the next client arrival, if the
+    /// workload has requests left.
     fn schedule_next_arrival(&mut self) {
         let ArrivalMode::Poisson { rate_rps } = self.config.arrivals else {
             return;
@@ -367,25 +367,13 @@ impl<'t> Engine<'t> {
         conn_remaining: u32,
         continuation: bool,
     ) -> ReqId {
-        let file = self.trace.requests()[self.next_request];
+        let file = self.workload.next_file();
         self.next_request += 1;
-        let kb = self.trace.files().size_kb(file);
-        let id = self.alloc(Req {
-            file,
-            kb,
-            initial,
-            service: initial,
-            injected: now,
-            decided: now,
-            served: now,
-            forwarded: false,
-            reply_remaining: SimDuration::ZERO,
-            conn_remaining,
-            continuation,
-            epoch: self.node_epoch[initial],
-            retries_left: self.config.fault_retries,
-            assigned: false,
-        });
+        let id = self.arena.alloc(
+            Route::new(file, initial, self.node_epoch[initial]),
+            Timing::at(now),
+            Flow::fresh(conn_remaining, continuation, self.config.fault_retries),
+        );
         let cleared = self
             .fabric
             .router_transit_service(now, self.cc.router_request);
@@ -422,20 +410,28 @@ impl<'t> Engine<'t> {
         let Engine { config, queue, .. } = self;
         for e in config.faults.events() {
             let up = e.kind == FaultKind::Recover;
-            queue.schedule(base + e.at, Ev::Fault(e.node, up));
+            queue.schedule(base + e.at, Ev::Fault(cast::index_u32(e.node), up));
         }
     }
 
-    /// Injects new requests while the trace has them, the cluster-wide
-    /// connection window has room, and the router accepts (the paper's
-    /// "as soon as the router and network interface buffers would accept
-    /// them" closed loop).
+    /// Injects new requests while the workload has them, the
+    /// cluster-wide connection window has room, and the router accepts
+    /// (the paper's "as soon as the router and network interface buffers
+    /// would accept them" closed loop).
     fn try_inject(&mut self) {
         let now = self.queue.now();
-        while self.next_request < self.limit
-            && self.outstanding < self.config.total_window()
-            && self.fabric.would_accept(now)
-        {
+        // Below the cached admission bound the router is provably still
+        // full — skip the (binary-search) admission query entirely. The
+        // bound only moves later between checks, so this refuses exactly
+        // the injections `would_accept` would refuse.
+        if now < self.router_gate {
+            return;
+        }
+        while self.next_request < self.limit && self.outstanding < self.config.total_window() {
+            if let Some(gate) = self.fabric.next_admission(now) {
+                self.router_gate = gate;
+                return;
+            }
             let initial = self.policy.arrival_node();
             let conn = self.draw_connection_len() - 1;
             self.launch_request(now, initial, conn, false);
@@ -448,16 +444,16 @@ impl<'t> Engine<'t> {
     fn event_target(&self, ev: Ev) -> Option<(ReqId, NodeId)> {
         match ev {
             Ev::NicIn(id) | Ev::Parse(id) | Ev::Decide(id) | Ev::HandoffOut(id) => {
-                Some((id, self.slab[id as usize].initial))
+                Some((id, self.arena.route(id).initial()))
             }
             Ev::HandoffIn(id)
             | Ev::Serve(id)
             | Ev::ReplyReady(id)
             | Ev::ReplyChunk(id)
             | Ev::NicOut(id)
-            | Ev::DfsBack(id) => Some((id, self.slab[id as usize].service)),
+            | Ev::DfsBack(id) => Some((id, self.arena.route(id).service())),
             Ev::DfsRead(id) | Ev::DfsTransfer(id) => {
-                Some((id, dfs_home(self.slab[id as usize].file, self.config.nodes)))
+                Some((id, dfs_home(self.arena.route(id).file, self.config.nodes)))
             }
             Ev::RouterOut(_) | Ev::Done(_) | Ev::ClientArrival | Ev::Fault(..) | Ev::Retry(_) => {
                 None
@@ -471,28 +467,28 @@ impl<'t> Engine<'t> {
         // scheduled, finds its work gone — the request aborts here, at
         // the time the lost operation would have completed.
         if let Some((id, node)) = self.event_target(ev) {
-            if !self.alive[node] || self.slab[id as usize].epoch != self.node_epoch[node] {
+            if !self.alive[node] || self.arena.route(id).epoch != self.node_epoch[node] {
                 self.fail_request(now, id);
                 return;
             }
         }
         match ev {
             Ev::NicIn(id) => {
-                let node = self.slab[id as usize].initial;
+                let node = self.arena.route(id).initial();
                 let done = self.nodes[node].ni_in.schedule(now, self.cc.ni_in);
                 self.queue.schedule(done, Ev::Parse(id));
             }
             Ev::Parse(id) => {
-                let node = self.slab[id as usize].initial;
+                let node = self.arena.route(id).initial();
                 let done = self.nodes[node].cpu.schedule(now, self.cc.parse);
                 self.queue.schedule(done, Ev::Decide(id));
             }
             Ev::Decide(id) => {
                 let (initial, file) = {
-                    let r = &self.slab[id as usize];
-                    (r.initial, r.file)
+                    let r = self.arena.route(id);
+                    (r.initial(), r.file)
                 };
-                let continuation = self.slab[id as usize].continuation;
+                let continuation = self.arena.flow(id).continuation;
                 let assignment = if continuation {
                     self.policy.assign_continuation(now, initial, file)
                 } else {
@@ -501,11 +497,13 @@ impl<'t> Engine<'t> {
                 self.charge_messages(now);
                 self.measure.decided += 1;
                 self.measure.control_msgs += u64::from(assignment.control_msgs);
-                let req = &mut self.slab[id as usize];
-                req.service = assignment.service;
-                req.forwarded = assignment.forwarded;
-                req.decided = now;
-                req.assigned = true;
+                self.arena.route_mut(id).set_service(assignment.service);
+                self.arena.timing_mut(id).decided = now;
+                {
+                    let flow = self.arena.flow_mut(id);
+                    flow.forwarded = assignment.forwarded;
+                    flow.assigned = true;
+                }
                 if assignment.forwarded {
                     self.measure.forwarded += 1;
                     let done = self.nodes[initial].cpu.schedule(now, self.cc.forward);
@@ -515,30 +513,31 @@ impl<'t> Engine<'t> {
                 }
             }
             Ev::HandoffOut(id) => {
-                let node = self.slab[id as usize].initial;
+                let node = self.arena.route(id).initial();
                 let done = self.nodes[node].ni_out.schedule(now, self.cc.msg_ni);
                 let arrived = self.fabric.switch_transit(done);
                 // The pending event moves to the service node: track its
                 // epoch from here on (the hand-off is on the wire, so the
                 // initial node's fate no longer matters).
-                let service = self.slab[id as usize].service;
-                self.slab[id as usize].epoch = self.node_epoch[service];
+                let service = self.arena.route(id).service();
+                self.arena.route_mut(id).epoch = self.node_epoch[service];
                 self.queue.schedule(arrived, Ev::HandoffIn(id));
             }
             Ev::HandoffIn(id) => {
-                let node = self.slab[id as usize].service;
+                let node = self.arena.route(id).service();
                 let done = self.nodes[node].ni_in.schedule(now, self.cc.msg_ni);
                 self.queue.schedule(done, Ev::Serve(id));
             }
             Ev::Serve(id) => {
-                self.slab[id as usize].served = now;
-                let (node, file, kb, forwarded) = {
-                    let r = &self.slab[id as usize];
-                    (r.service, r.file, r.kb, r.forwarded)
+                self.arena.timing_mut(id).served = now;
+                let (node, file) = {
+                    let r = self.arena.route(id);
+                    (r.service(), r.file)
                 };
-                let hit = self.nodes[node].access_file(file, kb);
+                let forwarded = self.arena.flow(id).forwarded;
+                let hit = self.nodes[node].access_file(file, self.cc.file(file).kb);
                 if hit {
-                    self.slab[id as usize].reply_remaining = self.reply_cpu_time(file, forwarded);
+                    self.arena.flow_mut(id).reply_remaining = self.reply_cpu_time(file, forwarded);
                     self.schedule_reply_chunk(id, now);
                 } else {
                     let home = dfs_home(file, self.config.nodes);
@@ -548,7 +547,7 @@ impl<'t> Engine<'t> {
                         let sent = self.nodes[node].cpu.schedule(now, self.cc.msg_cpu);
                         let on_wire = self.nodes[node].ni_out.schedule(sent, self.cc.msg_ni);
                         let arrived = self.fabric.switch_transit(on_wire);
-                        self.slab[id as usize].epoch = self.node_epoch[home];
+                        self.arena.route_mut(id).epoch = self.node_epoch[home];
                         self.queue.schedule(arrived, Ev::DfsRead(id));
                     } else {
                         let done = self.nodes[node]
@@ -559,11 +558,9 @@ impl<'t> Engine<'t> {
                 }
             }
             Ev::ReplyReady(id) => {
-                let (file, forwarded) = {
-                    let r = &self.slab[id as usize];
-                    (r.file, r.forwarded)
-                };
-                self.slab[id as usize].reply_remaining = self.reply_cpu_time(file, forwarded);
+                let file = self.arena.route(id).file;
+                let forwarded = self.arena.flow(id).forwarded;
+                self.arena.flow_mut(id).reply_remaining = self.reply_cpu_time(file, forwarded);
                 self.schedule_reply_chunk(id, now);
             }
             Ev::ReplyChunk(id) => {
@@ -571,8 +568,8 @@ impl<'t> Engine<'t> {
             }
             Ev::NicOut(id) => {
                 let (node, file) = {
-                    let r = &self.slab[id as usize];
-                    (r.service, r.file)
+                    let r = self.arena.route(id);
+                    (r.service(), r.file)
                 };
                 let done = self.nodes[node]
                     .ni_out
@@ -581,7 +578,7 @@ impl<'t> Engine<'t> {
                 self.queue.schedule(at_router, Ev::RouterOut(id));
             }
             Ev::RouterOut(id) => {
-                let file = self.slab[id as usize].file;
+                let file = self.arena.route(id).file;
                 let done = self
                     .fabric
                     .router_transit_service(now, self.cc.file(file).router);
@@ -595,8 +592,8 @@ impl<'t> Engine<'t> {
             }
             Ev::DfsRead(id) => {
                 let (node, file) = {
-                    let r = &self.slab[id as usize];
-                    (r.service, r.file)
+                    let r = self.arena.route(id);
+                    (r.service(), r.file)
                 };
                 let home = dfs_home(file, self.config.nodes);
                 invariant!(
@@ -609,21 +606,21 @@ impl<'t> Engine<'t> {
                 self.queue.schedule(done, Ev::DfsTransfer(id));
             }
             Ev::DfsTransfer(id) => {
-                let file = self.slab[id as usize].file;
+                let file = self.arena.route(id).file;
                 let home = dfs_home(file, self.config.nodes);
                 let done = self.nodes[home]
                     .ni_out
                     .schedule(now, self.cc.file(file).ni_out);
                 let arrived = self.fabric.switch_transit(done);
                 // The file is on the wire back to the service node.
-                let service = self.slab[id as usize].service;
-                self.slab[id as usize].epoch = self.node_epoch[service];
+                let service = self.arena.route(id).service();
+                self.arena.route_mut(id).epoch = self.node_epoch[service];
                 self.queue.schedule(arrived, Ev::DfsBack(id));
             }
             Ev::DfsBack(id) => {
                 let (node, file) = {
-                    let r = &self.slab[id as usize];
-                    (r.service, r.file)
+                    let r = self.arena.route(id);
+                    (r.service(), r.file)
                 };
                 // Receiving the file costs the NI the same as sending it.
                 let done = self.nodes[node]
@@ -632,38 +629,42 @@ impl<'t> Engine<'t> {
                 self.queue.schedule(done, Ev::ReplyReady(id));
             }
             Ev::Done(id) => {
-                let (node, file, injected) = {
-                    let r = &self.slab[id as usize];
-                    (r.service, r.file, r.injected)
+                let (node, file) = {
+                    let r = self.arena.route(id);
+                    (r.service(), r.file)
                 };
-                {
-                    let r = &self.slab[id as usize];
+                let injected = {
+                    let t = self.arena.timing(id);
                     self.measure
                         .seg_ingress
-                        .push(r.decided.saturating_since(r.injected).as_secs_f64());
+                        .push(t.decided.saturating_since(t.injected).as_secs_f64());
                     self.measure
                         .seg_handoff
-                        .push(r.served.saturating_since(r.decided).as_secs_f64());
+                        .push(t.served.saturating_since(t.decided).as_secs_f64());
                     self.measure
                         .seg_service
-                        .push(now.saturating_since(r.served).as_secs_f64());
-                }
+                        .push(now.saturating_since(t.served).as_secs_f64());
+                    t.injected
+                };
                 let msgs = self.policy.complete(now, node, file);
                 self.charge_messages(now);
                 self.measure.control_msgs += u64::from(msgs);
                 self.nodes[node].completed += 1;
                 self.measure.completed += 1;
                 self.measure.phase_completed[self.measure.phase] += 1;
-                self.measure
-                    .response_s
-                    .push(now.saturating_since(injected).as_secs_f64());
-                let conn_remaining = self.slab[id as usize].conn_remaining;
+                let response = now.saturating_since(injected).as_secs_f64();
+                if self.config.response_samples {
+                    self.measure.response_s.push(response);
+                } else {
+                    self.measure.resp_stats.push(response);
+                }
+                let conn_remaining = self.arena.flow(id).conn_remaining;
                 invariant!(
                     self.outstanding > 0,
                     "request accounting underflow: completion with none outstanding"
                 );
                 self.outstanding -= 1;
-                self.release(id);
+                self.arena.release(id);
                 if conn_remaining > 0 && self.next_request < self.limit {
                     // Persistent connection: the next request of this
                     // connection arrives at the node that just served —
@@ -673,6 +674,7 @@ impl<'t> Engine<'t> {
                 }
             }
             Ev::Fault(node, up) => {
+                let node = cast::wide_usize(node);
                 if up {
                     self.node_recover(now, node);
                 } else {
@@ -685,17 +687,23 @@ impl<'t> Engine<'t> {
                 let initial = self.policy.arrival_node();
                 let epoch = self.node_epoch[initial];
                 {
-                    let r = &mut self.slab[id as usize];
-                    r.initial = initial;
-                    r.service = initial;
-                    r.forwarded = false;
-                    r.continuation = false;
-                    r.reply_remaining = SimDuration::ZERO;
-                    r.decided = now;
-                    r.served = now;
+                    let r = self.arena.route_mut(id);
+                    r.set_initial(initial);
+                    r.set_service(initial);
                     r.epoch = epoch;
+                }
+                {
+                    let f = self.arena.flow_mut(id);
+                    f.forwarded = false;
+                    f.continuation = false;
+                    f.reply_remaining = SimDuration::ZERO;
+                }
+                {
                     // `injected` is kept: response time spans the whole
                     // client experience, retries included.
+                    let t = self.arena.timing_mut(id);
+                    t.decided = now;
+                    t.served = now;
                 }
                 let cleared = self
                     .fabric
@@ -711,9 +719,13 @@ impl<'t> Engine<'t> {
     /// hook, then the request either retries as a fresh arrival after
     /// the client's timeout or is counted as failed.
     fn fail_request(&mut self, now: SimTime, id: ReqId) {
-        let (assigned, service, initial, file, retries_left) = {
-            let r = &self.slab[id as usize];
-            (r.assigned, r.service, r.initial, r.file, r.retries_left)
+        let (service, initial, file) = {
+            let r = self.arena.route(id);
+            (r.service(), r.initial(), r.file)
+        };
+        let (assigned, retries_left) = {
+            let f = self.arena.flow(id);
+            (f.assigned, f.retries_left)
         };
         if assigned {
             let msgs = self.policy.abort_assigned(now, service, file);
@@ -723,9 +735,11 @@ impl<'t> Engine<'t> {
             self.policy.abort_undecided(now, initial);
         }
         if retries_left > 0 {
-            let r = &mut self.slab[id as usize];
-            r.retries_left -= 1;
-            r.assigned = false;
+            {
+                let f = self.arena.flow_mut(id);
+                f.retries_left -= 1;
+                f.assigned = false;
+            }
             self.measure.retried += 1;
             let delay = SimDuration::from_secs_f64(self.config.retry_delay_s);
             self.queue.schedule_after(delay, Ev::Retry(id));
@@ -736,7 +750,7 @@ impl<'t> Engine<'t> {
                 "request accounting underflow: failure with none outstanding"
             );
             self.outstanding -= 1;
-            self.release(id);
+            self.arena.release(id);
         }
     }
 
@@ -789,12 +803,13 @@ impl<'t> Engine<'t> {
     /// time-shared segment processing.
     fn schedule_reply_chunk(&mut self, id: ReqId, now: SimTime) {
         let quantum = self.cc.quantum;
-        let node = self.slab[id as usize].service;
-        let remaining = self.slab[id as usize].reply_remaining;
+        let node = self.arena.route(id).service();
+        let remaining = self.arena.flow(id).reply_remaining;
         let chunk = remaining.min(quantum);
-        self.slab[id as usize].reply_remaining = remaining - chunk;
+        let left = remaining - chunk;
+        self.arena.flow_mut(id).reply_remaining = left;
         let done = self.nodes[node].cpu.schedule(now, chunk);
-        if self.slab[id as usize].reply_remaining.is_zero() {
+        if left.is_zero() {
             self.queue.schedule(done, Ev::NicOut(id));
         } else {
             self.queue.schedule(done, Ev::ReplyChunk(id));
@@ -831,23 +846,6 @@ impl<'t> Engine<'t> {
         }
         buf.clear();
         self.msg_buf = buf;
-    }
-
-    fn alloc(&mut self, req: Req) -> ReqId {
-        match self.free.pop() {
-            Some(id) => {
-                self.slab[id as usize] = req;
-                id
-            }
-            None => {
-                self.slab.push(req);
-                (self.slab.len() - 1) as ReqId
-            }
-        }
-    }
-
-    fn release(&mut self, id: ReqId) {
-        self.free.push(id);
     }
 
     fn report(&mut self, kind: PolicyKind) -> SimReport {
@@ -911,10 +909,14 @@ impl<'t> Engine<'t> {
 
         let mut sorted = std::mem::take(&mut self.measure.response_s);
         sorted.sort_unstable_by(f64::total_cmp);
-        let mean_response = if sorted.is_empty() {
-            0.0
-        } else {
+        // With per-request samples the mean is the exact sorted sum (the
+        // float-order-stable path every golden figure was pinned under);
+        // lean runs fall back to the streaming moments. p99 needs the
+        // samples and reads 0 without them.
+        let mean_response = if !sorted.is_empty() {
             sorted.iter().sum::<f64>() / sorted.len() as f64
+        } else {
+            self.measure.resp_stats.mean()
         };
 
         SimReport {
@@ -957,6 +959,7 @@ impl<'t> Engine<'t> {
             phase_rps,
             events_handled: self.events_handled,
             peak_fel_depth: self.peak_fel,
+            fel_ops: self.queue.stats(),
             per_node,
         }
     }
@@ -965,6 +968,7 @@ impl<'t> Engine<'t> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::SynthWorkload;
     use l2s_trace::TraceSpec;
 
     fn small_trace(seed: u64) -> Trace {
@@ -999,6 +1003,45 @@ mod tests {
         let a = simulate(&small_config(4), PolicyKind::L2s, &trace);
         let b = simulate(&small_config(4), PolicyKind::L2s, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_workload_reproduces_the_materialized_run_exactly() {
+        // The scale-out path: simulate_workload over a SynthWorkload
+        // must yield the same report as materializing the trace first —
+        // with warm-up on, so the rewind path is exercised too.
+        let spec = TraceSpec::clarknet().scaled(400, 20_000);
+        let trace = spec.generate(2);
+        let mut cfg = small_config(4);
+        cfg.warmup = true;
+        let materialized = simulate(&cfg, PolicyKind::L2s, &trace);
+        let mut synth = SynthWorkload::new(&spec, 2);
+        let streamed = simulate_workload(&cfg, PolicyKind::L2s, &mut synth);
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn lean_metrics_change_only_the_response_report() {
+        let trace = small_trace(18);
+        let full_cfg = small_config(4);
+        let mut lean_cfg = full_cfg.clone();
+        lean_cfg.response_samples = false;
+        let full = simulate(&full_cfg, PolicyKind::L2s, &trace);
+        let lean = simulate(&lean_cfg, PolicyKind::L2s, &trace);
+        assert_eq!(full.completed, lean.completed);
+        assert_eq!(full.events_handled, lean.events_handled);
+        assert_eq!(full.throughput_rps, lean.throughput_rps);
+        assert_eq!(full.miss_rate, lean.miss_rate);
+        // The streaming mean accumulates in arrival order rather than
+        // sorted order, so it agrees to float tolerance, not bits.
+        assert!(
+            (full.mean_response_s - lean.mean_response_s).abs() < 1e-9,
+            "streaming mean {} drifted from exact {}",
+            lean.mean_response_s,
+            full.mean_response_s
+        );
+        assert_eq!(lean.p99_response_s, 0.0, "p99 needs samples");
+        assert!(full.p99_response_s > 0.0);
     }
 
     #[test]

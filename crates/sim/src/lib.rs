@@ -30,15 +30,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod config;
 mod engine;
 mod faults;
 mod report;
+mod workload;
 
 pub use config::{ArrivalMode, SimConfig};
-pub use engine::simulate;
+pub use engine::{simulate, simulate_workload};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{NodeReport, SimReport};
+pub use workload::{SynthWorkload, TraceWorkload, Workload};
 
 // Compile-time Send/Sync audit: the parallel sweep executor in
 // `l2s-bench` shares configs across worker threads by reference and

@@ -89,6 +89,11 @@ pub struct SimReport {
     /// Deepest the future-event list ever grew over the whole run — a
     /// capacity indicator for the event queue.
     pub peak_fel_depth: usize,
+    /// Event-queue operation counters over the whole run. Wall-clock-free
+    /// evidence of where queue work went (lane mix, insert shift depth,
+    /// calendar-wrap refiltering) — the scaling benchmarks report these
+    /// to tell an algorithmic regression from a noisy box.
+    pub fel_ops: l2s_devs::QueueStats,
     /// Per-node details.
     pub per_node: Vec<NodeReport>,
 }
@@ -168,6 +173,7 @@ mod tests {
             phase_rps: [0.0; 3],
             events_handled: 0,
             peak_fel_depth: 0,
+            fel_ops: Default::default(),
             per_node: vec![node(10), node(10)],
         };
         assert_eq!(r.completion_imbalance(), 0.0);
@@ -195,6 +201,7 @@ mod tests {
             phase_rps: [0.0; 3],
             events_handled: 0,
             peak_fel_depth: 0,
+            fel_ops: Default::default(),
             per_node: vec![node(19), node(1)],
         };
         assert!(r.completion_imbalance() > 0.5);

@@ -1,0 +1,155 @@
+//! Request sources for the simulator.
+//!
+//! The engine consumes requests one at a time through the [`Workload`]
+//! trait rather than indexing a materialized `Vec<FileId>`. A
+//! pre-parsed log still drives runs through [`TraceWorkload`] (a thin
+//! cursor over a [`Trace`]), but scaling sweeps use [`SynthWorkload`],
+//! which draws requests straight from the synthetic generator's
+//! [`RequestStream`] — the request count then costs no memory at all,
+//! so a 10⁸-request run fits the same footprint as a 10⁴-request one.
+//!
+//! The streaming path is byte-identical to materializing: `TraceSpec::
+//! generate` itself collects the stream, and the trace crate pins
+//! checksums over every Table 2 preset to keep it that way.
+
+use l2s_trace::{FileId, FileSet, RequestStream, Trace, TraceSpec};
+use l2s_util::invariant;
+
+/// A source of simulated requests: a file population plus an ordered
+/// request sequence of known length that can be replayed.
+///
+/// The engine calls [`next_file`](Workload::next_file) exactly once per
+/// injected request and [`rewind`](Workload::rewind) between the
+/// warm-up and measurement passes, so implementations only need
+/// sequential access — no random indexing, no materialized backing
+/// store.
+pub trait Workload {
+    /// The file population requests draw from (sizes drive every cache
+    /// and service-time decision).
+    fn files(&self) -> &FileSet;
+
+    /// Requests issued per full pass.
+    fn len(&self) -> usize;
+
+    /// Whether the workload has no requests at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The next request's file. Callers must not draw more than
+    /// [`len`](Workload::len) requests per pass.
+    fn next_file(&mut self) -> FileId;
+
+    /// Restarts the sequence from the first request, replaying the
+    /// identical order.
+    fn rewind(&mut self);
+}
+
+/// A [`Workload`] that replays a materialized [`Trace`] (a parsed log,
+/// or a synthetic trace generated up front).
+#[derive(Clone, Debug)]
+pub struct TraceWorkload<'t> {
+    trace: &'t Trace,
+    pos: usize,
+}
+
+impl<'t> TraceWorkload<'t> {
+    /// Wraps `trace` as a replayable request source.
+    pub fn new(trace: &'t Trace) -> Self {
+        TraceWorkload { trace, pos: 0 }
+    }
+}
+
+impl Workload for TraceWorkload<'_> {
+    fn files(&self) -> &FileSet {
+        self.trace.files()
+    }
+
+    fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    fn next_file(&mut self) -> FileId {
+        let file = self.trace.requests()[self.pos];
+        self.pos += 1;
+        file
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// A [`Workload`] that draws requests directly from the synthetic
+/// generator without ever materializing them. Holds the file population
+/// (O(files)) and the generator's ring buffer (O(temporal window));
+/// memory is flat in the request count.
+#[derive(Clone, Debug)]
+pub struct SynthWorkload {
+    files: FileSet,
+    stream: RequestStream,
+}
+
+impl SynthWorkload {
+    /// Builds the streaming workload for `spec` at `seed` — the same
+    /// `(files, requests)` that `spec.generate(seed)` would produce,
+    /// without the request vector.
+    pub fn new(spec: &TraceSpec, seed: u64) -> Self {
+        let (files, stream) = spec.stream(seed);
+        SynthWorkload { files, stream }
+    }
+}
+
+impl Workload for SynthWorkload {
+    fn files(&self) -> &FileSet {
+        &self.files
+    }
+
+    fn len(&self) -> usize {
+        self.stream.total()
+    }
+
+    fn next_file(&mut self) -> FileId {
+        invariant!(
+            self.stream.remaining() > 0,
+            "synthetic workload exhausted: next_file past len"
+        );
+        FileId::from(self.stream.next().unwrap_or(0))
+    }
+
+    fn rewind(&mut self) {
+        self.stream.rewind();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_workload_replays_the_trace_in_order() {
+        let trace = TraceSpec::calgary().scaled(50, 400).generate(7);
+        let mut w = TraceWorkload::new(&trace);
+        assert_eq!(w.len(), trace.len());
+        assert_eq!(w.files(), trace.files());
+        let first: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        assert_eq!(first, trace.requests());
+        w.rewind();
+        let second: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn synth_workload_matches_the_materialized_trace() {
+        let spec = TraceSpec::nasa().scaled(80, 1_000);
+        let trace = spec.generate(11);
+        let mut w = SynthWorkload::new(&spec, 11);
+        assert_eq!(w.len(), trace.len());
+        assert_eq!(w.files(), trace.files());
+        let streamed: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        assert_eq!(streamed, trace.requests());
+        w.rewind();
+        let replay: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        assert_eq!(streamed, replay);
+    }
+}

@@ -30,5 +30,5 @@ mod types;
 
 pub use clf::FileInterner;
 pub use stats::TraceStats;
-pub use synth::TraceSpec;
+pub use synth::{RequestStream, TraceSpec};
 pub use types::{FileId, FileSet, Trace};

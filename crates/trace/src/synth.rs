@@ -122,7 +122,20 @@ impl TraceSpec {
         }
     }
 
-    /// Generates the trace deterministically from `seed`.
+    /// Generates the trace deterministically from `seed`, materializing
+    /// every request. Delegates to [`TraceSpec::stream`], so the request
+    /// sequence is byte-identical to what the streaming path yields —
+    /// pinned by the `streaming` test module.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let (files, stream) = self.stream(seed);
+        let requests: Vec<u32> = stream.collect();
+        Trace::new(self.name.clone(), files, requests)
+    }
+
+    /// Builds the file population and a *streaming* request generator —
+    /// the memory-flat path: request count no longer bounds resident
+    /// memory, so billion-request runs hold only the file table and the
+    /// recency window.
     ///
     /// Steps:
     /// 1. draw `num_files` lognormal sizes and rescale them so the sample
@@ -130,15 +143,16 @@ impl TraceSpec {
     /// 2. assign sizes to popularity ranks with a *noisy ascending sort*
     ///    whose noise is bisected so the Zipf-weighted mean size matches
     ///    `avg_request_kb` (clamped to the attainable range);
-    /// 3. sample `num_requests` ranks from a Zipf(`alpha`) law.
+    /// 3. return a [`RequestStream`] sampling `num_requests` ranks from a
+    ///    Zipf(`alpha`) law, with recency re-references.
     ///
     /// File ids are a random permutation of ranks so that id order
     /// carries no popularity information.
-    pub fn generate(&self, seed: u64) -> Trace {
+    pub fn stream(&self, seed: u64) -> (FileSet, RequestStream) {
         let mut rng = DetRng::new(seed ^ 0x5eed_7ace);
         let mut size_rng = rng.fork();
         let mut assign_rng = rng.fork();
-        let mut req_rng = rng.fork();
+        let req_rng = rng.fork();
         let mut perm_rng = rng.fork();
 
         // 1. Sizes, rescaled to the exact target mean, clamped to a
@@ -161,10 +175,7 @@ impl TraceSpec {
             .collect();
         let rank_sizes = assign_sizes(&mut assign_rng, &sizes, &probs, self.avg_request_kb);
 
-        // 3. Requests over ranks, then relabel ranks with shuffled ids.
-        // With probability `temporal` a request re-references a file from
-        // the recent-request window (uniformly), modeling the recency
-        // bursts of real access logs on top of the stationary Zipf law.
+        // 3. Relabel ranks with shuffled ids; requests are drawn lazily.
         let sampler = ZipfSampler::new(self.num_files, self.alpha);
         let mut rank_to_id: Vec<u32> = (0..cast::index_u32(self.num_files)).collect();
         perm_rng.shuffle(&mut rank_to_id);
@@ -173,28 +184,92 @@ impl TraceSpec {
             sizes_by_id[cast::wide_usize(id)] = rank_sizes[rank];
         }
         let window = self.temporal_window.max(1);
-        let mut recent: Vec<u32> = Vec::with_capacity(window);
-        let mut cursor = 0usize;
-        let mut requests: Vec<u32> = Vec::with_capacity(self.num_requests);
-        for _ in 0..self.num_requests {
-            let file = if self.temporal > 0.0 && !recent.is_empty() && req_rng.chance(self.temporal)
-            {
-                recent[req_rng.index(recent.len())]
-            } else {
-                rank_to_id[cast::index_usize(sampler.sample(&mut req_rng) - 1)]
-            };
-            if recent.len() < window {
-                recent.push(file);
-            } else {
-                recent[cursor] = file;
-                cursor = (cursor + 1) % window;
-            }
-            requests.push(file);
-        }
-
-        Trace::new(self.name.clone(), FileSet::new(sizes_by_id), requests)
+        let stream = RequestStream {
+            sampler,
+            rank_to_id,
+            temporal: self.temporal,
+            window,
+            recent: Vec::with_capacity(window),
+            cursor: 0,
+            rng: req_rng.clone(),
+            rng0: req_rng,
+            remaining: self.num_requests,
+            total: self.num_requests,
+        };
+        (FileSet::new(sizes_by_id), stream)
     }
 }
+
+/// Lazily yields the request sequence of a [`TraceSpec`] — the same ids,
+/// in the same order, as [`TraceSpec::generate`] materializes, but in
+/// O(window) memory. With probability `temporal` a request re-references
+/// a file from the recent-request window (uniformly), modeling the
+/// recency bursts of real access logs on top of the stationary Zipf law.
+#[derive(Clone, Debug)]
+pub struct RequestStream {
+    sampler: ZipfSampler,
+    rank_to_id: Vec<u32>,
+    temporal: f64,
+    window: usize,
+    recent: Vec<u32>,
+    cursor: usize,
+    rng: DetRng,
+    /// Pristine copy of the request RNG, so `rewind` replays the exact
+    /// sequence (the engine's warm-up pass needs two identical laps).
+    rng0: DetRng,
+    remaining: usize,
+    total: usize,
+}
+
+impl RequestStream {
+    /// Total number of requests the stream yields per lap.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Requests not yet yielded in the current lap.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Restarts the sequence from the first request.
+    pub fn rewind(&mut self) {
+        self.rng = self.rng0.clone();
+        self.recent.clear();
+        self.cursor = 0;
+        self.remaining = self.total;
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let file =
+            if self.temporal > 0.0 && !self.recent.is_empty() && self.rng.chance(self.temporal) {
+                self.recent[self.rng.index(self.recent.len())]
+            } else {
+                self.rank_to_id[cast::index_usize(self.sampler.sample(&mut self.rng) - 1)]
+            };
+        if self.recent.len() < self.window {
+            self.recent.push(file);
+        } else {
+            self.recent[self.cursor] = file;
+            self.cursor = (self.cursor + 1) % self.window;
+        }
+        Some(file)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RequestStream {}
 
 /// Assigns `sizes` to popularity ranks so the probability-weighted mean
 /// approximates `target_kb`.
@@ -382,6 +457,77 @@ mod tests {
         assert_eq!(s.num_requests, 100_000);
         assert!(s.working_set_kb > 0.0);
         assert!(s.distinct_files <= 1_000);
+    }
+
+    /// FNV-1a over a request-id sequence: a compact fingerprint of the
+    /// exact bytes a stream yields.
+    fn checksum(ids: impl Iterator<Item = u32>) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in ids {
+            h ^= u64::from(id);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_to_materialized_for_scaled_specs() {
+        for spec in TraceSpec::paper_presets() {
+            let small = spec.scaled(800, 20_000);
+            let materialized = small.generate(42);
+            let (files, stream) = small.stream(42);
+            assert_eq!(
+                files,
+                *materialized.files(),
+                "{}: file sets differ",
+                spec.name
+            );
+            assert_eq!(stream.len(), materialized.len());
+            let streamed: Vec<u32> = stream.collect();
+            let reference: Vec<u32> = materialized.requests().iter().map(|f| f.raw()).collect();
+            assert_eq!(streamed, reference, "{}: request bytes differ", spec.name);
+        }
+    }
+
+    #[test]
+    fn stream_rewind_replays_the_identical_sequence() {
+        let spec = TraceSpec::nasa().scaled(400, 8_000);
+        let (_files, mut stream) = spec.stream(9);
+        let first: Vec<u32> = stream.by_ref().collect();
+        assert_eq!(stream.remaining(), 0);
+        stream.rewind();
+        assert_eq!(stream.remaining(), stream.total());
+        let second: Vec<u32> = stream.by_ref().collect();
+        assert_eq!(first, second, "rewind must replay byte-identically");
+        // Rewinding mid-lap restarts from the top too.
+        stream.rewind();
+        let head: Vec<u32> = stream.by_ref().take(100).collect();
+        assert_eq!(head, first[..100]);
+    }
+
+    /// Full Table 2 pin: the streaming generator's exact output for all
+    /// four presets at their *full* request counts, as FNV-1a checksums
+    /// (computed once from the materialized path, which `generate`
+    /// shares). Comparing fingerprints instead of materialized vectors
+    /// keeps this fast and memory-flat; any drift in the RNG fork order,
+    /// the Zipf sampler, or the recency window flips the checksum.
+    #[test]
+    fn full_table2_stream_checksums_are_pinned() {
+        let pinned = [
+            ("calgary", 0xf47f_9cec_4198_4cf1_u64),
+            ("clarknet", 0xd69a_3fdd_1a61_bd00),
+            ("nasa", 0x9781_2239_45e7_a403),
+            ("rutgers", 0x796d_28d8_0590_05be),
+        ];
+        for (spec, (name, expect)) in TraceSpec::paper_presets().iter().zip(pinned) {
+            assert_eq!(spec.name, name);
+            let (_files, stream) = spec.stream(42);
+            assert_eq!(
+                checksum(stream),
+                expect,
+                "{name}: full-spec request sequence drifted"
+            );
+        }
     }
 
     #[test]
