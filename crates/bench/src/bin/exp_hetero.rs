@@ -1,0 +1,8 @@
+//! Dispatcher × heterogeneity surface (X8): the paper's three servers
+//! plus JSQ(2), join-idle-queue, and a SITA size splitter on uniform,
+//! mild, and extreme hardware mixes over every Table 2 trace, validated
+//! against the heterogeneous closed-form bound.
+
+fn main() {
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_hetero::run);
+}

@@ -11,6 +11,7 @@ pub mod exp_cache_policy;
 pub mod exp_dfs;
 pub mod exp_faults;
 pub mod exp_forwarding;
+pub mod exp_hetero;
 pub mod exp_idle_times;
 pub mod exp_lard_variants;
 pub mod exp_latency_curve;
@@ -70,4 +71,5 @@ pub const ALL: &[(&str, fn() -> Result<(), String>)] = &[
     ("exp_dfs", exp_dfs::run),
     ("exp_cache_policy", exp_cache_policy::run),
     ("exp_faults", exp_faults::run),
+    ("exp_hetero", exp_hetero::run),
 ];

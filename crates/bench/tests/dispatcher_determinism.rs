@@ -1,0 +1,58 @@
+//! Dispatcher-zoo determinism: the `exp_hetero` experiment regenerated
+//! with 4 workers must be byte-identical to the same experiment run
+//! sequentially. This drives the three modern dispatchers — JSQ(2),
+//! join-idle-queue, and the SITA splitter — end-to-end through the
+//! bench executor on every hardware mix, so any completion-order or
+//! shared-state leakage in the new policies (JIQ's idle stack, SITA's
+//! size thresholds, JSQ's sampling RNG) shows up as a byte diff.
+//!
+//! This file deliberately holds a single `#[test]`: the experiment
+//! reads `L2S_WORKERS`, `L2S_BENCH_CAP`, and `L2S_RESULTS_DIR` from
+//! the process environment, and a sibling test mutating them
+//! concurrently would race. CI runs it with `L2S_WORKERS=4` exported
+//! as well, which the explicit `set_var` calls below override per
+//! phase.
+
+#[test]
+fn hetero_experiment_csv_is_byte_identical_across_worker_counts() {
+    // Small cap so both runs finish in seconds; the cap is part of the
+    // cell configuration, so it is identical across the two runs.
+    std::env::set_var("L2S_BENCH_CAP", "2000");
+    let base = std::env::temp_dir().join(format!("l2s-hetero-det-{}", std::process::id()));
+    let seq_dir = base.join("workers1");
+    let par_dir = base.join("workers4");
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    std::fs::create_dir_all(&par_dir).unwrap();
+
+    std::env::set_var("L2S_WORKERS", "1");
+    std::env::set_var("L2S_RESULTS_DIR", &seq_dir);
+    l2s_bench::experiments::exp_hetero::run().unwrap();
+
+    std::env::set_var("L2S_WORKERS", "4");
+    std::env::set_var("L2S_RESULTS_DIR", &par_dir);
+    l2s_bench::experiments::exp_hetero::run().unwrap();
+
+    let sequential = std::fs::read(seq_dir.join("exp_hetero.csv")).unwrap();
+    let parallel = std::fs::read(par_dir.join("exp_hetero.csv")).unwrap();
+    assert!(
+        !sequential.is_empty(),
+        "sequential run produced an empty CSV"
+    );
+    let text = String::from_utf8(sequential.clone()).unwrap();
+    for policy in ["jsq", "jiq", "sita"] {
+        assert!(
+            text.lines().any(|l| l.split(',').nth(2) == Some(policy)),
+            "the surface should carry {policy} rows:\n{text}"
+        );
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.split(',').nth(2) == Some("model_bound")),
+        "the surface should carry closed-form validation rows:\n{text}"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "4-worker hetero CSV must be byte-identical to the sequential CSV"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

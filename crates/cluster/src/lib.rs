@@ -21,13 +21,15 @@ mod cache;
 mod costs;
 mod filecache;
 mod gds;
+mod hetero;
 mod node;
 
 pub use cache::{CacheStats, LruCache};
 pub use costs::NodeCosts;
 pub use filecache::{CachePolicy, FileCache};
 pub use gds::GdsCache;
-pub use node::{build_nodes, NodeHardware};
+pub use hetero::{HeteroSpec, NodeClass, NodeProfile};
+pub use node::{build_nodes, build_nodes_profiled, NodeHardware};
 
 /// Identifies one file served by the cluster — the dense interned index
 /// from `l2s-trace`, re-exported so traces plug in directly and per-file

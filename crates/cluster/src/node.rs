@@ -113,6 +113,20 @@ pub fn build_nodes(
         .collect()
 }
 
+/// Builds one node per [`NodeProfile`](crate::NodeProfile) — the
+/// heterogeneous-cluster counterpart of [`build_nodes`]. CPU speed is
+/// not node hardware state: the engine owns the clock and scales CPU
+/// service times by the profile's multiplier when it schedules work.
+pub fn build_nodes_profiled(
+    profiles: &[crate::NodeProfile],
+    policy: CachePolicy,
+) -> Vec<NodeHardware> {
+    profiles
+        .iter()
+        .map(|p| NodeHardware::with_policy(policy, p.cache_kb, p.ni_buffer))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +220,17 @@ mod tests {
     fn nodes_can_run_gds_caches() {
         let n = NodeHardware::with_policy(CachePolicy::GreedyDualSize, 64.0, 16);
         assert_eq!(n.cache.policy(), CachePolicy::GreedyDualSize);
+    }
+
+    #[test]
+    fn profiled_nodes_follow_their_profiles() {
+        let profiles = crate::HeteroSpec::extreme().profiles(4, 1000.0, 8);
+        let nodes = build_nodes_profiled(&profiles, CachePolicy::Lru);
+        assert_eq!(nodes.len(), 4);
+        for (node, profile) in nodes.iter().zip(&profiles) {
+            assert_eq!(node.cache.capacity_kb(), profile.cache_kb);
+        }
+        // The big node's cache dwarfs the stragglers'.
+        assert!(nodes[0].cache.capacity_kb() > nodes[3].cache.capacity_kb());
     }
 }

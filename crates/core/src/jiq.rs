@@ -1,0 +1,218 @@
+//! JIQ — the join-idle-queue dispatcher (Lu et al., Performance 2011).
+//!
+//! The switch keeps a queue of nodes that have reported themselves idle.
+//! An arrival joins an idle node when one is available and otherwise
+//! falls back to blind round-robin — the dispatcher deliberately ignores
+//! load on busy nodes, which is what makes JIQ's information cost O(1)
+//! per request (one idleness notification, no per-arrival probing).
+//!
+//! In this simulator the switch already observes connection counts for
+//! free (the fewest-connections baseline relies on the same channel), so
+//! idleness notifications are folded into that accounting instead of
+//! being charged as explicit cluster messages — consistent with
+//! [`Traditional`](crate::Traditional), which pays nothing for its
+//! strictly richer per-arrival load view.
+//!
+//! The idle set is the zero-load stratum of a [`LoadIndex`] over the
+//! live nodes; picking from it with rotating tie-breaking spreads
+//! consecutive arrivals over all idle nodes instead of herding onto the
+//! lowest id, and stays O(log n) at 1024 nodes.
+
+use crate::{Assignment, Distributor, LoadIndex, NodeId, PolicyKind};
+use l2s_cluster::FileId;
+use l2s_util::{invariant, SimTime};
+
+/// The join-idle-queue dispatcher. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Jiq {
+    loads: Vec<u32>,
+    alive: Vec<bool>,
+    /// Live nodes keyed by connection count; its zero-load stratum is
+    /// the idle queue.
+    index: LoadIndex,
+    /// Rotating cursor spreading arrivals over tied idle nodes.
+    idle_cursor: usize,
+    /// Round-robin fallback cursor for arrivals that find no idle node.
+    next: usize,
+}
+
+impl Jiq {
+    /// A JIQ dispatcher over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        invariant!(n >= 1, "need at least one node");
+        let mut index = LoadIndex::new(n);
+        for node in 0..n {
+            index.insert(node, 0);
+        }
+        Jiq {
+            loads: vec![0; n],
+            alive: vec![true; n],
+            index,
+            idle_cursor: 0,
+            next: 0,
+        }
+    }
+}
+
+impl Distributor for Jiq {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Jiq
+    }
+
+    fn arrival_node(&mut self) -> NodeId {
+        let node = match self.index.argmin() {
+            Some(least) if self.loads[least] == 0 => {
+                // At least one node is idle: rotate over the idle set
+                // (the minimum-load stratum) so bursts fan out instead
+                // of piling onto the lowest idle id.
+                self.index
+                    .argmin_rotating(&mut self.idle_cursor)
+                    .unwrap_or(least)
+            }
+            _ => {
+                // No idle node: JIQ is load-blind, so plain round-robin
+                // over the live nodes. At least one node is always alive
+                // (enforced by the fault plan), so the scan terminates.
+                let n = self.loads.len();
+                let mut node = self.next;
+                for _ in 0..n {
+                    if self.alive[node] {
+                        break;
+                    }
+                    node = (node + 1) % n;
+                }
+                invariant!(self.alive[node], "jiq found no live node");
+                self.next = (node + 1) % n;
+                node
+            }
+        };
+        self.loads[node] += 1;
+        self.index.set_if_present(node, self.loads[node]);
+        node
+    }
+
+    fn arrival_continuation(&mut self, holder: NodeId) {
+        // The connection stays where it is; the switch sees one more
+        // request on it.
+        self.loads[holder] += 1;
+        self.index.set_if_present(holder, self.loads[holder]);
+    }
+
+    fn assign(&mut self, _now: SimTime, initial: NodeId, _file: FileId) -> Assignment {
+        // The connection was counted at arrival.
+        Assignment {
+            service: initial,
+            forwarded: false,
+            control_msgs: 0,
+        }
+    }
+
+    fn complete(&mut self, _now: SimTime, node: NodeId, _file: FileId) -> u32 {
+        invariant!(
+            self.loads[node] > 0,
+            "load conservation violated: completion on node {node} without an open connection"
+        );
+        self.loads[node] -= 1;
+        self.index.set_if_present(node, self.loads[node]);
+        0
+    }
+
+    fn open_connections(&self, node: NodeId) -> u32 {
+        self.loads[node]
+    }
+
+    fn serving_nodes(&self) -> Vec<NodeId> {
+        (0..self.loads.len()).collect()
+    }
+
+    fn node_down(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = false;
+        self.index.remove(node);
+    }
+
+    fn node_up(&mut self, _now: SimTime, node: NodeId) {
+        self.alive[node] = true;
+        // Strays from before the crash are still settling, so the node
+        // rejoins at its live connection count, not at zero.
+        self.index.insert(node, self.loads[node]);
+    }
+
+    fn abort_undecided(&mut self, _now: SimTime, initial: NodeId) {
+        invariant!(
+            self.loads[initial] > 0,
+            "load conservation violated: abort on node {initial} without an open connection"
+        );
+        self.loads[initial] -= 1;
+        self.index.set_if_present(initial, self.loads[initial]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_nodes_are_taken_before_busy_ones() {
+        let mut p = Jiq::new(3);
+        // First three arrivals drain the idle queue, visiting every node.
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            seen[p.arrival_node()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "an idle node was skipped");
+    }
+
+    #[test]
+    fn busy_cluster_falls_back_to_round_robin() {
+        let mut p = Jiq::new(3);
+        for _ in 0..3 {
+            p.arrival_node(); // all nodes now busy
+        }
+        let seq: Vec<_> = (0..6).map(|_| p.arrival_node()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2], "fallback is blind round-robin");
+    }
+
+    #[test]
+    fn a_completion_reopens_the_idle_queue() {
+        let mut p = Jiq::new(2);
+        let a = p.arrival_node();
+        p.assign(SimTime::ZERO, a, 0.into());
+        let b = p.arrival_node();
+        p.assign(SimTime::ZERO, b, 1.into());
+        p.complete(SimTime::ZERO, a, 0.into());
+        assert_eq!(p.arrival_node(), a, "the newly idle node wins");
+    }
+
+    #[test]
+    fn dead_nodes_leave_both_paths_and_rejoin() {
+        let mut p = Jiq::new(3);
+        p.node_down(SimTime::ZERO, 1);
+        for _ in 0..9 {
+            assert_ne!(p.arrival_node(), 1, "dead node got a connection");
+        }
+        p.node_up(SimTime::ZERO, 1);
+        // Node 1 is idle (load 0) while the others carry backlog.
+        assert_eq!(p.arrival_node(), 1, "recovered idle node wins");
+    }
+
+    #[test]
+    fn abort_undecided_releases_the_connection() {
+        let mut p = Jiq::new(2);
+        let n = p.arrival_node();
+        assert_eq!(p.open_connections(n), 1);
+        p.abort_undecided(SimTime::ZERO, n);
+        assert_eq!(p.open_connections(n), 0);
+    }
+
+    #[test]
+    fn never_forwards_and_sends_no_messages() {
+        let mut p = Jiq::new(4);
+        for f in 0..20u32 {
+            let n = p.arrival_node();
+            let a = p.assign(SimTime::ZERO, n, f.into());
+            assert!(!a.forwarded);
+            assert_eq!(a.control_msgs, 0);
+            assert_eq!(p.complete(SimTime::ZERO, n, f.into()), 0);
+        }
+    }
+}

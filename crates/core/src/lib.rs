@@ -30,15 +30,21 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod jiq;
+mod jsq;
 mod l2s_policy;
 mod lard;
 mod load_index;
+mod sita;
 
 pub use load_index::LoadIndex;
 
 pub use baseline::{PureLocality, RoundRobin, Traditional};
+pub use jiq::Jiq;
+pub use jsq::Jsq;
 pub use l2s_policy::{L2s, L2sConfig};
 pub use lard::{Lard, LardConfig};
+pub use sita::Sita;
 
 use l2s_cluster::FileId;
 use l2s_util::SimTime;
@@ -67,11 +73,21 @@ pub enum PolicyKind {
     LardDispatcher,
     /// The paper's fully distributed L2S.
     L2s,
+    /// JSQ(d) / power-of-d-choices: the switch samples `d` live nodes
+    /// per arrival and delivers to the least loaded of the sample.
+    Jsq,
+    /// Join-idle-queue: arrivals go to a node that reported itself
+    /// idle, or round-robin when none has.
+    Jiq,
+    /// Size-interval task assignment: each node owns a contiguous band
+    /// of the file-size distribution.
+    Sita,
 }
 
 impl PolicyKind {
-    /// All policy kinds, in the paper's comparison order.
-    pub fn all() -> [PolicyKind; 7] {
+    /// All policy kinds: the paper's comparison order, then the modern
+    /// dispatcher zoo.
+    pub fn all() -> [PolicyKind; 10] {
         [
             PolicyKind::Traditional,
             PolicyKind::RoundRobin,
@@ -80,6 +96,9 @@ impl PolicyKind {
             PolicyKind::LardBasic,
             PolicyKind::LardDispatcher,
             PolicyKind::L2s,
+            PolicyKind::Jsq,
+            PolicyKind::Jiq,
+            PolicyKind::Sita,
         ]
     }
 
@@ -93,6 +112,9 @@ impl PolicyKind {
             PolicyKind::LardBasic => "lard-basic",
             PolicyKind::LardDispatcher => "lard-dispatcher",
             PolicyKind::L2s => "l2s",
+            PolicyKind::Jsq => "jsq",
+            PolicyKind::Jiq => "jiq",
+            PolicyKind::Sita => "sita",
         }
     }
 
@@ -107,6 +129,9 @@ impl PolicyKind {
             PolicyKind::LardBasic => Box::new(Lard::basic(n, LardConfig::default())),
             PolicyKind::LardDispatcher => Box::new(Lard::dispatcher(n, LardConfig::default())),
             PolicyKind::L2s => Box::new(L2s::new(n, L2sConfig::default())),
+            PolicyKind::Jsq => Box::new(Jsq::new(n, Jsq::DEFAULT_D, Jsq::DEFAULT_SEED)),
+            PolicyKind::Jiq => Box::new(Jiq::new(n)),
+            PolicyKind::Sita => Box::new(Sita::new(n)),
         }
     }
 }
@@ -148,6 +173,15 @@ pub trait Distributor {
     /// default.
     fn hint_files(&mut self, n: usize) {
         let _ = n;
+    }
+
+    /// Hints per-file sizes in KB, indexed by interned file id —
+    /// modeling the administrator-supplied size census size-aware
+    /// splitters are configured from. Called once per run, before any
+    /// request. Only size-aware policies ([`Sita`]) override the
+    /// default no-op.
+    fn hint_file_sizes(&mut self, sizes: &[f64]) {
+        let _ = sizes;
     }
 
     /// A continuation request arrived at `holder` over an existing

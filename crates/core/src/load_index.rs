@@ -169,6 +169,24 @@ impl LoadIndex {
         Some(key_node(winner))
     }
 
+    /// Node id of the `k`-th present node (0-based, in ascending id
+    /// order) — the order statistic JSQ(d) draws its random sample over:
+    /// a uniform rank in `[0, len())` maps to a uniform present node in
+    /// O(log n), with no rejection loop over dead ids.
+    pub fn nth_present(&self, k: usize) -> NodeId {
+        self.kth_present(k)
+    }
+
+    /// The load recorded for `node`, or `None` when it is absent.
+    pub fn load_of(&self, node: NodeId) -> Option<u32> {
+        if self.contains(node) {
+            let load = key_load(self.min_key[self.size + node]);
+            Some(cast::index_u32(cast::index_usize(load)))
+        } else {
+            None
+        }
+    }
+
     /// Node id of the `k`-th present leaf (0-based, ascending id).
     fn kth_present(&self, mut k: usize) -> NodeId {
         invariant!(k < self.len(), "rank {k} out of range");
@@ -291,6 +309,28 @@ mod tests {
                 assert_eq!(c1, c2);
             }
         }
+    }
+
+    #[test]
+    fn nth_present_walks_live_nodes_in_id_order() {
+        let mut ix = full(6);
+        ix.remove(1);
+        ix.remove(4);
+        // Present: 0, 2, 3, 5.
+        assert_eq!(ix.nth_present(0), 0);
+        assert_eq!(ix.nth_present(1), 2);
+        assert_eq!(ix.nth_present(2), 3);
+        assert_eq!(ix.nth_present(3), 5);
+    }
+
+    #[test]
+    fn load_of_reports_present_loads_only() {
+        let mut ix = full(3);
+        ix.update(1, 7);
+        assert_eq!(ix.load_of(0), Some(0));
+        assert_eq!(ix.load_of(1), Some(7));
+        ix.remove(2);
+        assert_eq!(ix.load_of(2), None);
     }
 
     #[test]

@@ -216,6 +216,46 @@ impl QueueModel {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Closed-form saturation bound for a *heterogeneous* cluster whose
+    /// node `i` runs its CPU at `speeds[i]` × the baseline node.
+    ///
+    /// Van der Boor & Comte's analysis of load balancing on
+    /// heterogeneous clusters (see PAPERS.md) gives the fluid-limit
+    /// result this encodes: under any work-conserving dispatcher that
+    /// keeps fast nodes busy (least-loaded sampling, idle-queue, or
+    /// speed-proportional size splitting), the CPU station saturates at
+    /// the *aggregate* capacity `Σᵢ sᵢ`, not `n × min sᵢ`. Only CPU
+    /// demands scale with speed — disk and NI hardware stay baseline —
+    /// so the other stations keep their homogeneous capacities and the
+    /// bound is still `min_k (capacity_k / demand_k)`. With all speeds
+    /// 1.0 this is exactly [`QueueModel::max_throughput_derived`].
+    pub fn max_throughput_hetero(&self, derived: &Derived, speeds: &[f64]) -> f64 {
+        l2s_util::invariant!(
+            speeds.len() == self.params.nodes,
+            "need one CPU speed per node ({got} for {n})",
+            got = speeds.len(),
+            n = self.params.nodes
+        );
+        let demands = self.demands(derived);
+        let total_speed: f64 = speeds.iter().sum();
+        demands
+            .stations(self.params.nodes)
+            .iter()
+            .map(|(name, d, count)| {
+                if *d <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    let capacity = if *name == "cpu" {
+                        total_speed
+                    } else {
+                        cast::len_f64(*count)
+                    };
+                    capacity / d
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Ratio of locality-conscious to locality-oblivious throughput at a
     /// given oblivious hit rate — the quantity plotted in Figures 5 and 6.
     pub fn throughput_increase(&self, hlo: f64) -> f64 {
@@ -512,6 +552,55 @@ mod tests {
         }
         // Original default model unused warning guard.
         let _ = m;
+    }
+
+    #[test]
+    fn hetero_bound_collapses_to_homogeneous_at_unit_speeds() {
+        let m = model();
+        for hlo in [0.2, 0.6, 0.95] {
+            let d = m.derived_from_hlo(ServerKind::LocalityOblivious, hlo);
+            let homo = m.max_throughput_derived(&d);
+            let hetero = m.max_throughput_hetero(&d, &vec![1.0; m.params().nodes]);
+            assert_eq!(homo, hetero, "hlo={hlo}");
+        }
+    }
+
+    #[test]
+    fn hetero_bound_scales_cpu_capacity_by_aggregate_speed() {
+        // Small files + perfect hit rate → the CPU is the bottleneck, so
+        // the bound must scale exactly with Σ speeds.
+        let p = ModelParams {
+            avg_file_kb: 4.0,
+            ..ModelParams::default()
+        };
+        let m = QueueModel::new(p).unwrap();
+        let d = m.derived_from_hlo(ServerKind::LocalityOblivious, 1.0);
+        let n = m.params().nodes;
+        let base = m.max_throughput_hetero(&d, &vec![1.0; n]);
+        // A 1:3 mix of 4× and 0.5× nodes: aggregate 1.375× capacity.
+        let mut speeds = vec![0.5; n];
+        for s in speeds.iter_mut().take(n / 4) {
+            *s = 4.0;
+        }
+        let mixed = m.max_throughput_hetero(&d, &speeds);
+        let agg: f64 = speeds.iter().sum::<f64>() / cast::len_f64(n);
+        assert!(
+            (mixed / base - agg).abs() < 1e-9,
+            "mixed/base = {} expected {agg}",
+            mixed / base
+        );
+    }
+
+    #[test]
+    fn hetero_bound_ignores_cpu_speed_when_disk_bound() {
+        // At a moderate hit rate the oblivious server is disk-bound;
+        // faster CPUs must not move the bound at all.
+        let m = model();
+        let d = m.derived_from_hlo(ServerKind::LocalityOblivious, 0.6);
+        let n = m.params().nodes;
+        let base = m.max_throughput_hetero(&d, &vec![1.0; n]);
+        let fast = m.max_throughput_hetero(&d, &vec![8.0; n]);
+        assert_eq!(base, fast, "disk-bound cluster is CPU-speed-insensitive");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::FaultPlan;
 use l2s::{L2sConfig, LardConfig};
-use l2s_cluster::{CachePolicy, NodeCosts};
+use l2s_cluster::{CachePolicy, HeteroSpec, NodeCosts};
 use l2s_net::NetConfig;
 
 /// How client requests enter the cluster.
@@ -106,8 +106,17 @@ pub struct SimConfig {
     /// When true (the default), every response time is recorded
     /// individually so the report's p99 is exact. Scaling sweeps over
     /// 10⁸+ requests disable this: the report then carries a streaming
-    /// mean (identical workload, O(1) memory) and a p99 of 0.
+    /// mean (identical workload, O(1) memory) and no p99.
     pub response_samples: bool,
+    /// Optional heterogeneous hardware mix. `None` (the default) builds
+    /// the paper's identical nodes and is byte-for-byte the historical
+    /// behavior; `Some(spec)` expands the spec into per-node CPU speeds,
+    /// cache sizes, and NI buffers (scaling `cache_kb` / `ni_buffer` as
+    /// the baseline).
+    pub hetero: Option<HeteroSpec>,
+    /// Number of nodes JSQ(d) samples per arrival (default 2, the
+    /// power-of-two-choices operating point). Ignored by other policies.
+    pub jsq_d: u32,
 }
 
 impl SimConfig {
@@ -135,6 +144,8 @@ impl SimConfig {
             fault_retries: 1,
             retry_delay_s: 0.5,
             response_samples: true,
+            hetero: None,
+            jsq_d: 2,
         }
     }
 
@@ -183,6 +194,14 @@ impl SimConfig {
         }
         if self.retry_delay_s < 0.0 || !self.retry_delay_s.is_finite() {
             return Err("retry_delay_s must be finite and non-negative".into());
+        }
+        if self.jsq_d == 0 {
+            return Err("jsq_d must be >= 1".into());
+        }
+        if let Some(hetero) = &self.hetero {
+            // Construction already validated the classes; re-validating
+            // here catches specs mutated through Clone + field access.
+            HeteroSpec::new(hetero.classes().to_vec())?;
         }
         self.faults.validate(self.nodes)?;
         Ok(())
@@ -253,6 +272,17 @@ mod tests {
         c.faults = crate::FaultPlan::none();
         c.retry_delay_s = f64::NAN;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hetero_and_jsq_knobs_are_validated() {
+        let mut c = SimConfig::paper_default(8);
+        assert!(c.hetero.is_none(), "default cluster is homogeneous");
+        assert_eq!(c.jsq_d, 2, "power-of-two choices by default");
+        c.hetero = Some(HeteroSpec::extreme());
+        c.validate().unwrap();
+        c.jsq_d = 0;
+        assert!(c.validate().is_err(), "JSQ(0) samples nothing");
     }
 
     #[test]

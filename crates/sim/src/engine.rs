@@ -3,8 +3,11 @@
 use crate::arena::{Flow, ReqArena, ReqId, Route, Timing};
 use crate::workload::{TraceWorkload, Workload};
 use crate::{ArrivalMode, FaultKind, NodeReport, SimConfig, SimReport};
-use l2s::{Distributor, L2s, Lard, NodeId, PolicyKind, PureLocality, RoundRobin, Traditional};
-use l2s_cluster::{build_nodes, FileId, NodeHardware};
+use l2s::{
+    Distributor, Jiq, Jsq, L2s, Lard, NodeId, PolicyKind, PureLocality, RoundRobin, Sita,
+    Traditional,
+};
+use l2s_cluster::{build_nodes, build_nodes_profiled, FileId, NodeHardware};
 use l2s_devs::EventQueue;
 use l2s_net::Fabric;
 use l2s_trace::{FileSet, Trace};
@@ -169,6 +172,10 @@ struct Engine<'t> {
     limit: usize,
     policy: Box<dyn Distributor>,
     nodes: Vec<NodeHardware>,
+    /// Per-node CPU speed multiplier (all 1.0 on a homogeneous cluster).
+    /// The stations keep wall-clock time; the engine divides CPU service
+    /// demands by the node's speed when it schedules them.
+    cpu_speed: Vec<f64>,
     fabric: Fabric,
     queue: EventQueue<Ev>,
     arena: ReqArena,
@@ -216,6 +223,14 @@ fn build_policy(kind: PolicyKind, config: &SimConfig) -> Box<dyn Distributor> {
         PolicyKind::LardBasic => Box::new(Lard::basic(n, config.lard)),
         PolicyKind::LardDispatcher => Box::new(Lard::dispatcher(n, config.lard)),
         PolicyKind::L2s => Box::new(L2s::new(n, config.l2s)),
+        PolicyKind::Jsq => Box::new(Jsq::new(n, cast::wide_usize(config.jsq_d), config.seed)),
+        PolicyKind::Jiq => Box::new(Jiq::new(n)),
+        // On a heterogeneous cluster SITA widens fast nodes' size bands
+        // in proportion to their CPU speed.
+        PolicyKind::Sita => match &config.hetero {
+            Some(h) => Box::new(Sita::weighted(n, h.speeds(n))),
+            None => Box::new(Sita::new(n)),
+        },
     }
 }
 
@@ -249,6 +264,18 @@ pub fn simulate_workload(
     // Files are interned densely, so policies can size their per-file
     // tables once instead of growing them request by request.
     policy.hint_files(workload.files().len());
+    if policy_kind == PolicyKind::Sita {
+        // SITA splits by size: hand it the file population up front so
+        // its bands cover the run's actual byte distribution.
+        let sizes: Vec<f64> = workload.files().iter().map(|(_, kb)| kb).collect();
+        policy.hint_file_sizes(&sizes);
+    }
+    // A heterogeneous mix expands into per-node profiles; `None` takes
+    // the historical identical-nodes path byte for byte.
+    let profiles = config
+        .hetero
+        .as_ref()
+        .map(|h| h.profiles(config.nodes, config.cache_kb, config.ni_buffer));
     let window = config.total_window();
     let cc = CostCache::new(config, workload.files());
     // Per-request samples are the default; scaling sweeps run lean and
@@ -260,12 +287,19 @@ pub fn simulate_workload(
         workload,
         limit,
         policy,
-        nodes: build_nodes(
-            config.nodes,
-            config.cache_policy,
-            config.cache_kb,
-            config.ni_buffer,
-        ),
+        nodes: match &profiles {
+            Some(p) => build_nodes_profiled(p, config.cache_policy),
+            None => build_nodes(
+                config.nodes,
+                config.cache_policy,
+                config.cache_kb,
+                config.ni_buffer,
+            ),
+        },
+        cpu_speed: profiles
+            .as_ref()
+            .map(|p| p.iter().map(|q| q.cpu_speed).collect())
+            .unwrap_or_else(|| vec![1.0; config.nodes]),
         fabric: Fabric::new(config.net),
         // Every in-flight request holds at most one pending event, plus
         // one slot for the open-loop arrival timer.
@@ -358,16 +392,29 @@ impl<'t> Engine<'t> {
         k.clamp(1.0, 10_000.0) as u32
     }
 
-    /// Injects one request at `initial`, entering through the router.
-    /// Returns the request id.
+    /// Draws the next request's file from the workload. `None` means the
+    /// source ran dry — possibly before its advertised `len` — in which
+    /// case the pass's request budget is clamped to what was actually
+    /// drawn, so every injection loop winds down instead of fabricating
+    /// requests for a default file.
+    fn next_workload_file(&mut self) -> Option<FileId> {
+        let file = self.workload.next_file();
+        if file.is_none() {
+            self.limit = self.next_request;
+        }
+        file
+    }
+
+    /// Injects one request for `file` at `initial`, entering through the
+    /// router. Returns the request id.
     fn launch_request(
         &mut self,
         now: SimTime,
         initial: NodeId,
         conn_remaining: u32,
         continuation: bool,
+        file: FileId,
     ) -> ReqId {
-        let file = self.workload.next_file();
         self.next_request += 1;
         let id = self.arena.alloc(
             Route::new(file, initial, self.node_epoch[initial]),
@@ -432,9 +479,12 @@ impl<'t> Engine<'t> {
                 self.router_gate = gate;
                 return;
             }
+            let Some(file) = self.next_workload_file() else {
+                return;
+            };
             let initial = self.policy.arrival_node();
             let conn = self.draw_connection_len() - 1;
-            self.launch_request(now, initial, conn, false);
+            self.launch_request(now, initial, conn, false, file);
         }
     }
 
@@ -480,7 +530,8 @@ impl<'t> Engine<'t> {
             }
             Ev::Parse(id) => {
                 let node = self.arena.route(id).initial();
-                let done = self.nodes[node].cpu.schedule(now, self.cc.parse);
+                let svc = self.cpu_time(node, self.cc.parse);
+                let done = self.nodes[node].cpu.schedule(now, svc);
                 self.queue.schedule(done, Ev::Decide(id));
             }
             Ev::Decide(id) => {
@@ -506,7 +557,8 @@ impl<'t> Engine<'t> {
                 }
                 if assignment.forwarded {
                     self.measure.forwarded += 1;
-                    let done = self.nodes[initial].cpu.schedule(now, self.cc.forward);
+                    let svc = self.cpu_time(initial, self.cc.forward);
+                    let done = self.nodes[initial].cpu.schedule(now, svc);
                     self.queue.schedule(done, Ev::HandoffOut(id));
                 } else {
                     self.queue.schedule(now, Ev::Serve(id));
@@ -537,14 +589,16 @@ impl<'t> Engine<'t> {
                 let forwarded = self.arena.flow(id).forwarded;
                 let hit = self.nodes[node].access_file(file, self.cc.file(file).kb);
                 if hit {
-                    self.arena.flow_mut(id).reply_remaining = self.reply_cpu_time(file, forwarded);
+                    self.arena.flow_mut(id).reply_remaining =
+                        self.reply_cpu_time(node, file, forwarded);
                     self.schedule_reply_chunk(id, now);
                 } else {
                     let home = dfs_home(file, self.config.nodes);
                     if self.config.dfs_remote && home != node {
                         // Remote miss: ask the home node's disk through
                         // the cluster network.
-                        let sent = self.nodes[node].cpu.schedule(now, self.cc.msg_cpu);
+                        let svc = self.cpu_time(node, self.cc.msg_cpu);
+                        let sent = self.nodes[node].cpu.schedule(now, svc);
                         let on_wire = self.nodes[node].ni_out.schedule(sent, self.cc.msg_ni);
                         let arrived = self.fabric.switch_transit(on_wire);
                         self.arena.route_mut(id).epoch = self.node_epoch[home];
@@ -558,9 +612,13 @@ impl<'t> Engine<'t> {
                 }
             }
             Ev::ReplyReady(id) => {
-                let file = self.arena.route(id).file;
+                let (node, file) = {
+                    let r = self.arena.route(id);
+                    (r.service(), r.file)
+                };
                 let forwarded = self.arena.flow(id).forwarded;
-                self.arena.flow_mut(id).reply_remaining = self.reply_cpu_time(file, forwarded);
+                self.arena.flow_mut(id).reply_remaining =
+                    self.reply_cpu_time(node, file, forwarded);
                 self.schedule_reply_chunk(id, now);
             }
             Ev::ReplyChunk(id) => {
@@ -585,10 +643,12 @@ impl<'t> Engine<'t> {
                 self.queue.schedule(done, Ev::Done(id));
             }
             Ev::ClientArrival => {
-                let initial = self.policy.arrival_node();
-                let conn = self.draw_connection_len() - 1;
-                self.launch_request(now, initial, conn, false);
-                self.schedule_next_arrival();
+                if let Some(file) = self.next_workload_file() {
+                    let initial = self.policy.arrival_node();
+                    let conn = self.draw_connection_len() - 1;
+                    self.launch_request(now, initial, conn, false, file);
+                    self.schedule_next_arrival();
+                }
             }
             Ev::DfsRead(id) => {
                 let (node, file) = {
@@ -666,11 +726,13 @@ impl<'t> Engine<'t> {
                 self.outstanding -= 1;
                 self.arena.release(id);
                 if conn_remaining > 0 && self.next_request < self.limit {
-                    // Persistent connection: the next request of this
-                    // connection arrives at the node that just served —
-                    // it holds the connection and acts as initial node.
-                    self.policy.arrival_continuation(node);
-                    self.launch_request(now, node, conn_remaining - 1, true);
+                    if let Some(file) = self.next_workload_file() {
+                        // Persistent connection: the next request of this
+                        // connection arrives at the node that just served —
+                        // it holds the connection and acts as initial node.
+                        self.policy.arrival_continuation(node);
+                        self.launch_request(now, node, conn_remaining - 1, true, file);
+                    }
                 }
             }
             Ev::Fault(node, up) => {
@@ -786,14 +848,32 @@ impl<'t> Engine<'t> {
         self.policy.node_up(now, node);
     }
 
-    /// CPU time for a reply: the µm cost plus, for handed-off requests,
-    /// the small-message receive cost.
-    fn reply_cpu_time(&self, file: FileId, forwarded: bool) -> SimDuration {
+    /// Scales a CPU service demand by `node`'s speed multiplier: a 2×
+    /// node finishes the same work in half the wall-clock time. The
+    /// homogeneous case (speed 1.0, the default) returns `base`
+    /// untouched, keeping those runs bit-identical to the pre-hetero
+    /// engine. Only CPU demands scale — disk, NI, and router times are
+    /// hardware the speed multiplier does not model.
+    #[inline]
+    fn cpu_time(&self, node: NodeId, base: SimDuration) -> SimDuration {
+        let speed = self.cpu_speed[node];
+        if speed == 1.0 {
+            base
+        } else {
+            SimDuration::from_nanos(cast::round_u64(cast::exact_f64(base.as_nanos()) / speed))
+        }
+    }
+
+    /// CPU time for a reply on `node`: the µm cost plus, for handed-off
+    /// requests, the small-message receive cost, scaled by the node's
+    /// speed. (The scheduling quantum stays in wall-clock units — a fast
+    /// CPU drains more reply work per 500 µs slice, not shorter slices.)
+    fn reply_cpu_time(&self, node: NodeId, file: FileId, forwarded: bool) -> SimDuration {
         let mut t = self.cc.file(file).mem_reply;
         if forwarded {
             t += self.cc.msg_cpu;
         }
-        t
+        self.cpu_time(node, t)
     }
 
     /// Charges the next quantum of a reply's CPU work; re-queues itself
@@ -836,12 +916,14 @@ impl<'t> Engine<'t> {
             // a message being emitted and this charge. Work must never
             // accrue on a crashed node's stations.
             if self.alive[from] {
-                self.nodes[from].cpu.schedule(now, self.cc.msg_cpu);
+                let svc = self.cpu_time(from, self.cc.msg_cpu);
+                self.nodes[from].cpu.schedule(now, svc);
                 self.nodes[from].ni_out.schedule(now, self.cc.msg_ni);
             }
             if self.alive[to] {
                 self.nodes[to].ni_in.schedule(now, self.cc.msg_ni);
-                self.nodes[to].cpu.schedule(now, self.cc.msg_cpu);
+                let svc = self.cpu_time(to, self.cc.msg_cpu);
+                self.nodes[to].cpu.schedule(now, svc);
             }
         }
         buf.clear();
@@ -912,7 +994,7 @@ impl<'t> Engine<'t> {
         // With per-request samples the mean is the exact sorted sum (the
         // float-order-stable path every golden figure was pinned under);
         // lean runs fall back to the streaming moments. p99 needs the
-        // samples and reads 0 without them.
+        // samples and reports `None` without them.
         let mean_response = if !sorted.is_empty() {
             sorted.iter().sum::<f64>() / sorted.len() as f64
         } else {
@@ -947,7 +1029,7 @@ impl<'t> Engine<'t> {
                 self.measure.control_msgs as f64 / self.measure.completed as f64
             },
             mean_response_s: mean_response,
-            p99_response_s: quantile(&sorted, 0.99).unwrap_or(0.0),
+            p99_response_s: quantile(&sorted, 0.99),
             segment_means_s: [
                 self.measure.seg_ingress.mean(),
                 self.measure.seg_handoff.mean(),
@@ -1040,8 +1122,8 @@ mod tests {
             lean.mean_response_s,
             full.mean_response_s
         );
-        assert_eq!(lean.p99_response_s, 0.0, "p99 needs samples");
-        assert!(full.p99_response_s > 0.0);
+        assert_eq!(lean.p99_response_s, None, "p99 needs samples");
+        assert!(full.p99_response_s.expect("sampled run has a p99") > 0.0);
     }
 
     #[test]
@@ -1251,13 +1333,123 @@ mod tests {
         let trace = small_trace(10);
         let report = simulate(&small_config(4), PolicyKind::L2s, &trace);
         assert!(report.mean_response_s > 0.0);
-        assert!(report.p99_response_s >= report.mean_response_s * 0.5);
+        let p99 = report.p99_response_s.expect("sampled run has a p99");
+        assert!(p99 >= report.mean_response_s * 0.5);
         // Nothing should take longer than a few seconds of simulated time.
-        assert!(
-            report.p99_response_s < 10.0,
-            "p99 = {}",
-            report.p99_response_s
+        assert!(p99 < 10.0, "p99 = {p99}");
+    }
+
+    /// A workload that advertises more requests than its backing trace
+    /// holds — the shape of the regression where an exhausted stream
+    /// silently became an endless run of requests for file 0.
+    struct Lying<'t> {
+        inner: TraceWorkload<'t>,
+        claimed: usize,
+    }
+
+    impl Workload for Lying<'_> {
+        fn files(&self) -> &FileSet {
+            self.inner.files()
+        }
+        fn len(&self) -> usize {
+            self.claimed
+        }
+        fn next_file(&mut self) -> Option<FileId> {
+            self.inner.next_file()
+        }
+        fn rewind(&mut self) {
+            self.inner.rewind();
+        }
+    }
+
+    #[test]
+    fn a_workload_that_runs_dry_ends_the_run_instead_of_serving_file_zero() {
+        let trace = small_trace(32);
+        let mut lying = Lying {
+            inner: TraceWorkload::new(&trace),
+            claimed: trace.len() * 2,
+        };
+        let r = simulate_workload(&small_config(4), PolicyKind::Traditional, &mut lying);
+        assert_eq!(
+            r.completed,
+            trace.len() as u64,
+            "only real requests are served"
         );
+        assert_eq!(r.failed, 0);
+    }
+
+    #[test]
+    fn a_dry_open_loop_workload_also_winds_down() {
+        let trace = small_trace(33);
+        let mut lying = Lying {
+            inner: TraceWorkload::new(&trace),
+            claimed: trace.len() * 2,
+        };
+        let mut cfg = small_config(4);
+        cfg.arrivals = crate::ArrivalMode::Poisson { rate_rps: 400.0 };
+        let r = simulate_workload(&cfg, PolicyKind::Traditional, &mut lying);
+        assert_eq!(r.completed, trace.len() as u64);
+    }
+
+    #[test]
+    fn hetero_uniform_matches_the_homogeneous_run_exactly() {
+        let trace = small_trace(30);
+        let base = small_config(4);
+        let mut uni = base.clone();
+        uni.hetero = Some(l2s_cluster::HeteroSpec::uniform());
+        for kind in [PolicyKind::L2s, PolicyKind::Jsq, PolicyKind::Sita] {
+            let a = simulate(&base, kind, &trace);
+            let b = simulate(&uni, kind, &trace);
+            assert_eq!(a, b, "{} diverged under the uniform spec", kind.name());
+        }
+    }
+
+    #[test]
+    fn hetero_fast_nodes_absorb_more_load_under_jsq() {
+        let trace = small_trace(31);
+        let mut cfg = small_config(8);
+        cfg.hetero = Some(l2s_cluster::HeteroSpec::extreme());
+        let r = simulate(&cfg, PolicyKind::Jsq, &trace);
+        assert_eq!(r.completed, trace.len() as u64);
+        // The extreme mix puts two 4× nodes in front of six 0.5× ones;
+        // least-loaded sampling should complete more per fast node.
+        let fast: u64 = r.per_node[..2].iter().map(|n| n.completed).sum();
+        let slow: u64 = r.per_node[2..].iter().map(|n| n.completed).sum();
+        assert!(
+            fast * 6 > slow * 2,
+            "per-node: fast {fast}/2 !> slow {slow}/6"
+        );
+    }
+
+    #[test]
+    fn new_dispatchers_run_deterministically() {
+        let trace = small_trace(34);
+        let cfg = small_config(4);
+        for kind in [PolicyKind::Jsq, PolicyKind::Jiq, PolicyKind::Sita] {
+            let a = simulate(&cfg, kind, &trace);
+            let b = simulate(&cfg, kind, &trace);
+            assert_eq!(a, b, "{} is not deterministic", kind.name());
+            assert_eq!(a.completed, trace.len() as u64, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn jsq_d_widens_the_choice_set() {
+        let trace = small_trace(35);
+        let mut d1 = small_config(8);
+        d1.jsq_d = 1;
+        let mut d4 = d1.clone();
+        d4.jsq_d = 4;
+        let r1 = simulate(&d1, PolicyKind::Jsq, &trace);
+        let r4 = simulate(&d4, PolicyKind::Jsq, &trace);
+        assert_eq!(r1.completed, r4.completed);
+        // d = 1 is random placement, d = 4 samples four nodes: the knob
+        // must actually reach the policy and change the placements. (The
+        // closed loop's admission window already bounds imbalance, so
+        // per-node counts are not a useful discriminator here.)
+        let counts_1: Vec<u64> = r1.per_node.iter().map(|n| n.completed).collect();
+        let counts_4: Vec<u64> = r4.per_node.iter().map(|n| n.completed).collect();
+        assert_ne!(counts_1, counts_4, "jsq_d is not reaching the policy");
     }
 
     /// A crash/recovery pair sized to `kind`'s healthy run: `node` dies

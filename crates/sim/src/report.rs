@@ -59,8 +59,11 @@ pub struct SimReport {
     pub control_msgs_per_request: f64,
     /// Mean end-to-end response time in seconds.
     pub mean_response_s: f64,
-    /// 99th-percentile response time in seconds.
-    pub p99_response_s: f64,
+    /// 99th-percentile response time in seconds. `None` when the run
+    /// recorded no individual samples — either `response_samples` was
+    /// off (lean scaling sweeps) or no request completed at all — so an
+    /// absent percentile can never masquerade as a 0.0 s one.
+    pub p99_response_s: Option<f64>,
     /// Mean time per lifecycle segment in seconds: `[ingress, handoff,
     /// service]` — client arrival through distribution decision, decision
     /// through readiness at the service node, and readiness through reply
@@ -165,7 +168,7 @@ mod tests {
             router_utilization: 0.0,
             control_msgs_per_request: 0.0,
             mean_response_s: 0.0,
-            p99_response_s: 0.0,
+            p99_response_s: None,
             segment_means_s: [0.0; 3],
             failed: 0,
             retried: 0,
@@ -193,7 +196,7 @@ mod tests {
             router_utilization: 0.0,
             control_msgs_per_request: 0.0,
             mean_response_s: 0.0,
-            p99_response_s: 0.0,
+            p99_response_s: None,
             segment_means_s: [0.0; 3],
             failed: 0,
             retried: 0,

@@ -13,7 +13,6 @@
 //! checksums over every Table 2 preset to keep it that way.
 
 use l2s_trace::{FileId, FileSet, RequestStream, Trace, TraceSpec};
-use l2s_util::invariant;
 
 /// A source of simulated requests: a file population plus an ordered
 /// request sequence of known length that can be replayed.
@@ -36,9 +35,14 @@ pub trait Workload {
         self.len() == 0
     }
 
-    /// The next request's file. Callers must not draw more than
-    /// [`len`](Workload::len) requests per pass.
-    fn next_file(&mut self) -> FileId;
+    /// The next request's file, or `None` when the pass is exhausted.
+    ///
+    /// Exhaustion is an explicit end-of-workload signal: a source that
+    /// runs dry — even one whose [`len`](Workload::len) promised more —
+    /// must return `None` rather than fabricate requests. (An earlier
+    /// version papered over exhaustion with `unwrap_or(0)`, turning a
+    /// drained stream into an endless run of requests for file 0.)
+    fn next_file(&mut self) -> Option<FileId>;
 
     /// Restarts the sequence from the first request, replaying the
     /// identical order.
@@ -69,9 +73,11 @@ impl Workload for TraceWorkload<'_> {
         self.trace.len()
     }
 
-    fn next_file(&mut self) -> FileId {
-        let file = self.trace.requests()[self.pos];
-        self.pos += 1;
+    fn next_file(&mut self) -> Option<FileId> {
+        let file = self.trace.requests().get(self.pos).copied();
+        if file.is_some() {
+            self.pos += 1;
+        }
         file
     }
 
@@ -109,12 +115,8 @@ impl Workload for SynthWorkload {
         self.stream.total()
     }
 
-    fn next_file(&mut self) -> FileId {
-        invariant!(
-            self.stream.remaining() > 0,
-            "synthetic workload exhausted: next_file past len"
-        );
-        FileId::from(self.stream.next().unwrap_or(0))
+    fn next_file(&mut self) -> Option<FileId> {
+        self.stream.next().map(FileId::from)
     }
 
     fn rewind(&mut self) {
@@ -132,11 +134,45 @@ mod tests {
         let mut w = TraceWorkload::new(&trace);
         assert_eq!(w.len(), trace.len());
         assert_eq!(w.files(), trace.files());
-        let first: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        let first: Vec<FileId> = (0..w.len())
+            .map(|_| w.next_file().expect("within len"))
+            .collect();
         assert_eq!(first, trace.requests());
         w.rewind();
-        let second: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        let second: Vec<FileId> = (0..w.len())
+            .map(|_| w.next_file().expect("within len"))
+            .collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn trace_workload_signals_exhaustion_explicitly() {
+        let trace = TraceSpec::calgary().scaled(50, 300).generate(9);
+        let mut w = TraceWorkload::new(&trace);
+        for _ in 0..w.len() {
+            assert!(w.next_file().is_some());
+        }
+        assert_eq!(w.next_file(), None, "the drained pass must say so");
+        assert_eq!(w.next_file(), None, "and keep saying so");
+        w.rewind();
+        assert!(w.next_file().is_some(), "rewind restores the sequence");
+    }
+
+    #[test]
+    fn synth_workload_signals_exhaustion_explicitly() {
+        let spec = TraceSpec::nasa().scaled(60, 500);
+        let mut w = SynthWorkload::new(&spec, 13);
+        let drawn: Vec<FileId> = (0..w.len())
+            .map(|_| w.next_file().expect("within len"))
+            .collect();
+        // The old behavior fabricated FileId(0) forever once the stream
+        // ran dry; exhaustion is now an explicit end-of-workload signal.
+        assert_eq!(w.next_file(), None);
+        w.rewind();
+        let replay: Vec<FileId> = (0..w.len())
+            .map(|_| w.next_file().expect("within len"))
+            .collect();
+        assert_eq!(drawn, replay);
     }
 
     #[test]
@@ -146,10 +182,14 @@ mod tests {
         let mut w = SynthWorkload::new(&spec, 11);
         assert_eq!(w.len(), trace.len());
         assert_eq!(w.files(), trace.files());
-        let streamed: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        let streamed: Vec<FileId> = (0..w.len())
+            .map(|_| w.next_file().expect("within len"))
+            .collect();
         assert_eq!(streamed, trace.requests());
         w.rewind();
-        let replay: Vec<FileId> = (0..w.len()).map(|_| w.next_file()).collect();
+        let replay: Vec<FileId> = (0..w.len())
+            .map(|_| w.next_file().expect("within len"))
+            .collect();
         assert_eq!(streamed, replay);
     }
 }

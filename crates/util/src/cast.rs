@@ -105,6 +105,20 @@ pub fn floor_index(x: f64) -> usize {
     x as usize
 }
 
+/// Rounds a non-negative finite `f64` to the nearest `u64` — the checked
+/// spelling of `x.round() as u64` where callers scale integer
+/// quantities (nanosecond durations) through `f64` arithmetic.
+/// Precondition: `x` is finite, `x ≥ 0`, and `x ≤ 2⁵³` (so the rounded
+/// result is exact).
+#[inline]
+pub fn round_u64(x: f64) -> u64 {
+    invariant!(
+        x.is_finite() && x >= 0.0 && x <= MAX_EXACT_F64 as f64,
+        "rounding produced {x}; caller must range-check first"
+    );
+    x.round() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +135,16 @@ mod tests {
         assert_eq!(small_i32(12), 12);
         assert_eq!(floor_index(3.999), 3);
         assert_eq!(floor_index(0.0), 0);
+        assert_eq!(round_u64(2.4), 2);
+        assert_eq!(round_u64(2.5), 3);
+        assert_eq!(round_u64(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "caller must range-check")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn round_u64_rejects_negative_values() {
+        round_u64(-1.0);
     }
 
     #[test]

@@ -55,10 +55,17 @@ impl SimTime {
         self.0 as f64 / NANOS_PER_SEC
     }
 
-    /// Elapsed time since `earlier`, saturating to zero if `earlier` is in
-    /// the future.
+    /// Elapsed time since `earlier`. A future `earlier` is a causality
+    /// bug — elapsed time computed against an end point that hasn't
+    /// happened yet — so it is rejected by `invariant!` (debug builds
+    /// and `strict-invariants`); release builds keep the historical
+    /// saturate-to-zero behavior rather than wrapping.
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        crate::invariant!(
+            self.0 >= earlier.0,
+            "time went backwards: elapsed since {earlier} asked at {self}"
+        );
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
@@ -314,8 +321,20 @@ mod tests {
         assert_eq!(t1.as_nanos(), 150);
         assert_eq!(t1 - t0, d);
         assert!(t1 > t0);
-        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
         assert_eq!(t1.saturating_since(t0), d);
+        assert_eq!(t1.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn elapsed_time_against_the_future_is_rejected() {
+        // Regression: this used to clamp silently to zero, which let
+        // causality bugs (events processed before their cause) vanish
+        // into zero-length measurement windows.
+        let t0 = SimTime::from_nanos(100);
+        let t1 = SimTime::from_nanos(150);
+        let _ = t0.saturating_since(t1);
     }
 
     #[test]

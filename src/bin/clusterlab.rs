@@ -219,7 +219,10 @@ fn cmd_simulate(p: &args::Parsed) -> Result<(), String> {
         report.router_utilization * 100.0
     );
     println!("mean response     : {:.2} ms", report.mean_response_s * 1e3);
-    println!("p99 response      : {:.2} ms", report.p99_response_s * 1e3);
+    match report.p99_response_s {
+        Some(p99) => println!("p99 response      : {:.2} ms", p99 * 1e3),
+        None => println!("p99 response      : n/a (no samples recorded)"),
+    }
     println!(
         "control messages  : {:.2} per request",
         report.control_msgs_per_request

@@ -31,7 +31,10 @@ fn run_once(kind: PolicyKind) -> (SimReport, String) {
         format!("{:.9}", report.forwarded_fraction),
         format!("{:.9}", report.control_msgs_per_request),
         format!("{:.9}", report.mean_response_s),
-        format!("{:.9}", report.p99_response_s),
+        report
+            .p99_response_s
+            .map(|x| format!("{x:.9}"))
+            .unwrap_or_else(|| "none".to_string()),
     ]);
     for n in &report.per_node {
         table.row([

@@ -21,6 +21,16 @@ use std::fmt::Write as _;
 
 const GOLDEN_PATH: &str = "tests/golden/reports.csv";
 
+/// Sampled runs render their p99 exactly as before the `Option` change;
+/// a sample-free run (never the case here) renders a distinct token
+/// rather than a fake 0.0.
+fn render_p99(p99: Option<f64>) -> String {
+    match p99 {
+        Some(x) => format!("{x:.9}"),
+        None => "none".to_string(),
+    }
+}
+
 /// Renders one policy × cache-policy cell the same way the experiment
 /// harness would, covering float formatting as well as raw numbers.
 fn render_cell(kind: PolicyKind, cache: CachePolicy) -> String {
@@ -47,7 +57,7 @@ fn render_cell(kind: PolicyKind, cache: CachePolicy) -> String {
         format!("{:.9}", report.forwarded_fraction),
         format!("{:.9}", report.control_msgs_per_request),
         format!("{:.9}", report.mean_response_s),
-        format!("{:.9}", report.p99_response_s),
+        render_p99(report.p99_response_s),
     ]);
     for n in &report.per_node {
         table.row([
