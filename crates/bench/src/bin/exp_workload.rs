@@ -1,0 +1,6 @@
+//! X9: non-stationary workloads — analytic LRU validation plus the
+//! dispatcher degradation table under drift and flash crowds.
+
+fn main() {
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_workload::run);
+}

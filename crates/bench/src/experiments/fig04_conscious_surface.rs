@@ -15,7 +15,12 @@ pub fn run() -> Result<(), String> {
     let mut table = CsvTable::new(["hit_rate", "avg_size_kb", "throughput_rps"]);
     for (i, &h) in hits.iter().enumerate() {
         for (j, &s) in sizes.iter().enumerate() {
-            table.row_f64([h, s, surface.values[i][j]]);
+            // Invalid sweep points write an explicit `none` cell.
+            table.row([
+                format!("{h:.6}"),
+                format!("{s:.6}"),
+                surface.values[i][j].map_or_else(|| "none".to_string(), |v| format!("{v:.6}")),
+            ]);
         }
     }
     let path = results_dir().join("fig04_conscious_surface.csv");
@@ -28,7 +33,7 @@ pub fn run() -> Result<(), String> {
         "{}",
         heat_map(
             "Figure 4: locality-conscious throughput (reqs/s), rows = hit rate, cols = 4..128 KB",
-            &surface.values,
+            &surface.values_or_nan(),
             &labels,
             "avg file size (4 KB left .. 128 KB right)",
         )

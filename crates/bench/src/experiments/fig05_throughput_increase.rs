@@ -15,7 +15,12 @@ pub fn run() -> Result<(), String> {
     let mut table = CsvTable::new(["hit_rate", "avg_size_kb", "throughput_increase"]);
     for (i, &h) in hits.iter().enumerate() {
         for (j, &s) in sizes.iter().enumerate() {
-            table.row_f64([h, s, ratio.values[i][j]]);
+            // Invalid sweep points write an explicit `none` cell.
+            table.row([
+                format!("{h:.6}"),
+                format!("{s:.6}"),
+                ratio.values[i][j].map_or_else(|| "none".to_string(), |v| format!("{v:.6}")),
+            ]);
         }
     }
     let path = results_dir().join("fig05_throughput_increase.csv");
@@ -28,7 +33,7 @@ pub fn run() -> Result<(), String> {
         "{}",
         heat_map(
             "Figure 5: throughput increase due to locality (ratio), rows = hit rate",
-            &ratio.values,
+            &ratio.values_or_nan(),
             &labels,
             "avg file size (4 KB left .. 128 KB right)",
         )
@@ -61,7 +66,11 @@ pub fn run() -> Result<(), String> {
     let (peak, at_hit, at_size) = ratio.peak();
     println!("peak increase: {peak:.2}x at hit rate {at_hit:.2}, {at_size:.0} KB files");
     let last_row = ratio.values.last().ok_or("ratio surface is empty")?;
-    let min_at_full_hit = last_row.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_at_full_hit = last_row
+        .iter()
+        .copied()
+        .flatten()
+        .fold(f64::INFINITY, f64::min);
     println!("at 100% hit rate the ratio dips to {min_at_full_hit:.2} (forwarding overhead)");
     println!("(paper: up to ~7x, growing with hit rate, collapsing past ~80%, <1 near full hit)");
     println!("CSV: {} and {}", path.display(), side_path.display());

@@ -21,6 +21,7 @@ pub mod exp_miss_rates;
 pub mod exp_persistent;
 pub mod exp_replication;
 pub mod exp_sensitivity;
+pub mod exp_workload;
 pub mod fig03_oblivious_surface;
 pub mod fig04_conscious_surface;
 pub mod fig05_throughput_increase;
@@ -72,4 +73,5 @@ pub const ALL: &[(&str, fn() -> Result<(), String>)] = &[
     ("exp_cache_policy", exp_cache_policy::run),
     ("exp_faults", exp_faults::run),
     ("exp_hetero", exp_hetero::run),
+    ("exp_workload", exp_workload::run),
 ];

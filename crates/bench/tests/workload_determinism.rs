@@ -1,0 +1,76 @@
+//! Non-stationary-workload determinism: the `exp_workload` experiment
+//! regenerated with 4 workers must be byte-identical to the same
+//! experiment run sequentially. This drives the modulation engine —
+//! rate-schedule inversion, flash-crowd redirection, working-set drift
+//! — end-to-end through the bench executor for every dispatcher, so
+//! any completion-order dependence or RNG leakage in the modulated
+//! path (the Modulator's private stream, the pending arrival pair, the
+//! pass-base clock) shows up as a byte diff in either CSV.
+//!
+//! This file deliberately holds a single `#[test]`: the experiment
+//! reads `L2S_WORKERS`, `L2S_BENCH_CAP`, and `L2S_RESULTS_DIR` from
+//! the process environment, and a sibling test mutating them
+//! concurrently would race. CI runs it with `L2S_WORKERS=4` exported
+//! as well, which the explicit `set_var` calls below override per
+//! phase.
+
+#[test]
+fn workload_experiment_csvs_are_byte_identical_across_worker_counts() {
+    // Small cap so both runs finish in seconds; the cap is part of the
+    // cell configuration, so it is identical across the two runs.
+    std::env::set_var("L2S_BENCH_CAP", "2000");
+    let base = std::env::temp_dir().join(format!("l2s-workload-det-{}", std::process::id()));
+    let seq_dir = base.join("workers1");
+    let par_dir = base.join("workers4");
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    std::fs::create_dir_all(&par_dir).unwrap();
+
+    std::env::set_var("L2S_WORKERS", "1");
+    std::env::set_var("L2S_RESULTS_DIR", &seq_dir);
+    l2s_bench::experiments::exp_workload::run().unwrap();
+
+    std::env::set_var("L2S_WORKERS", "4");
+    std::env::set_var("L2S_RESULTS_DIR", &par_dir);
+    l2s_bench::experiments::exp_workload::run().unwrap();
+
+    for csv in ["exp_workload.csv", "exp_workload_model.csv"] {
+        let sequential = std::fs::read(seq_dir.join(csv)).unwrap();
+        let parallel = std::fs::read(par_dir.join(csv)).unwrap();
+        assert!(
+            !sequential.is_empty(),
+            "sequential run wrote an empty {csv}"
+        );
+        assert_eq!(
+            sequential, parallel,
+            "4-worker {csv} must be byte-identical to the sequential CSV"
+        );
+    }
+
+    let text = std::fs::read_to_string(seq_dir.join("exp_workload.csv")).unwrap();
+    for scenario in ["stationary", "drift", "flash"] {
+        assert!(
+            text.lines().any(|l| l.split(',').next() == Some(scenario)),
+            "the degradation table should carry {scenario} rows:\n{text}"
+        );
+    }
+    for policy in [
+        "traditional",
+        "round-robin",
+        "lard",
+        "l2s",
+        "jsq",
+        "jiq",
+        "sita",
+    ] {
+        assert!(
+            text.lines().any(|l| l.split(',').nth(1) == Some(policy)),
+            "the degradation table should carry {policy} rows:\n{text}"
+        );
+    }
+    let model = std::fs::read_to_string(seq_dir.join("exp_workload_model.csv")).unwrap();
+    assert!(
+        model.lines().count() >= 4,
+        "the model-validation table should carry at least 3 scenarios:\n{model}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

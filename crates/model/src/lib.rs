@@ -28,11 +28,13 @@
 
 mod mm1;
 mod model;
+mod nonstat;
 mod params;
 mod surface;
 
 pub use mm1::Mm1;
 pub use model::{Demands, Derived, QueueModel, Solution, StationLoad};
+pub use nonstat::{lru_miss_rate, NonStatLruSpec};
 pub use params::{ModelParams, ServerKind};
 pub use surface::{
     default_axes, memory_sweep, replication_sweep, throughput_increase_surface, throughput_surface,

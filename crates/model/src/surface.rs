@@ -11,19 +11,25 @@ pub struct Surface {
     pub hit_rates: Vec<f64>,
     /// Average-file-size axis values in KB (the paper sweeps 0 → 128).
     pub sizes_kb: Vec<f64>,
-    /// `values[i][j]` is the metric at `hit_rates[i]`, `sizes_kb[j]`.
-    pub values: Vec<Vec<f64>>,
+    /// `values[i][j]` is the metric at `hit_rates[i]`, `sizes_kb[j]`;
+    /// `None` marks a sweep point whose parameters the model rejected,
+    /// so consumers must render the gap explicitly (the CSV layer
+    /// writes `none`) instead of inheriting a silent NaN.
+    pub values: Vec<Vec<Option<f64>>>,
 }
 
 impl Surface {
     /// The largest value on the surface, with its axis coordinates
-    /// `(value, hit_rate, size_kb)`.
+    /// `(value, hit_rate, size_kb)`. Invalid (`None`) cells are
+    /// skipped; an all-invalid surface reports `f64::NEG_INFINITY`.
     pub fn peak(&self) -> (f64, f64, f64) {
         let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
         for (i, row) in self.values.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
-                if v > best.0 {
-                    best = (v, self.hit_rates[i], self.sizes_kb[j]);
+                if let Some(v) = v {
+                    if v > best.0 {
+                        best = (v, self.hit_rates[i], self.sizes_kb[j]);
+                    }
                 }
             }
         }
@@ -31,11 +37,26 @@ impl Surface {
     }
 
     /// Per-row maxima — the paper's "side view" (Figure 6) collapses the
-    /// size axis this way.
+    /// size axis this way. Invalid cells are skipped; an all-invalid
+    /// row reports `f64::NEG_INFINITY`.
     pub fn row_max(&self) -> Vec<f64> {
         self.values
             .iter()
-            .map(|row| row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .map(|row| {
+                row.iter()
+                    .copied()
+                    .flatten()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+
+    /// The surface with invalid cells as NaN — the lossy view the ASCII
+    /// heat map needs (NaN cells render as the lowest ramp glyph).
+    pub fn values_or_nan(&self) -> Vec<Vec<f64>> {
+        self.values
+            .iter()
+            .map(|row| row.iter().map(|v| v.unwrap_or(f64::NAN)).collect())
             .collect()
     }
 }
@@ -78,11 +99,9 @@ pub fn throughput_surface(
             .map(|&s| {
                 let mut p = *base;
                 p.avg_file_kb = s;
-                // Invalid sweep points surface as NaN cells rather
-                // than aborting the whole surface.
-                QueueModel::new(p)
-                    .map(|m| m.max_throughput(kind, h))
-                    .unwrap_or(f64::NAN)
+                // Invalid sweep points surface as explicit None cells
+                // rather than aborting the whole surface.
+                QueueModel::new(p).ok().map(|m| m.max_throughput(kind, h))
             })
             .collect()
     });
@@ -106,7 +125,12 @@ pub fn throughput_increase_surface(
         .values
         .iter()
         .zip(&lo.values)
-        .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x / y).collect())
+        .map(|(a, b)| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.zip(*y).map(|(x, y)| x / y))
+                .collect()
+        })
         .collect();
     Surface {
         hit_rates: hit_rates.to_vec(),
@@ -177,7 +201,7 @@ mod tests {
         let mut above = 0usize;
         let mut total = 0usize;
         for row in &ratio.values {
-            for &v in row {
+            for v in row.iter().copied().flatten() {
                 total += 1;
                 if v >= 1.0 {
                     above += 1;
@@ -193,6 +217,7 @@ mod tests {
             .iter()
             .flatten()
             .copied()
+            .flatten()
             .fold(f64::INFINITY, f64::min);
         assert!(min > 0.7, "worst-case ratio = {min}");
     }
@@ -246,8 +271,27 @@ mod tests {
         let s = throughput_surface(&base, ServerKind::LocalityOblivious, &hits, &sizes);
         let maxes = s.row_max();
         for (i, row) in s.values.iter().enumerate() {
-            let want = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let want = row
+                .iter()
+                .copied()
+                .flatten()
+                .fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(maxes[i], want);
         }
+    }
+
+    #[test]
+    fn invalid_cells_are_skipped_not_propagated() {
+        let s = Surface {
+            hit_rates: vec![0.2, 0.8],
+            sizes_kb: vec![8.0, 16.0],
+            values: vec![vec![Some(1.0), None], vec![None, Some(3.0)]],
+        };
+        let (peak, at_hit, at_size) = s.peak();
+        assert_eq!((peak, at_hit, at_size), (3.0, 0.8, 16.0));
+        assert_eq!(s.row_max(), vec![1.0, 3.0]);
+        let nan_view = s.values_or_nan();
+        assert!(nan_view[0][1].is_nan() && nan_view[1][0].is_nan());
+        assert_eq!(nan_view[0][0], 1.0);
     }
 }

@@ -4,6 +4,7 @@ use crate::FaultPlan;
 use l2s::{L2sConfig, LardConfig};
 use l2s_cluster::{CachePolicy, HeteroSpec, NodeCosts};
 use l2s_net::NetConfig;
+use l2s_workload::WorkloadMod;
 
 /// How client requests enter the cluster.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -117,6 +118,12 @@ pub struct SimConfig {
     /// Number of nodes JSQ(d) samples per arrival (default 2, the
     /// power-of-two-choices operating point). Ignored by other policies.
     pub jsq_d: u32,
+    /// Non-stationary workload modulation: an optional arrival-rate
+    /// schedule (which overrides Poisson timing when present), flash
+    /// crowds, and working-set drift, applied over whatever request
+    /// source drives the run. The default — [`WorkloadMod::none`] —
+    /// reproduces the stationary run byte for byte.
+    pub workload_mod: WorkloadMod,
 }
 
 impl SimConfig {
@@ -146,6 +153,7 @@ impl SimConfig {
             response_samples: true,
             hetero: None,
             jsq_d: 2,
+            workload_mod: WorkloadMod::none(),
         }
     }
 
@@ -204,6 +212,7 @@ impl SimConfig {
             HeteroSpec::new(hetero.classes().to_vec())?;
         }
         self.faults.validate(self.nodes)?;
+        self.workload_mod.validate()?;
         Ok(())
     }
 }
@@ -283,6 +292,23 @@ mod tests {
         c.validate().unwrap();
         c.jsq_d = 0;
         assert!(c.validate().is_err(), "JSQ(0) samples nothing");
+    }
+
+    #[test]
+    fn workload_mod_is_validated() {
+        let mut c = SimConfig::paper_default(4);
+        assert!(c.workload_mod.is_none(), "default run is stationary");
+        c.validate().unwrap();
+        c.workload_mod.drift = Some(l2s_workload::DriftSpec {
+            period_s: 0.0,
+            step: 1,
+        });
+        assert!(c.validate().is_err(), "zero drift period is nonsense");
+        c.workload_mod.drift = Some(l2s_workload::DriftSpec {
+            period_s: 60.0,
+            step: 3,
+        });
+        c.validate().unwrap();
     }
 
     #[test]

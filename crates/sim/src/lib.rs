@@ -41,7 +41,10 @@ pub use config::{ArrivalMode, SimConfig};
 pub use engine::{simulate, simulate_workload};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{NodeReport, SimReport};
-pub use workload::{SynthWorkload, TraceWorkload, Workload};
+pub use workload::{ModulatedWorkload, SynthWorkload, TraceWorkload, Workload};
+// Re-export the modulation spec types so callers can build a
+// `SimConfig::workload_mod` without naming the workload crate.
+pub use l2s_workload::{DriftSpec, FlashCrowd, Modulator, RateSchedule, Segment, WorkloadMod};
 
 // Compile-time Send/Sync audit: the parallel sweep executor in
 // `l2s-bench` shares configs across worker threads by reference and
@@ -57,4 +60,5 @@ fn engine_inputs_and_outputs_cross_threads() {
     send_and_sync::<NodeReport>();
     send_and_sync::<ArrivalMode>();
     send_and_sync::<FaultPlan>();
+    send_and_sync::<WorkloadMod>();
 }

@@ -13,6 +13,8 @@
 //! checksums over every Table 2 preset to keep it that way.
 
 use l2s_trace::{FileId, FileSet, RequestStream, Trace, TraceSpec};
+use l2s_util::cast;
+use l2s_workload::{Modulator, WorkloadMod};
 
 /// A source of simulated requests: a file population plus an ordered
 /// request sequence of known length that can be replayed.
@@ -47,6 +49,21 @@ pub trait Workload {
     /// Restarts the sequence from the first request, replaying the
     /// identical order.
     fn rewind(&mut self);
+
+    /// The absolute arrival time (seconds from the start of the pass)
+    /// of the *next* request, when the workload carries its own clock.
+    ///
+    /// `None` — the default, and the answer for every stationary source
+    /// — leaves timing entirely to the engine's configured
+    /// [`ArrivalMode`](crate::ArrivalMode). A [`ModulatedWorkload`]
+    /// with a rate schedule answers `Some(t)`, and the engine's
+    /// open-loop injector follows that clock instead of its own
+    /// exponential draws. Implementations must return times that are
+    /// non-decreasing across a pass and must reset with
+    /// [`rewind`](Workload::rewind).
+    fn next_arrival_s(&mut self) -> Option<f64> {
+        None
+    }
 }
 
 /// A [`Workload`] that replays a materialized [`Trace`] (a parsed log,
@@ -124,6 +141,96 @@ impl Workload for SynthWorkload {
     }
 }
 
+/// A [`Workload`] that composes a non-stationary [`WorkloadMod`] over
+/// any base source: working-set drift and flash crowds relabel each
+/// drawn file id, and an optional rate schedule supplies per-request
+/// arrival times through [`Workload::next_arrival_s`].
+///
+/// The engine asks for the next arrival *time* before it draws the
+/// corresponding *file*, so the wrapper draws `(time, file)` pairs
+/// atomically and stashes the pair between the two calls — time and
+/// id always come from the same tick of the modulation clock.
+///
+/// An identity spec ([`WorkloadMod::none`] or all-inert layers) passes
+/// the base stream through byte for byte; a pinned test holds the
+/// wrapper to that.
+pub struct ModulatedWorkload<'w> {
+    base: &'w mut dyn Workload,
+    modulator: Modulator,
+    /// Whether the spec carries a rate schedule (and so a real clock).
+    scheduled: bool,
+    /// A drawn-but-unconsumed `(time, file)` pair: filled by
+    /// `next_arrival_s`, drained by `next_file`.
+    pending: Option<(f64, Option<FileId>)>,
+}
+
+impl<'w> ModulatedWorkload<'w> {
+    /// Wraps `base`, applying `spec` with randomness seeded from
+    /// `seed` (the modulator forks its own stream, so the base source
+    /// and the engine see the same draws they would without the
+    /// wrapper).
+    pub fn new(base: &'w mut dyn Workload, spec: WorkloadMod, seed: u64) -> Self {
+        let population = cast::index_u32(base.files().len());
+        let scheduled = spec.rate.is_some();
+        ModulatedWorkload {
+            base,
+            modulator: Modulator::new(spec, population, seed),
+            scheduled,
+            pending: None,
+        }
+    }
+
+    /// Advances the modulation clock one tick and draws the modulated
+    /// `(time, file)` pair.
+    fn draw(&mut self) -> (f64, Option<FileId>) {
+        let t = self.modulator.next_time();
+        let file = self
+            .base
+            .next_file()
+            .map(|f| FileId::from_raw(self.modulator.transform(t, f.raw())));
+        (t, file)
+    }
+}
+
+impl Workload for ModulatedWorkload<'_> {
+    fn files(&self) -> &FileSet {
+        self.base.files()
+    }
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn next_file(&mut self) -> Option<FileId> {
+        match self.pending.take() {
+            Some((_, file)) => file,
+            None => self.draw().1,
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.base.rewind();
+        self.modulator.rewind();
+        self.pending = None;
+    }
+
+    fn next_arrival_s(&mut self) -> Option<f64> {
+        if !self.scheduled {
+            return None;
+        }
+        if self.pending.is_none() {
+            self.pending = Some(self.draw());
+        }
+        match self.pending {
+            // A dry base stream has no next arrival: fall back to the
+            // engine's own timer, whose arrival will observe the
+            // exhaustion and wind the pass down.
+            Some((t, Some(_))) => Some(t),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +280,137 @@ mod tests {
             .map(|_| w.next_file().expect("within len"))
             .collect();
         assert_eq!(drawn, replay);
+    }
+
+    use l2s_workload::{DriftSpec, FlashCrowd};
+
+    /// A modulation spec whose every layer is configured but inert: a
+    /// zero-weight flash crowd and a zero-step drift. `is_none()` is
+    /// false, so the full wrapper machinery runs — and must pass the
+    /// base stream through untouched.
+    fn identity_mod() -> WorkloadMod {
+        WorkloadMod {
+            rate: None,
+            flash: vec![FlashCrowd {
+                start_s: 0.0,
+                ramp_s: 1.0,
+                hold_s: 1.0,
+                decay_s: 1.0,
+                peak_weight: 0.0,
+                hot_files: 4,
+                first_id: 0,
+            }],
+            drift: Some(DriftSpec {
+                period_s: 3.0,
+                step: 0,
+            }),
+        }
+    }
+
+    /// FNV-1a over a request-id sequence (the trace crate pins the same
+    /// fingerprints over the raw streaming generator).
+    fn checksum(ids: impl Iterator<Item = u32>) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in ids {
+            h ^= u64::from(id);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Golden pin: an all-identity modulation wrapped over the full
+    /// Table 2 streams reproduces the exact fingerprints the trace
+    /// crate pins for the raw stationary generator — the wrapper adds
+    /// nothing, removes nothing, and burns no randomness.
+    #[test]
+    fn identity_modulation_is_byte_identical_for_all_table2_specs() {
+        let pinned = [
+            ("calgary", 0xf47f_9cec_4198_4cf1_u64),
+            ("clarknet", 0xd69a_3fdd_1a61_bd00),
+            ("nasa", 0x9781_2239_45e7_a403),
+            ("rutgers", 0x796d_28d8_0590_05be),
+        ];
+        for (spec, (name, expect)) in TraceSpec::paper_presets().iter().zip(pinned) {
+            assert_eq!(spec.name, name);
+            let mut base = SynthWorkload::new(spec, 42);
+            let mut w = ModulatedWorkload::new(&mut base, identity_mod(), 42);
+            let ids = std::iter::from_fn(|| w.next_file()).map(FileId::raw);
+            assert_eq!(
+                checksum(ids),
+                expect,
+                "{name}: identity modulation changed the request bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn modulated_workload_rewinds_and_replays() {
+        let spec = TraceSpec::nasa().scaled(300, 5_000);
+        let mut base = SynthWorkload::new(&spec, 5);
+        let modulation = WorkloadMod {
+            rate: Some(l2s_workload::RateSchedule::diurnal(200.0, 0.6, 60.0).unwrap()),
+            flash: vec![FlashCrowd {
+                start_s: 2.0,
+                ramp_s: 1.0,
+                hold_s: 5.0,
+                decay_s: 2.0,
+                peak_weight: 0.4,
+                hot_files: 8,
+                first_id: 17,
+            }],
+            drift: Some(DriftSpec {
+                period_s: 4.0,
+                step: 13,
+            }),
+        };
+        let mut w = ModulatedWorkload::new(&mut base, modulation, 5);
+        let mut first = Vec::new();
+        loop {
+            let t = w.next_arrival_s();
+            match w.next_file() {
+                Some(f) => first.push((t.expect("scheduled source carries a clock"), f)),
+                None => break,
+            }
+        }
+        assert_eq!(first.len(), 5_000);
+        for pair in first.windows(2) {
+            assert!(pair[1].0 >= pair[0].0, "arrival clock must be monotone");
+        }
+        w.rewind();
+        let mut second = Vec::new();
+        loop {
+            let t = w.next_arrival_s();
+            match w.next_file() {
+                Some(f) => second.push((t.expect("clock survives rewind"), f)),
+                None => break,
+            }
+        }
+        assert_eq!(first, second, "rewind must replay times and files");
+    }
+
+    #[test]
+    fn drift_actually_relabels_files() {
+        let spec = TraceSpec::nasa().scaled(300, 4_000);
+        let mut plain = SynthWorkload::new(&spec, 5);
+        let reference: Vec<FileId> = std::iter::from_fn(|| plain.next_file()).collect();
+        let mut base = SynthWorkload::new(&spec, 5);
+        let modulation = WorkloadMod {
+            drift: Some(DriftSpec {
+                period_s: 100.0, // fluid clock: rotate every 100 requests
+                step: 7,
+            }),
+            ..WorkloadMod::none()
+        };
+        let mut w = ModulatedWorkload::new(&mut base, modulation, 5);
+        let drifted: Vec<FileId> = std::iter::from_fn(|| w.next_file()).collect();
+        assert_eq!(drifted.len(), reference.len());
+        assert_eq!(&drifted[..100], &reference[..100], "epoch 0 has rotation 0");
+        let relabeled = drifted[100..200]
+            .iter()
+            .zip(&reference[100..200])
+            .filter(|(d, r)| d != r)
+            .count();
+        assert!(relabeled > 50, "epoch 1 must rotate ids ({relabeled}/100)");
     }
 
     #[test]

@@ -170,9 +170,7 @@ impl TraceSpec {
 
         // 2. Rank -> size assignment via calibrated noisy sort.
         let law = ZipfLaw::new(cast::len_f64(self.num_files), self.alpha);
-        let probs: Vec<f64> = (1..=cast::len_u64(self.num_files))
-            .map(|r| law.rank_probability(r))
-            .collect();
+        let probs = law.probabilities(self.num_files);
         let rank_sizes = assign_sizes(&mut assign_rng, &sizes, &probs, self.avg_request_kb);
 
         // 3. Relabel ranks with shuffled ids; requests are drawn lazily.
@@ -238,6 +236,27 @@ impl RequestStream {
         self.recent.clear();
         self.cursor = 0;
         self.remaining = self.total;
+    }
+
+    /// The popularity-rank → file-id relabeling this stream draws
+    /// through (index = 0-based rank).
+    pub fn rank_to_id(&self) -> &[u32] {
+        &self.rank_to_id
+    }
+
+    /// Stationary per-*id* request probabilities of the underlying
+    /// Zipf draw, dense by file id — the exact frequencies the sampler
+    /// uses, routed through the rank relabeling. The temporal
+    /// re-reference layer redraws from recent requests and so preserves
+    /// these aggregates; analytic models that assume independent draws
+    /// should validate against `temporal = 0` specs.
+    pub fn probabilities_by_id(&self) -> Vec<f64> {
+        let ranked = self.sampler.probabilities();
+        let mut by_id = vec![0.0; ranked.len()];
+        for (rank, &id) in self.rank_to_id.iter().enumerate() {
+            by_id[cast::wide_usize(id)] = ranked[rank];
+        }
+        by_id
     }
 }
 
@@ -526,6 +545,39 @@ mod tests {
                 checksum(stream),
                 expect,
                 "{name}: full-spec request sequence drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_by_id_match_empirical_frequencies() {
+        // temporal = 0 so the stream is a pure independent Zipf draw.
+        let mut spec = TraceSpec::clarknet().scaled(50, 300_000);
+        spec.temporal = 0.0;
+        let (_files, stream) = spec.stream(17);
+        let by_id = stream.probabilities_by_id();
+        assert_eq!(by_id.len(), 50);
+        assert!((by_id.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The hottest rank's id carries the largest probability.
+        let hottest = stream.rank_to_id()[0];
+        let max = by_id
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        assert_eq!(hottest, max);
+        let mut counts = vec![0u64; 50];
+        let total = stream.total();
+        for id in stream {
+            counts[cast::wide_usize(id)] += 1;
+        }
+        for (id, &c) in counts.iter().enumerate() {
+            let got = cast::exact_f64(c) / cast::len_f64(total);
+            let want = by_id[id];
+            assert!(
+                (got - want).abs() < 0.005,
+                "id {id}: empirical {got} vs table {want}"
             );
         }
     }

@@ -1,0 +1,122 @@
+//! Property-based tests of the rate-schedule machinery: phase
+//! boundaries stay exact across arbitrary cycle counts, the time
+//! inversion is monotone and round-trips, and the arrival process the
+//! modulator generates delivers the rate integral's request count.
+
+use l2s_workload::{Modulator, RateSchedule, Segment, WorkloadMod};
+use proptest::prelude::*;
+
+/// Arbitrary valid phase: flat or sinusoidal, always with λ > 0.
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (0.5f64..200.0, 0.2f64..50.0, 0.0f64..0.9, 1.0f64..300.0).prop_map(
+        |(duration_s, base_rps, amplitude, period_s)| Segment {
+            duration_s,
+            base_rps,
+            amplitude,
+            period_s,
+        },
+    )
+}
+
+/// Arbitrary valid schedule of 1..5 phases.
+fn arb_schedule() -> impl Strategy<Value = RateSchedule> {
+    prop::collection::vec(arb_segment(), 1..5)
+        .prop_map(|segs| RateSchedule::new(segs).expect("generated segments are valid"))
+}
+
+proptest! {
+    /// Λ at any phase boundary of any cycle is the exact prefix sum of
+    /// closed-form segment masses — no quadrature drift accumulates,
+    /// however many cycles out the boundary sits.
+    #[test]
+    fn phase_boundaries_are_exact_for_any_cycle_count(
+        schedule in arb_schedule(),
+        cycles in 0u32..2_000,
+    ) {
+        let k = f64::from(cycles);
+        let mut boundary_mass = 0.0;
+        let mut boundary_t = 0.0;
+        for seg in schedule.segments() {
+            boundary_t += seg.duration_s;
+            // One segment's closed-form mass over its full duration.
+            let seg_mass = schedule.cumulative(boundary_t) - boundary_mass;
+            boundary_mass += seg_mass;
+            let t = k * schedule.cycle_s() + boundary_t;
+            let want = k * schedule.cycle_mass() + boundary_mass;
+            let got = schedule.cumulative(t);
+            // The only rounding allowed is the final f64 combination of
+            // exact per-cycle and per-segment sums.
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * want.max(1.0),
+                "boundary at t={t}: Λ={got}, exact prefix sum {want}"
+            );
+        }
+        // A full cycle's mass is exactly cycle_mass, every cycle.
+        let got = schedule.cumulative((k + 1.0) * schedule.cycle_s());
+        let want = (k + 1.0) * schedule.cycle_mass();
+        prop_assert!((got - want).abs() <= 1e-9 * want.max(1.0));
+    }
+
+    /// Λ⁻¹ is monotone and round-trips through Λ across several cycles.
+    #[test]
+    fn inversion_is_monotone_and_round_trips(
+        schedule in arb_schedule(),
+        fractions in prop::collection::vec(0.0f64..8.0, 1..40),
+    ) {
+        let mut targets: Vec<f64> = fractions
+            .iter()
+            .map(|f| f * schedule.cycle_mass())
+            .collect();
+        targets.sort_by(f64::total_cmp);
+        let mut prev_t = -1.0;
+        for &target in &targets {
+            let t = schedule.invert(target);
+            prop_assert!(t >= prev_t, "inversion not monotone at Λ={target}");
+            prev_t = t;
+            let back = schedule.cumulative(t);
+            prop_assert!(
+                (back - target).abs() <= 1e-6 * target.max(1.0),
+                "round trip Λ(Λ⁻¹({target})) = {back}"
+            );
+        }
+    }
+
+    /// The modulator's inverted arrival process is strictly usable as a
+    /// simulation clock: non-decreasing times, and the request count
+    /// delivered by any horizon matches the rate integral Λ(horizon)
+    /// within Poisson noise (±6σ plus a small absolute slack).
+    #[test]
+    fn arrival_counts_match_the_rate_integral(
+        schedule in arb_schedule(),
+        seed in any::<u64>(),
+        horizon_cycles in 1.0f64..6.0,
+    ) {
+        let horizon_s = horizon_cycles * schedule.cycle_s();
+        let expected = schedule.cumulative(horizon_s);
+        // Keep the draw count bounded so the test stays fast; the
+        // tolerance below is scale-aware either way.
+        prop_assume!(expected <= 200_000.0);
+        let spec = WorkloadMod {
+            rate: Some(schedule),
+            ..WorkloadMod::none()
+        };
+        let mut modulator = Modulator::new(spec, 100, seed);
+        let mut count: u64 = 0;
+        let mut last = 0.0;
+        loop {
+            let t = modulator.next_time();
+            prop_assert!(t >= last, "arrival clock went backwards: {t} < {last}");
+            last = t;
+            if t > horizon_s {
+                break;
+            }
+            count += 1;
+        }
+        let sigma = expected.sqrt();
+        let tolerance = 6.0 * sigma + 10.0;
+        prop_assert!(
+            (l2s_util::cast::exact_f64(count) - expected).abs() <= tolerance,
+            "saw {count} arrivals by t={horizon_s}, expected Λ={expected} ± {tolerance}"
+        );
+    }
+}

@@ -189,6 +189,14 @@ impl ZipfLaw {
     /// Cap on populations returned by [`ZipfLaw::invert_population`] when
     /// the requested hit rate is unattainable (`α > 1` tail limit).
     pub const MAX_POPULATION: f64 = 1e15;
+
+    /// Dense per-rank probability table `[P(1), …, P(n)]` — the form
+    /// cache models integrate over. Ranks beyond the population get 0.
+    pub fn probabilities(&self, n: usize) -> Vec<f64> {
+        (1..=cast::len_u64(n))
+            .map(|r| self.rank_probability(r))
+            .collect()
+    }
 }
 
 /// Samples ranks `1..=F` from a Zipf-like law via a precomputed CDF table
@@ -231,6 +239,23 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut DetRng) -> u64 {
         let u = rng.f64();
         cast::len_u64((self.cdf.partition_point(|&c| c < u) + 1).min(self.cdf.len()))
+    }
+
+    /// Dense per-rank probability table recovered from the CDF —
+    /// exactly the frequencies [`sample`](ZipfSampler::sample) draws
+    /// with (the table normalization, not the smooth harmonic
+    /// extension), so models validated against sampled streams carry
+    /// no normalization skew.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.cdf
+            .iter()
+            .map(|&c| {
+                let p = c - prev;
+                prev = c;
+                p
+            })
+            .collect()
     }
 
     /// Probability of rank `i` (1-based), for tests and analysis.
@@ -414,6 +439,23 @@ mod tests {
         let sum: f64 = (1..=50).map(|r| sampler.probability(r)).sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(sampler.probability(1) > sampler.probability(2));
+    }
+
+    #[test]
+    fn probability_tables_match_their_pointwise_forms() {
+        let law = ZipfLaw::new(300.0, 0.85);
+        let table = law.probabilities(300);
+        for (i, &p) in table.iter().enumerate() {
+            assert_eq!(p, law.rank_probability(i as u64 + 1));
+        }
+        let sampler = ZipfSampler::new(300, 0.85);
+        let table = sampler.probabilities();
+        assert_eq!(table.len(), 300);
+        let sum: f64 = table.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for (i, &p) in table.iter().enumerate() {
+            assert!((p - sampler.probability(i as u64 + 1)).abs() < 1e-15);
+        }
     }
 
     #[test]
