@@ -87,7 +87,7 @@ fn bench_policies(c: &mut Criterion) {
         let mut f = 0u32;
         b.iter(|| {
             f = (f + 1) % 1_000;
-            let n = p.arrival_node();
+            let n = p.arrival_node().unwrap();
             let a = p.assign(now, n, f.into());
             p.complete(now, a.service, f.into());
             black_box(a.service)
@@ -98,7 +98,7 @@ fn bench_policies(c: &mut Criterion) {
         let mut f = 0u32;
         b.iter(|| {
             f = (f + 1) % 1_000;
-            let n = p.arrival_node();
+            let n = p.arrival_node().unwrap();
             let a = p.assign(now, n, f.into());
             p.complete(now, a.service, f.into());
             black_box(a.service)
@@ -110,7 +110,7 @@ fn bench_policies(c: &mut Criterion) {
         let mut f = 0u32;
         b.iter(|| {
             f = (f + 1) % 1_000;
-            let n = p.arrival_node();
+            let n = p.arrival_node().unwrap();
             let a = p.assign(now, n, f.into());
             p.complete(now, a.service, f.into());
             p.drain_messages(&mut buf);

@@ -1,0 +1,7 @@
+//! Replay parity (X10): the `l2s-replay` fast path and the DES engine
+//! must place every request of every Table 2 trace identically; the CSV
+//! pins each placement stream's checksum.
+
+fn main() {
+    l2s_bench::run_experiment(l2s_bench::experiments::exp_replay::run);
+}

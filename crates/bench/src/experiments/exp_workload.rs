@@ -333,12 +333,17 @@ pub fn run() -> Result<(), String> {
         "miss_rate",
         "degradation_pct",
     ]);
-    let stationary_rps = |p: PolicyKind| {
+    let stationary_rps = |p: PolicyKind| -> Result<f64, String> {
         cells
             .iter()
             .position(|&(s, q)| s == 0 && q == p)
             .map(|i| reports[i].throughput_rps)
-            .unwrap_or(0.0)
+            .ok_or_else(|| {
+                format!(
+                    "no stationary (scenario 0) cell for policy {} — cell grid is incomplete",
+                    p.name()
+                )
+            })
     };
     println!(
         "\nPart B: dispatcher degradation — {} trace, {NODES} nodes",
@@ -361,7 +366,7 @@ pub fn run() -> Result<(), String> {
                     r.throughput_rps
                 ));
             }
-            let degradation = (1.0 - r.throughput_rps / stationary_rps(kind)) * 100.0;
+            let degradation = (1.0 - r.throughput_rps / stationary_rps(kind)?) * 100.0;
             println!(
                 "{:>14} {:>10.0} {:>10} {:>7.1}% {:>+11.1}%",
                 kind.name(),
@@ -381,20 +386,23 @@ pub fn run() -> Result<(), String> {
             ]);
         }
         if s > 0 {
-            let best = DISPATCHERS
-                .iter()
-                .min_by(|&&a, &&b| {
-                    let ds = |p: PolicyKind| {
-                        cells
-                            .iter()
-                            .position(|&(cs, q)| cs == s && q == p)
-                            .map(|i| 1.0 - reports[i].throughput_rps / stationary_rps(p))
-                            .unwrap_or(f64::INFINITY)
-                    };
-                    ds(a).total_cmp(&ds(b))
-                })
-                .map(|p| p.name())
-                .unwrap_or("?");
+            // A policy missing from the cell grid used to degrade to
+            // infinity silently (and an empty grid rendered "?"); both
+            // now fail the run with the offending policy's name.
+            let mut best: Option<(&'static str, f64)> = None;
+            for p in DISPATCHERS {
+                let i = cells
+                    .iter()
+                    .position(|&(cs, q)| cs == s && q == p)
+                    .ok_or_else(|| format!("{name}: no simulated cell for policy {}", p.name()))?;
+                let ds = 1.0 - reports[i].throughput_rps / stationary_rps(p)?;
+                // Same tie-breaking as the Iterator::min_by this
+                // replaces: the last of equally minimal elements wins.
+                if best.is_none_or(|(_, b)| ds <= b) {
+                    best = Some((p.name(), ds));
+                }
+            }
+            let (best, _) = best.ok_or_else(|| format!("{name}: dispatcher set is empty"))?;
             println!("  least degraded under {name}: {best}");
         }
     }

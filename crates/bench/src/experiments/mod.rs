@@ -19,6 +19,7 @@ pub mod exp_memory_sim;
 pub mod exp_memory_sweep;
 pub mod exp_miss_rates;
 pub mod exp_persistent;
+pub mod exp_replay;
 pub mod exp_replication;
 pub mod exp_sensitivity;
 pub mod exp_workload;
@@ -74,4 +75,5 @@ pub const ALL: &[(&str, fn() -> Result<(), String>)] = &[
     ("exp_faults", exp_faults::run),
     ("exp_hetero", exp_hetero::run),
     ("exp_workload", exp_workload::run),
+    ("exp_replay", exp_replay::run),
 ];

@@ -1,0 +1,67 @@
+//! Replay-parity determinism: the `exp_replay` experiment regenerated
+//! with 4 workers must be byte-identical to the sequential run. The
+//! experiment's cells each compare the l2s-replay fast path against the
+//! DES engine's observer stream, so this test simultaneously pins two
+//! contracts: placement parity holds under concurrent cell execution,
+//! and the placement checksums themselves are stable across worker
+//! counts.
+//!
+//! This file deliberately holds a single `#[test]`: the experiment
+//! reads `L2S_WORKERS`, `L2S_BENCH_CAP`, and `L2S_RESULTS_DIR` from
+//! the process environment, and a sibling test mutating them
+//! concurrently would race. CI runs it with `L2S_WORKERS=4` exported
+//! as well, which the explicit `set_var` calls below override per
+//! phase.
+
+#[test]
+fn replay_parity_csv_is_byte_identical_across_worker_counts() {
+    // Small cap so both runs finish in seconds; the cap is part of the
+    // cell configuration, so it is identical across the two runs.
+    std::env::set_var("L2S_BENCH_CAP", "2000");
+    let base = std::env::temp_dir().join(format!("l2s-replay-det-{}", std::process::id()));
+    let seq_dir = base.join("workers1");
+    let par_dir = base.join("workers4");
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    std::fs::create_dir_all(&par_dir).unwrap();
+
+    std::env::set_var("L2S_WORKERS", "1");
+    std::env::set_var("L2S_RESULTS_DIR", &seq_dir);
+    l2s_bench::experiments::exp_replay::run().unwrap();
+
+    std::env::set_var("L2S_WORKERS", "4");
+    std::env::set_var("L2S_RESULTS_DIR", &par_dir);
+    l2s_bench::experiments::exp_replay::run().unwrap();
+
+    let csv = "exp_replay.csv";
+    let sequential = std::fs::read(seq_dir.join(csv)).unwrap();
+    let parallel = std::fs::read(par_dir.join(csv)).unwrap();
+    assert!(
+        !sequential.is_empty(),
+        "sequential run wrote an empty {csv}"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "4-worker {csv} must be byte-identical to the sequential CSV"
+    );
+
+    // Every Table 2 trace and covered policy must appear, each with a
+    // pinned 16-hex-digit checksum.
+    let text = std::fs::read_to_string(seq_dir.join(csv)).unwrap();
+    for trace in ["calgary", "clarknet", "nasa", "rutgers"] {
+        for policy in ["l2s", "lard", "jsq"] {
+            let row = text
+                .lines()
+                .find(|l| {
+                    let mut f = l.split(',');
+                    f.next() == Some(trace) && f.next() == Some(policy)
+                })
+                .unwrap_or_else(|| panic!("missing {trace}/{policy} row:\n{text}"));
+            let checksum = row.split(',').nth(4).unwrap_or("");
+            assert_eq!(
+                checksum.len(),
+                16,
+                "{trace}/{policy}: malformed checksum {checksum:?}"
+            );
+        }
+    }
+}

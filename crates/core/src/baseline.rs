@@ -45,17 +45,18 @@ impl Distributor for Traditional {
         PolicyKind::Traditional
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
         // The switch delivers the connection straight to the node that
         // will serve it, and tracks the connection from acceptance time
         // (otherwise a burst of simultaneous arrivals would all pile
         // onto the momentarily-least-loaded node). Dead nodes are absent
         // from the index, and the index breaks load ties toward the
         // lowest id, so the pick is identical to the old filtered scan.
-        let node = self.index.argmin().unwrap_or(0);
+        // An empty index (every node down) rejects the connection.
+        let node = self.index.argmin()?;
         self.loads[node] += 1;
         self.index.set_if_present(node, self.loads[node]);
-        node
+        Some(node)
     }
 
     fn arrival_continuation(&mut self, holder: NodeId) {
@@ -141,9 +142,10 @@ impl Distributor for RoundRobin {
         PolicyKind::RoundRobin
     }
 
-    fn arrival_node(&mut self) -> NodeId {
-        // At least one node is always alive (enforced by the fault
-        // plan), so the scan terminates within one lap.
+    fn arrival_node(&mut self) -> Option<NodeId> {
+        // One lap over the rotation starting at the cursor; if no live
+        // node turns up the connection is rejected (cursor untouched, so
+        // the rotation resumes where it left off after a recovery).
         let n = self.loads.len();
         let mut node = self.next;
         for _ in 0..n {
@@ -152,10 +154,12 @@ impl Distributor for RoundRobin {
             }
             node = (node + 1) % n;
         }
-        invariant!(self.alive[node], "round-robin found no live node");
+        if !self.alive[node] {
+            return None;
+        }
         self.next = (node + 1) % n;
         self.loads[node] += 1;
-        node
+        Some(node)
     }
 
     fn arrival_continuation(&mut self, holder: NodeId) {
@@ -250,9 +254,10 @@ impl Distributor for PureLocality {
         PolicyKind::PureLocality
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
         // Round-robin DNS; the owner is only known after parsing. Dead
-        // nodes drop out of DNS rotation.
+        // nodes drop out of DNS rotation; an empty rotation (every node
+        // down) rejects the connection without advancing the cursor.
         let n = self.loads.len();
         let mut node = self.next_arrival;
         for _ in 0..n {
@@ -261,9 +266,11 @@ impl Distributor for PureLocality {
             }
             node = (node + 1) % n;
         }
-        invariant!(self.alive[node], "pure-locality found no live node");
+        if !self.alive[node] {
+            return None;
+        }
         self.next_arrival = (node + 1) % n;
-        node
+        Some(node)
     }
 
     fn assign(&mut self, _now: SimTime, initial: NodeId, file: FileId) -> Assignment {
@@ -295,8 +302,9 @@ impl Distributor for PureLocality {
 
     fn node_down(&mut self, _now: SimTime, node: NodeId) {
         self.alive[node] = false;
+        // The ring may empty out entirely (all-down cluster); arrivals
+        // are rejected before `owner` can index it, so no guard here.
         self.ring.retain(|&id| id != node);
-        invariant!(!self.ring.is_empty(), "hash ring has no live node");
     }
 
     fn node_up(&mut self, _now: SimTime, node: NodeId) {
@@ -317,32 +325,36 @@ mod tests {
         let mut t = Traditional::new(3);
         // Load node 0 and 1.
         for _ in 0..2 {
-            let n = t.arrival_node();
+            let n = t.arrival_node().unwrap();
             t.assign(SimTime::ZERO, n, 0.into());
         }
         assert_eq!(t.open_connections(0), 1);
         assert_eq!(t.open_connections(1), 1);
         // Third arrival must land on node 2.
-        assert_eq!(t.arrival_node(), 2);
+        assert_eq!(t.arrival_node().unwrap(), 2);
     }
 
     #[test]
     fn traditional_rebalances_after_completion() {
         let mut t = Traditional::new(2);
-        let a = t.arrival_node();
+        let a = t.arrival_node().unwrap();
         t.assign(SimTime::ZERO, a, 0.into());
-        let b = t.arrival_node();
+        let b = t.arrival_node().unwrap();
         t.assign(SimTime::ZERO, b, 1.into());
         assert_ne!(a, b);
         t.complete(SimTime::ZERO, a, 0.into());
-        assert_eq!(t.arrival_node(), a, "freed node is least loaded again");
+        assert_eq!(
+            t.arrival_node().unwrap(),
+            a,
+            "freed node is least loaded again"
+        );
     }
 
     #[test]
     fn traditional_never_forwards() {
         let mut t = Traditional::new(4);
         for f in 0..20u32 {
-            let n = t.arrival_node();
+            let n = t.arrival_node().unwrap();
             let a = t.assign(SimTime::ZERO, n, f.into());
             assert!(!a.forwarded);
             assert_eq!(a.control_msgs, 0);
@@ -354,17 +366,17 @@ mod tests {
         let mut t = Traditional::new(3);
         t.node_down(SimTime::ZERO, 0);
         for _ in 0..6 {
-            assert_ne!(t.arrival_node(), 0, "dead node got a connection");
+            assert_ne!(t.arrival_node().unwrap(), 0, "dead node got a connection");
         }
         t.node_up(SimTime::ZERO, 0);
         // Node 0 has 0 connections vs 3 each elsewhere — it wins now.
-        assert_eq!(t.arrival_node(), 0);
+        assert_eq!(t.arrival_node().unwrap(), 0);
     }
 
     #[test]
     fn traditional_abort_undecided_releases_the_connection() {
         let mut t = Traditional::new(2);
-        let n = t.arrival_node();
+        let n = t.arrival_node().unwrap();
         assert_eq!(t.open_connections(n), 1);
         t.abort_undecided(SimTime::ZERO, n);
         assert_eq!(t.open_connections(n), 0);
@@ -373,7 +385,7 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let mut rr = RoundRobin::new(3);
-        let seq: Vec<_> = (0..6).map(|_| rr.arrival_node()).collect();
+        let seq: Vec<_> = (0..6).map(|_| rr.arrival_node().unwrap()).collect();
         assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -381,10 +393,10 @@ mod tests {
     fn round_robin_skips_dead_nodes() {
         let mut rr = RoundRobin::new(3);
         rr.node_down(SimTime::ZERO, 1);
-        let seq: Vec<_> = (0..4).map(|_| rr.arrival_node()).collect();
+        let seq: Vec<_> = (0..4).map(|_| rr.arrival_node().unwrap()).collect();
         assert_eq!(seq, vec![0, 2, 0, 2]);
         rr.node_up(SimTime::ZERO, 1);
-        let seq: Vec<_> = (0..3).map(|_| rr.arrival_node()).collect();
+        let seq: Vec<_> = (0..3).map(|_| rr.arrival_node().unwrap()).collect();
         assert_eq!(seq, vec![0, 1, 2], "recovered node rejoins rotation");
     }
 
@@ -393,7 +405,7 @@ mod tests {
         let mut p = PureLocality::new(4);
         let first = p.assign(SimTime::ZERO, 0, 42.into()).service;
         for _ in 0..10 {
-            let initial = p.arrival_node();
+            let initial = p.arrival_node().unwrap();
             let a = p.assign(SimTime::ZERO, initial, 42.into());
             assert_eq!(a.service, first, "same file, same owner");
         }
@@ -445,7 +457,7 @@ mod tests {
         ] {
             let mut p = kind.build(1);
             for f in 0..5u32 {
-                let n = p.arrival_node();
+                let n = p.arrival_node().unwrap();
                 assert_eq!(n, 0);
                 let a = p.assign(SimTime::ZERO, n, f.into());
                 assert_eq!(a.service, 0);

@@ -59,7 +59,7 @@ impl Distributor for Jiq {
         PolicyKind::Jiq
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
         let node = match self.index.argmin() {
             Some(least) if self.loads[least] == 0 => {
                 // At least one node is idle: rotate over the idle set
@@ -71,8 +71,8 @@ impl Distributor for Jiq {
             }
             _ => {
                 // No idle node: JIQ is load-blind, so plain round-robin
-                // over the live nodes. At least one node is always alive
-                // (enforced by the fault plan), so the scan terminates.
+                // over the live nodes. An empty rotation (every node
+                // down) rejects the connection, cursor untouched.
                 let n = self.loads.len();
                 let mut node = self.next;
                 for _ in 0..n {
@@ -81,14 +81,16 @@ impl Distributor for Jiq {
                     }
                     node = (node + 1) % n;
                 }
-                invariant!(self.alive[node], "jiq found no live node");
+                if !self.alive[node] {
+                    return None;
+                }
                 self.next = (node + 1) % n;
                 node
             }
         };
         self.loads[node] += 1;
         self.index.set_if_present(node, self.loads[node]);
-        node
+        Some(node)
     }
 
     fn arrival_continuation(&mut self, holder: NodeId) {
@@ -157,7 +159,7 @@ mod tests {
         // First three arrivals drain the idle queue, visiting every node.
         let mut seen = [false; 3];
         for _ in 0..3 {
-            seen[p.arrival_node()] = true;
+            seen[p.arrival_node().unwrap()] = true;
         }
         assert!(seen.iter().all(|&s| s), "an idle node was skipped");
     }
@@ -166,21 +168,21 @@ mod tests {
     fn busy_cluster_falls_back_to_round_robin() {
         let mut p = Jiq::new(3);
         for _ in 0..3 {
-            p.arrival_node(); // all nodes now busy
+            p.arrival_node().unwrap(); // all nodes now busy
         }
-        let seq: Vec<_> = (0..6).map(|_| p.arrival_node()).collect();
+        let seq: Vec<_> = (0..6).map(|_| p.arrival_node().unwrap()).collect();
         assert_eq!(seq, vec![0, 1, 2, 0, 1, 2], "fallback is blind round-robin");
     }
 
     #[test]
     fn a_completion_reopens_the_idle_queue() {
         let mut p = Jiq::new(2);
-        let a = p.arrival_node();
+        let a = p.arrival_node().unwrap();
         p.assign(SimTime::ZERO, a, 0.into());
-        let b = p.arrival_node();
+        let b = p.arrival_node().unwrap();
         p.assign(SimTime::ZERO, b, 1.into());
         p.complete(SimTime::ZERO, a, 0.into());
-        assert_eq!(p.arrival_node(), a, "the newly idle node wins");
+        assert_eq!(p.arrival_node().unwrap(), a, "the newly idle node wins");
     }
 
     #[test]
@@ -188,17 +190,17 @@ mod tests {
         let mut p = Jiq::new(3);
         p.node_down(SimTime::ZERO, 1);
         for _ in 0..9 {
-            assert_ne!(p.arrival_node(), 1, "dead node got a connection");
+            assert_ne!(p.arrival_node().unwrap(), 1, "dead node got a connection");
         }
         p.node_up(SimTime::ZERO, 1);
         // Node 1 is idle (load 0) while the others carry backlog.
-        assert_eq!(p.arrival_node(), 1, "recovered idle node wins");
+        assert_eq!(p.arrival_node().unwrap(), 1, "recovered idle node wins");
     }
 
     #[test]
     fn abort_undecided_releases_the_connection() {
         let mut p = Jiq::new(2);
-        let n = p.arrival_node();
+        let n = p.arrival_node().unwrap();
         assert_eq!(p.open_connections(n), 1);
         p.abort_undecided(SimTime::ZERO, n);
         assert_eq!(p.open_connections(n), 0);
@@ -208,7 +210,7 @@ mod tests {
     fn never_forwards_and_sends_no_messages() {
         let mut p = Jiq::new(4);
         for f in 0..20u32 {
-            let n = p.arrival_node();
+            let n = p.arrival_node().unwrap();
             let a = p.assign(SimTime::ZERO, n, f.into());
             assert!(!a.forwarded);
             assert_eq!(a.control_msgs, 0);

@@ -72,13 +72,18 @@ impl Distributor for Jsq {
         PolicyKind::Jsq
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
         let live = self.index.len();
-        invariant!(live > 0, "jsq found no live node");
+        if live == 0 {
+            // Every node is down: the switch has nothing to sample from
+            // and rejects the connection (no RNG draw, so the sampling
+            // sequence resumes unchanged after a recovery).
+            return None;
+        }
         let node = if live <= self.d {
             // The sample would cover every live node: exact JSQ, which
             // the index answers directly (lowest id on ties).
-            self.index.argmin().unwrap_or(0)
+            self.index.argmin()?
         } else {
             self.picks.clear();
             while self.picks.len() < self.d {
@@ -104,7 +109,7 @@ impl Distributor for Jsq {
         };
         self.loads[node] += 1;
         self.index.set_if_present(node, self.loads[node]);
-        node
+        Some(node)
     }
 
     fn arrival_continuation(&mut self, holder: NodeId) {
@@ -178,7 +183,7 @@ mod tests {
         let mut p = jsq(8);
         for _ in 0..200 {
             let before = p.loads.clone();
-            let node = p.arrival_node();
+            let node = p.arrival_node().unwrap();
             // The winner's pre-arrival load cannot exceed every other
             // node's load by more than the sampling allows; at minimum
             // it must not be the unique maximum.
@@ -199,7 +204,7 @@ mod tests {
         let mut a = Jsq::new(6, 2, 42);
         let mut b = Jsq::new(6, 2, 42);
         for _ in 0..64 {
-            assert_eq!(a.arrival_node(), b.arrival_node());
+            assert_eq!(a.arrival_node().unwrap(), b.arrival_node().unwrap());
         }
     }
 
@@ -207,8 +212,8 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = Jsq::new(16, 2, 1);
         let mut b = Jsq::new(16, 2, 2);
-        let sa: Vec<_> = (0..32).map(|_| a.arrival_node()).collect();
-        let sb: Vec<_> = (0..32).map(|_| b.arrival_node()).collect();
+        let sa: Vec<_> = (0..32).map(|_| a.arrival_node().unwrap()).collect();
+        let sb: Vec<_> = (0..32).map(|_| b.arrival_node().unwrap()).collect();
         assert_ne!(sa, sb, "seed must steer the sample stream");
     }
 
@@ -217,9 +222,9 @@ mod tests {
         // live <= d: the sample covers everything, so the pick is the
         // global least-loaded node with lowest-id tie-breaking.
         let mut p = jsq(2);
-        assert_eq!(p.arrival_node(), 0);
-        assert_eq!(p.arrival_node(), 1);
-        assert_eq!(p.arrival_node(), 0);
+        assert_eq!(p.arrival_node().unwrap(), 0);
+        assert_eq!(p.arrival_node().unwrap(), 1);
+        assert_eq!(p.arrival_node().unwrap(), 0);
     }
 
     #[test]
@@ -227,12 +232,12 @@ mod tests {
         let mut p = jsq(4);
         p.node_down(SimTime::ZERO, 1);
         for _ in 0..50 {
-            assert_ne!(p.arrival_node(), 1, "dead node got a connection");
+            assert_ne!(p.arrival_node().unwrap(), 1, "dead node got a connection");
         }
         p.node_up(SimTime::ZERO, 1);
         let mut saw_one = false;
         for _ in 0..50 {
-            if p.arrival_node() == 1 {
+            if p.arrival_node().unwrap() == 1 {
                 saw_one = true;
             }
         }
@@ -242,7 +247,7 @@ mod tests {
     #[test]
     fn abort_undecided_releases_the_connection() {
         let mut p = jsq(2);
-        let n = p.arrival_node();
+        let n = p.arrival_node().unwrap();
         assert_eq!(p.open_connections(n), 1);
         p.abort_undecided(SimTime::ZERO, n);
         assert_eq!(p.open_connections(n), 0);
@@ -252,7 +257,7 @@ mod tests {
     fn never_forwards() {
         let mut p = jsq(4);
         for f in 0..20u32 {
-            let n = p.arrival_node();
+            let n = p.arrival_node().unwrap();
             let a = p.assign(SimTime::ZERO, n, f.into());
             assert!(!a.forwarded);
             assert_eq!(a.control_msgs, 0);

@@ -190,21 +190,19 @@ impl Distributor for L2s {
         PolicyKind::L2s
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
         // Round-robin DNS; a dead address is skipped (the client's
         // connection attempt fails and its retry lands on the next name
-        // in the rotation).
+        // in the rotation). With every address dead the connection is
+        // rejected outright, cursor untouched.
         for step in 0..self.nodes {
             let candidate = (self.next_arrival + step) % self.nodes;
             if self.alive[candidate] {
                 self.next_arrival = (candidate + 1) % self.nodes;
-                return candidate;
+                return Some(candidate);
             }
         }
-        invariant!(false, "no live node to receive an arrival");
-        let fallback = self.next_arrival;
-        self.next_arrival = (fallback + 1) % self.nodes;
-        fallback
+        None
     }
 
     fn hint_files(&mut self, n: usize) {
@@ -401,10 +399,8 @@ impl Distributor for L2s {
         invariant!(self.alive[node], "node_down on a node that is already down");
         self.alive[node] = false;
         self.all_nodes.retain(|&n| n != node);
-        invariant!(
-            !self.all_nodes.is_empty(),
-            "fault plan left the cluster with no live node"
-        );
+        // `all_nodes` may empty out entirely (all-down cluster);
+        // arrivals are rejected before any decision can index it.
         // The crash is announced (the engine models its message costs);
         // every server set sheds the dead member. A set pruned empty
         // behaves like a never-requested file and is recreated on a live
@@ -449,7 +445,7 @@ mod tests {
     #[test]
     fn first_request_stays_local() {
         let mut s = l2s(4);
-        let initial = s.arrival_node();
+        let initial = s.arrival_node().unwrap();
         let a = s.assign(SimTime::ZERO, initial, 7.into());
         assert_eq!(a.service, initial);
         assert!(!a.forwarded);
@@ -461,7 +457,7 @@ mod tests {
     #[test]
     fn member_serves_its_own_requests_without_forwarding() {
         let mut s = l2s(4);
-        let owner = s.arrival_node();
+        let owner = s.arrival_node().unwrap();
         s.assign(SimTime::ZERO, owner, 7.into());
         // Same node receives the file again: serves locally.
         let a = s.assign(SimTime::ZERO, owner, 7.into());
@@ -472,9 +468,9 @@ mod tests {
     #[test]
     fn non_member_forwards_to_the_set() {
         let mut s = l2s(4);
-        let owner = s.arrival_node();
+        let owner = s.arrival_node().unwrap();
         s.assign(SimTime::ZERO, owner, 7.into());
-        let other = s.arrival_node();
+        let other = s.arrival_node().unwrap();
         assert_ne!(other, owner);
         let a = s.assign(SimTime::ZERO, other, 7.into());
         assert_eq!(a.service, owner, "request follows cache locality");
@@ -665,9 +661,9 @@ mod tests {
         s.node_down(SimTime::ZERO, 1);
         assert_eq!(s.serving_nodes(), vec![0, 2]);
         // DNS skips the dead address.
-        assert_eq!(s.arrival_node(), 0);
-        assert_eq!(s.arrival_node(), 2);
-        assert_eq!(s.arrival_node(), 0);
+        assert_eq!(s.arrival_node().unwrap(), 0);
+        assert_eq!(s.arrival_node().unwrap(), 2);
+        assert_eq!(s.arrival_node().unwrap(), 0);
         // The file's set was pruned empty, so the next request recreates
         // it on a live node.
         let a = s.assign(SimTime::ZERO, 0, 7.into());
@@ -753,7 +749,7 @@ mod tests {
         let mut s = l2s(4);
         let mut used = [false; 4];
         for f in 0..8u32 {
-            let initial = s.arrival_node();
+            let initial = s.arrival_node().unwrap();
             let a = s.assign(SimTime::ZERO, initial, f.into());
             used[a.service] = true;
         }

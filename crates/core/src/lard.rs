@@ -222,7 +222,13 @@ impl Distributor for Lard {
         }
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
+        // LARD deliberately always answers `Some`: clients target a
+        // hardwired next hop (the front-end, or the DNS rotation's next
+        // serving address) whether or not it is up, and the engine's
+        // liveness check fails the connection there. This models the
+        // dedicated distributor's failure mode rather than an
+        // all-knowing switch that rejects up front.
         if self.dispatched && self.nodes > 1 {
             // Round-robin DNS over the serving nodes, skipping dead
             // addresses (the client's retry lands on the next name).
@@ -231,19 +237,19 @@ impl Distributor for Lard {
                 let candidate = 1 + (self.next_arrival - 1 + step) % span;
                 if self.alive[candidate] {
                     self.next_arrival = 1 + (candidate % span);
-                    return candidate;
+                    return Some(candidate);
                 }
             }
             // Every serving node is down: the connection attempt targets
             // the rotation's next address anyway and the engine fails it.
             let node = self.next_arrival;
             self.next_arrival = 1 + (node % span);
-            node
+            Some(node)
         } else {
             // Every client connection goes to the front-end (if the
             // front-end is down, the connection attempt simply fails —
             // the dedicated distributor is a single point of failure).
-            self.front_end()
+            Some(self.front_end())
         }
     }
 
@@ -287,14 +293,26 @@ impl Distributor for Lard {
         let target = if set.members.is_empty() {
             // Whole-cluster least-loaded pick via the index
             // (selection-identical to the old scan over `back_ends`,
-            // which is non-empty here).
-            let n = view_index.argmin_rotating(tie_cursor).unwrap_or(0);
+            // which is non-empty here). The view index mirrors
+            // `back_ends`, so the pick always exists; an empty index
+            // here would be state corruption, not an all-down cluster
+            // (that case was handed off above), and must fail loudly
+            // rather than silently become node 0.
+            let n = view_index.argmin_rotating(tie_cursor).unwrap_or_else(|| {
+                l2s_util::invariant::invariant_failed(format_args!(
+                    "back-end view index empty while back_ends is non-empty"
+                ))
+            });
             set.members.push(n);
             set.last_modified = now;
             n
         } else {
             let n = argmin_rotating(&set.members, |m| loads[m], tie_cursor);
-            let m = view_index.argmin_rotating(tie_cursor).unwrap_or(n);
+            let m = view_index.argmin_rotating(tie_cursor).unwrap_or_else(|| {
+                l2s_util::invariant::invariant_failed(format_args!(
+                    "back-end view index empty while back_ends is non-empty"
+                ))
+            });
             let mut chosen = n;
             let overloaded =
                 loads[n] > cfg.t_high && loads[m] < cfg.t_low || loads[n] >= 2 * cfg.t_high;
@@ -491,7 +509,7 @@ mod tests {
     fn front_end_never_serves() {
         let mut l = lard(4);
         for f in 0..100u32 {
-            let initial = l.arrival_node();
+            let initial = l.arrival_node().unwrap();
             assert_eq!(initial, 0);
             let a = l.assign(SimTime::ZERO, initial, f.into());
             assert_ne!(a.service, 0, "front-end must not serve");
@@ -592,7 +610,7 @@ mod tests {
     #[test]
     fn single_node_degenerates_to_local_service() {
         let mut l = lard(1);
-        let initial = l.arrival_node();
+        let initial = l.arrival_node().unwrap();
         let a = l.assign(SimTime::ZERO, initial, 3.into());
         assert_eq!(a.service, 0);
         assert!(!a.forwarded);
@@ -647,7 +665,7 @@ mod tests {
     #[test]
     fn dispatcher_variant_accepts_on_back_ends() {
         let mut l = Lard::dispatcher(4, LardConfig::default());
-        let arrivals: Vec<_> = (0..6).map(|_| l.arrival_node()).collect();
+        let arrivals: Vec<_> = (0..6).map(|_| l.arrival_node().unwrap()).collect();
         assert_eq!(
             arrivals,
             vec![1, 2, 3, 1, 2, 3],
@@ -733,10 +751,10 @@ mod tests {
     fn dispatcher_rotation_skips_dead_acceptors() {
         let mut l = Lard::dispatcher(4, LardConfig::default());
         l.node_down(SimTime::ZERO, 2);
-        let arrivals: Vec<_> = (0..4).map(|_| l.arrival_node()).collect();
+        let arrivals: Vec<_> = (0..4).map(|_| l.arrival_node().unwrap()).collect();
         assert_eq!(arrivals, vec![1, 3, 1, 3], "dead acceptor skipped");
         l.node_up(SimTime::ZERO, 2);
-        let arrivals: Vec<_> = (0..3).map(|_| l.arrival_node()).collect();
+        let arrivals: Vec<_> = (0..3).map(|_| l.arrival_node().unwrap()).collect();
         assert_eq!(arrivals, vec![1, 2, 3], "rotation heals on recovery");
     }
 
@@ -744,7 +762,7 @@ mod tests {
     fn dispatcher_can_pick_the_accepting_node() {
         let mut l = Lard::dispatcher(2, LardConfig::default());
         // Only one back-end: it accepts and serves everything itself.
-        let initial = l.arrival_node();
+        let initial = l.arrival_node().unwrap();
         assert_eq!(initial, 1);
         let a = l.assign(SimTime::ZERO, initial, 3.into());
         assert_eq!(a.service, 1);

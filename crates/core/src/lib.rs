@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod driver;
 mod jiq;
 mod jsq;
 mod l2s_policy;
@@ -37,6 +38,7 @@ mod lard;
 mod load_index;
 mod sita;
 
+pub use driver::{Placement, PolicyDriver};
 pub use load_index::LoadIndex;
 
 pub use baseline::{PureLocality, RoundRobin, Traditional};
@@ -164,8 +166,15 @@ pub trait Distributor {
     /// The policy's kind.
     fn kind(&self) -> PolicyKind;
 
-    /// Where the next client connection lands.
-    fn arrival_node(&mut self) -> NodeId;
+    /// Where the next client connection lands, or `None` when no node
+    /// can accept it (every candidate is down). A `None` is an explicit
+    /// rejection: the caller counts the request as failed instead of
+    /// routing it to a fabricated default. (An earlier version papered
+    /// over the all-down case with `unwrap_or(0)`, silently resurrecting
+    /// node 0.) [`Lard`] is the deliberate exception — its front-end /
+    /// rotation target is returned even when dead, modeling the hardwired
+    /// next hop whose liveness check the engine then fails.
+    fn arrival_node(&mut self) -> Option<NodeId>;
 
     /// Hints the number of distinct files in the workload (dense
     /// interned ids `0..n`), letting policies size their per-file tables
@@ -348,7 +357,7 @@ mod tests {
             let now = SimTime::ZERO;
             let mut in_flight: Vec<(NodeId, FileId)> = Vec::new();
             for file in 0..50u32 {
-                let initial = policy.arrival_node();
+                let initial = policy.arrival_node().expect("healthy cluster accepts");
                 let a = policy.assign(now, initial, (file % 7).into());
                 in_flight.push((a.service, (file % 7).into()));
             }
@@ -368,7 +377,7 @@ mod tests {
             let n = 3;
             let mut policy = kind.build(n);
             for file in 0..30u32 {
-                let initial = policy.arrival_node();
+                let initial = policy.arrival_node().expect("healthy cluster accepts");
                 assert!(initial < n);
                 let a = policy.assign(SimTime::ZERO, initial, file.into());
                 assert!(a.service < n, "{}: service out of range", kind.name());

@@ -126,9 +126,10 @@ impl Distributor for Sita {
         self.rebuild_bands(sizes);
     }
 
-    fn arrival_node(&mut self) -> NodeId {
+    fn arrival_node(&mut self) -> Option<NodeId> {
         // Round-robin DNS; the owner is only known after parsing. Dead
-        // nodes drop out of DNS rotation.
+        // nodes drop out of DNS rotation; an empty rotation (every node
+        // down) rejects the connection without advancing the cursor.
         let n = self.loads.len();
         let mut node = self.next_arrival;
         for _ in 0..n {
@@ -137,9 +138,11 @@ impl Distributor for Sita {
             }
             node = (node + 1) % n;
         }
-        invariant!(self.alive[node], "sita found no live node");
+        if !self.alive[node] {
+            return None;
+        }
         self.next_arrival = (node + 1) % n;
-        node
+        Some(node)
     }
 
     fn assign(&mut self, _now: SimTime, initial: NodeId, file: FileId) -> Assignment {
@@ -171,8 +174,9 @@ impl Distributor for Sita {
 
     fn node_down(&mut self, _now: SimTime, node: NodeId) {
         self.alive[node] = false;
+        // The ring may empty out entirely (all-down cluster); arrivals
+        // are rejected before `owner` can index it, so no guard here.
         self.ring.retain(|&id| id != node);
-        invariant!(!self.ring.is_empty(), "size-band ring has no live node");
     }
 
     fn node_up(&mut self, _now: SimTime, node: NodeId) {
@@ -252,7 +256,7 @@ mod tests {
         let mut s = hinted(4);
         let first = s.assign(SimTime::ZERO, 0, 3.into()).service;
         for _ in 0..10 {
-            let initial = s.arrival_node();
+            let initial = s.arrival_node().unwrap();
             let a = s.assign(SimTime::ZERO, initial, 3.into());
             assert_eq!(a.service, first, "same file, same owner");
         }

@@ -90,7 +90,7 @@ fn drive(
             let (node, f) = in_flight.swap_remove(idx);
             msg_count_claimed += u64::from(policy.complete(now, node, f.into()));
         } else {
-            let initial = policy.arrival_node();
+            let initial = policy.arrival_node().unwrap();
             prop_assert!(initial < nodes);
             let a = policy.assign(now, initial, file.into());
             prop_assert!(a.service < nodes);
@@ -142,7 +142,7 @@ proptest! {
                 let (node, f) = in_flight.swap_remove(0);
                 policy.complete(now, node, f.into());
             } else {
-                let initial = policy.arrival_node();
+                let initial = policy.arrival_node().unwrap();
                 let a = policy.assign(now, initial, file.into());
                 in_flight.push((a.service, file));
                 seen_files.insert(file);
@@ -177,7 +177,7 @@ proptest! {
                 let (node, f) = in_flight.swap_remove(0);
                 policy.complete(now, node, f.into());
             } else {
-                let initial = policy.arrival_node();
+                let initial = policy.arrival_node().unwrap();
                 let a = policy.assign(now, initial, file.into());
                 in_flight.push((a.service, file));
             }
@@ -245,7 +245,7 @@ proptest! {
         let mut peak = 0u32;
         let now = SimTime::ZERO;
         for file in ops {
-            let initial = policy.arrival_node();
+            let initial = policy.arrival_node().unwrap();
             policy.assign(now, initial, file.into());
             for k in 0..nodes {
                 peak = peak.max(policy.open_connections(k));

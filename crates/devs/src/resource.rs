@@ -180,10 +180,20 @@ impl FifoResource {
     /// (`free_at - now`) is subtracted from the busy accounting so
     /// utilization reflects work actually carried out. Completed history
     /// (`served`, performed busy time) is kept.
+    ///
+    /// The rescinded span can exceed accrued busy time when work was
+    /// scheduled to *start* in the future (the replay front-end books
+    /// a whole station pipeline at admission); busy clamps at zero
+    /// rather than underflowing.
     pub fn reset_in_flight(&mut self, now: SimTime) {
         self.completions.clear();
         if self.free_at > now {
-            self.busy -= self.free_at - now;
+            let rescinded = self.free_at - now;
+            self.busy = if self.busy > rescinded {
+                self.busy - rescinded
+            } else {
+                SimDuration::ZERO
+            };
             self.free_at = now;
         }
     }

@@ -1,0 +1,411 @@
+//! The timed replay engine: policies plus node hardware, no event queue.
+//!
+//! One [`ReplayEngine`] holds a [`PolicyDriver`] and the per-node
+//! [`NodeHardware`] stations. The caller owns the loop (and the clock):
+//! it offers requests at their arrival times and the engine models each
+//! one through a FIFO station pipeline — NI-in, CPU parse (plus the
+//! forwarding charge when the policy handed the request off), disk on a
+//! cache miss, CPU reply, NI-out — using the Table 1 [`NodeCosts`].
+//! Completions are settled lazily from a min-heap whenever time
+//! advances, feeding the policy's `complete` hook exactly as the DES
+//! does.
+//!
+//! This is deliberately a *lighter* contention model than the DES (no
+//! router, no switch hops, no per-message NI traffic, no closed-loop
+//! admission): the replay front-end's timed mode answers "how would
+//! this policy behave on my live log right now", while exact engine
+//! semantics remain the job of the infinite-speed DES-backed path.
+
+use l2s::{Placement, PolicyDriver, PolicyKind};
+use l2s_cluster::{build_nodes, CachePolicy, NodeCosts, NodeHardware};
+use l2s_sim::{NodeReport, SimConfig, SimReport};
+use l2s_util::{cast, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration for a timed replay run.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Policy to drive.
+    pub policy: PolicyKind,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Per-node cache capacity in KB.
+    pub cache_kb: f64,
+    /// Inbound-NI admission buffer (requests), as in the DES.
+    pub ni_buffer: usize,
+    /// Table 1 service times.
+    pub costs: NodeCosts,
+    /// Snapshot period in virtual seconds (`<= 0` disables snapshots).
+    pub snapshot_every_s: f64,
+    /// Stop after this many injected requests (`None` = whole stream).
+    pub max_requests: Option<usize>,
+    /// Record individual response times (needed for the p99 column;
+    /// costs O(completed) memory, like the engine's `response_samples`).
+    pub response_samples: bool,
+}
+
+impl ReplayConfig {
+    /// Paper-default hardware (Section 5.1 cache size, NI buffer, and
+    /// Table 1 costs) for `nodes` nodes under `policy`.
+    pub fn new(policy: PolicyKind, nodes: usize) -> Self {
+        Self::from_sim(&SimConfig::paper_default(nodes), policy)
+    }
+
+    /// Borrows the hardware parameters of an existing [`SimConfig`], so
+    /// replay and simulation runs agree on the cluster being modeled.
+    pub fn from_sim(sim: &SimConfig, policy: PolicyKind) -> Self {
+        ReplayConfig {
+            policy,
+            nodes: sim.nodes,
+            cache_kb: sim.cache_kb,
+            ni_buffer: sim.ni_buffer,
+            costs: sim.costs,
+            snapshot_every_s: 10.0,
+            max_requests: sim.max_requests,
+            response_samples: true,
+        }
+    }
+}
+
+/// One in-flight request: completion time, admission order (the
+/// determinism tie-break for simultaneous completions), service node,
+/// and file.
+type InFlight = Reverse<(SimTime, u64, usize, u32)>;
+
+/// Policies plus node hardware behind an offer/complete interface. See
+/// the module docs for the service model.
+#[derive(Debug)]
+pub struct ReplayEngine {
+    cfg: ReplayConfig,
+    driver: PolicyDriver,
+    nodes: Vec<NodeHardware>,
+    inflight: BinaryHeap<InFlight>,
+    peak_inflight: usize,
+    seq: u64,
+    injected: u64,
+    failed: u64,
+    forwarded: u64,
+    control_msgs: u64,
+    response_sum_s: f64,
+    samples_s: Vec<f64>,
+    now: SimTime,
+}
+
+impl ReplayEngine {
+    /// A fresh engine: cold caches, idle stations, policy at its
+    /// initial state.
+    pub fn new(cfg: ReplayConfig) -> Self {
+        let driver = PolicyDriver::new(cfg.policy, cfg.nodes);
+        let nodes = build_nodes(cfg.nodes, CachePolicy::Lru, cfg.cache_kb, cfg.ni_buffer);
+        ReplayEngine {
+            cfg,
+            driver,
+            nodes,
+            inflight: BinaryHeap::new(),
+            peak_inflight: 0,
+            seq: 0,
+            injected: 0,
+            failed: 0,
+            forwarded: 0,
+            control_msgs: 0,
+            response_sum_s: 0.0,
+            samples_s: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Requests injected so far (accepted + rejected).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Forwards the file population (count and sizes) to the policy.
+    pub fn hint_sizes(&mut self, sizes_kb: &[f64]) {
+        self.driver.hint_files(sizes_kb.len());
+        self.driver.hint_file_sizes(sizes_kb);
+    }
+
+    /// Marks `node` down (crash semantics: cache wiped, stations
+    /// cleared, in-flight work on it lost) at `now`.
+    pub fn node_down(&mut self, now: SimTime, node: usize) {
+        self.advance(now);
+        self.driver.node_down(now.as_nanos(), node);
+        self.nodes[node].crash(now);
+        // Work queued on the dead node never completes; requests lost
+        // this way count as failed, mirroring the engine's abort path
+        // (the policy's completion hook settles its load accounting).
+        let drained: Vec<_> = self.inflight.drain().collect();
+        for Reverse(e) in drained {
+            if e.2 == node {
+                self.failed += 1;
+                self.driver.complete(now.as_nanos(), e.2, e.3);
+            } else {
+                self.inflight.push(Reverse(e));
+            }
+        }
+        self.collect_messages();
+    }
+
+    /// Marks `node` back up at `now`.
+    pub fn node_up(&mut self, now: SimTime, node: usize) {
+        self.advance(now);
+        self.driver.node_up(now.as_nanos(), node);
+    }
+
+    /// Offers one request for `file` (`size_kb` KB) arriving at `at`.
+    /// Returns the serving node, or `None` when every candidate was
+    /// down and the request failed.
+    pub fn offer(&mut self, at: SimTime, file: u32, size_kb: f64) -> Option<usize> {
+        self.advance(at);
+        self.injected += 1;
+        let (node, forwarded) = match self.driver.place(at.as_nanos(), file) {
+            Placement::Serve {
+                node, forwarded, ..
+            } => (node, forwarded),
+            Placement::Rejected => {
+                self.failed += 1;
+                return None;
+            }
+        };
+        self.collect_messages();
+        if forwarded {
+            self.forwarded += 1;
+        }
+        let done = self.schedule_service(at, node, file, size_kb, forwarded);
+        let response_s = done.saturating_since(at).as_secs_f64();
+        self.response_sum_s += response_s;
+        if self.cfg.response_samples {
+            self.samples_s.push(response_s);
+        }
+        self.inflight.push(Reverse((done, self.seq, node, file)));
+        self.seq += 1;
+        self.peak_inflight = self.peak_inflight.max(self.inflight.len());
+        Some(node)
+    }
+
+    /// Settles every completion due at or before `upto` (public so the
+    /// caller can flush before taking a snapshot).
+    pub fn drain_due(&mut self, upto: SimTime) {
+        self.advance(upto);
+    }
+
+    /// Settles all remaining in-flight work and returns the final
+    /// report.
+    pub fn finish(&mut self) -> SimReport {
+        self.advance(SimTime::MAX);
+        self.report()
+    }
+
+    fn advance(&mut self, upto: SimTime) {
+        let mut settled = false;
+        while let Some(&Reverse((done, _, node, file))) = self.inflight.peek() {
+            if done > upto {
+                break;
+            }
+            self.inflight.pop();
+            self.driver.complete(done.as_nanos(), node, file);
+            self.nodes[node].completed += 1;
+            settled = true;
+            if done > self.now {
+                self.now = done;
+            }
+        }
+        if settled {
+            self.collect_messages();
+        }
+        if upto > self.now && upto < SimTime::MAX {
+            self.now = upto;
+        }
+    }
+
+    /// Drains the policy's control-message buffer into the counter —
+    /// the single accounting point, so place/complete return values and
+    /// the drain can never double-count (and the buffer stays bounded
+    /// over an endless tail).
+    fn collect_messages(&mut self) {
+        self.control_msgs += cast::len_u64(self.driver.drain_messages().len());
+    }
+
+    /// Runs one request through the serving node's station pipeline and
+    /// returns its completion time.
+    fn schedule_service(
+        &mut self,
+        at: SimTime,
+        node: usize,
+        file: u32,
+        size_kb: f64,
+        forwarded: bool,
+    ) -> SimTime {
+        let costs = self.cfg.costs;
+        let hw = &mut self.nodes[node];
+        let t_in = hw.ni_in.schedule(at, costs.ni_in());
+        let mut cpu_front = costs.parse();
+        if forwarded {
+            cpu_front += costs.forward();
+        }
+        let t_parsed = hw.cpu.schedule(t_in, cpu_front);
+        let hit = hw.access_file(file, size_kb);
+        let t_data = if hit {
+            t_parsed
+        } else {
+            hw.disk.schedule(t_parsed, costs.disk_read(size_kb))
+        };
+        let t_reply = hw.cpu.schedule(t_data, costs.mem_reply(size_kb));
+        hw.ni_out.schedule(t_reply, costs.ni_out(size_kb))
+    }
+
+    /// The metrics so far, in the engine's [`SimReport`] shape. Fields
+    /// the timed model does not measure (router utilization, lifecycle
+    /// segments, fault phases, event-queue statistics) report zero.
+    pub fn report(&self) -> SimReport {
+        let elapsed = SimDuration::from_nanos(self.now.as_nanos());
+        let elapsed_s = elapsed.as_secs_f64();
+        let completed: u64 = self.nodes.iter().map(|n| n.completed).sum();
+        let serving = self.driver.serving_nodes();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let per_node: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let s = n.cache.stats();
+                hits += s.hits;
+                misses += s.misses;
+                NodeReport {
+                    node: i,
+                    cpu_utilization: n.cpu.utilization(elapsed),
+                    disk_utilization: n.disk.utilization(elapsed),
+                    completed: n.completed,
+                    cache_hits: s.hits,
+                    cache_misses: s.misses,
+                }
+            })
+            .collect();
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                cast::exact_f64(num) / cast::exact_f64(den)
+            }
+        };
+        let p99 = percentile_99(&self.samples_s);
+        SimReport {
+            policy: self.cfg.policy.name(),
+            nodes: self.cfg.nodes,
+            completed,
+            elapsed,
+            throughput_rps: if elapsed_s > 0.0 {
+                cast::exact_f64(completed) / elapsed_s
+            } else {
+                0.0
+            },
+            miss_rate: frac(misses, hits + misses),
+            forwarded_fraction: frac(self.forwarded, self.injected - self.failed),
+            cpu_idle: if serving.is_empty() {
+                0.0
+            } else {
+                serving
+                    .iter()
+                    .map(|&n| self.nodes[n].cpu_idle_fraction(elapsed))
+                    .sum::<f64>()
+                    / cast::len_f64(serving.len())
+            },
+            router_utilization: 0.0,
+            control_msgs_per_request: frac(self.control_msgs, completed),
+            mean_response_s: if self.injected > self.failed {
+                self.response_sum_s / cast::exact_f64(self.injected - self.failed)
+            } else {
+                0.0
+            },
+            p99_response_s: p99,
+            segment_means_s: [0.0; 3],
+            failed: self.failed,
+            retried: 0,
+            unavailability: 0.0,
+            phase_rps: [0.0; 3],
+            events_handled: self.injected + completed,
+            peak_fel_depth: self.peak_inflight,
+            fel_ops: Default::default(),
+            per_node,
+        }
+    }
+}
+
+/// Nearest-rank 99th percentile; `None` when no samples were recorded.
+fn percentile_99(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank =
+        cast::floor_index((cast::len_f64(sorted.len()) * 0.99).ceil()).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_completes_and_reports() {
+        let mut e = ReplayEngine::new(ReplayConfig::new(PolicyKind::Traditional, 2));
+        e.hint_sizes(&[4.0, 8.0]);
+        for i in 0..10u32 {
+            let at = SimTime::from_secs_f64(f64::from(i) * 0.01);
+            assert!(e.offer(at, i % 2, 4.0).is_some());
+        }
+        let r = e.finish();
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.failed, 0);
+        assert!(r.mean_response_s > 0.0);
+        assert!(r.p99_response_s.is_some());
+        assert_eq!(r.per_node.len(), 2);
+        assert_eq!(
+            r.per_node.iter().map(|n| n.completed).sum::<u64>(),
+            r.completed
+        );
+    }
+
+    #[test]
+    fn all_down_cluster_fails_requests_instead_of_serving() {
+        let mut e = ReplayEngine::new(ReplayConfig::new(PolicyKind::Jsq, 3));
+        e.hint_sizes(&[4.0]);
+        let t = SimTime::from_secs_f64(1.0);
+        for n in 0..3 {
+            e.node_down(t, n);
+        }
+        for i in 0..5u32 {
+            let at = SimTime::from_secs_f64(2.0 + f64::from(i));
+            assert_eq!(e.offer(at, 0, 4.0), None, "all-down cluster must fail");
+        }
+        let r = e.finish();
+        assert_eq!(r.failed, 5);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.per_node[0].completed, 0, "nothing routed to node 0");
+    }
+
+    #[test]
+    fn node_down_fails_in_flight_work_on_that_node() {
+        let mut e = ReplayEngine::new(ReplayConfig::new(PolicyKind::RoundRobin, 2));
+        e.hint_sizes(&[50.0]);
+        // Two arrivals land on nodes 0 and 1 (round-robin), then node 0
+        // dies before either completes.
+        let a = e.offer(SimTime::from_secs_f64(0.001), 0, 50.0).unwrap();
+        let b = e.offer(SimTime::from_secs_f64(0.002), 0, 50.0).unwrap();
+        assert_ne!(a, b);
+        e.node_down(SimTime::from_secs_f64(0.003), 0);
+        let r = e.finish();
+        assert_eq!(r.failed, 1, "node 0's request died with it");
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn percentile_requires_samples() {
+        assert_eq!(percentile_99(&[]), None);
+        assert_eq!(percentile_99(&[0.5]), Some(0.5));
+        let many: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_99(&many), Some(99.0));
+    }
+}

@@ -166,6 +166,30 @@ impl CostCache {
     }
 }
 
+/// One distribution decision, in the order the engine made them — the
+/// placement stream `simulate_observed` feeds to its observer and the
+/// byte-compared artifact of the replay-parity tests. Records every
+/// decision of the run, warm-up pass included (replay runs disable
+/// warm-up, so the streams line up one-to-one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementRecord {
+    /// Zero-based decision index over the whole run.
+    pub seq: u64,
+    /// The file requested.
+    pub file: FileId,
+    /// The node the client connection landed on.
+    pub initial: NodeId,
+    /// The node chosen to service the request.
+    pub service: NodeId,
+    /// Whether the request was handed off (`service != initial`).
+    pub forwarded: bool,
+    /// Simulated time of the decision.
+    pub at: SimTime,
+}
+
+/// Observer callback for [`simulate_observed`].
+pub type PlacementObserver<'o> = dyn FnMut(PlacementRecord) + 'o;
+
 struct Engine<'t> {
     config: SimConfig,
     workload: &'t mut dyn Workload,
@@ -208,6 +232,15 @@ struct Engine<'t> {
     /// between warm-up and measurement while the queue clock keeps
     /// running), so the injector offsets them by this base.
     pass_base_s: f64,
+    /// `SimConfig::retry_delay_s` converted once at setup so the retry
+    /// paths stay in integer nanoseconds.
+    retry_delay: SimDuration,
+    /// Callback invoked on every distribution decision (see
+    /// [`PlacementRecord`]); `None` on the historical paths.
+    observer: Option<&'t mut PlacementObserver<'t>>,
+    /// Decisions observed so far (feeds [`PlacementRecord::seq`]; never
+    /// reset, unlike the per-pass measurement counters).
+    observed_seq: u64,
 }
 
 /// Home node of `file` under the hash-placed distributed file system
@@ -246,6 +279,24 @@ pub fn simulate(config: &SimConfig, policy_kind: PolicyKind, trace: &Trace) -> S
     simulate_workload(config, policy_kind, &mut workload)
 }
 
+/// [`simulate`] with a placement observer: `observer` is invoked once
+/// per distribution decision, in decision order, with the same
+/// [`PlacementRecord`] stream a live replay of the same trace and seed
+/// must reproduce. The observer is pure instrumentation — reports are
+/// byte-identical to the unobserved run.
+pub fn simulate_observed(
+    config: &SimConfig,
+    policy_kind: PolicyKind,
+    trace: &Trace,
+    observer: &mut PlacementObserver<'_>,
+) -> SimReport {
+    let mut workload = TraceWorkload::new(trace);
+    // Fresh closure so the trait object's lifetime narrows to the local
+    // workload borrow (a `&mut dyn` is invariant in its inner lifetime).
+    let mut forward = |r: PlacementRecord| observer(r);
+    simulate_workload_observed(config, policy_kind, &mut workload, &mut forward)
+}
+
 /// Runs one simulation drawing requests from `workload` — the
 /// trace-free entry point scaling sweeps use with a streaming
 /// [`SynthWorkload`](crate::SynthWorkload), where memory stays flat in
@@ -257,21 +308,51 @@ pub fn simulate_workload(
     policy_kind: PolicyKind,
     workload: &mut dyn Workload,
 ) -> SimReport {
+    run_maybe_modulated(config, policy_kind, workload, None)
+}
+
+/// [`simulate_workload`] with a placement observer (see
+/// [`simulate_observed`]).
+pub fn simulate_workload_observed<'t>(
+    config: &SimConfig,
+    policy_kind: PolicyKind,
+    workload: &'t mut dyn Workload,
+    observer: &'t mut PlacementObserver<'t>,
+) -> SimReport {
+    run_maybe_modulated(config, policy_kind, workload, Some(observer))
+}
+
+/// Applies the configured workload modulation, if any, then runs.
+fn run_maybe_modulated<'t>(
+    config: &SimConfig,
+    policy_kind: PolicyKind,
+    workload: &'t mut dyn Workload,
+    observer: Option<&'t mut PlacementObserver<'t>>,
+) -> SimReport {
     if config.workload_mod.is_none() {
         // The identity spec takes the historical path with no wrapper in
         // the loop at all — stationary runs stay byte-identical.
-        return run_simulation(config, policy_kind, workload);
+        return run_simulation(config, policy_kind, workload, observer);
     }
     let mut modulated = ModulatedWorkload::new(workload, config.workload_mod.clone(), config.seed);
-    run_simulation(config, policy_kind, &mut modulated)
+    match observer {
+        Some(observer) => {
+            // Fresh closure: the modulated wrapper is a local borrow, so
+            // the observer's trait-object lifetime must narrow with it.
+            let mut forward = |r: PlacementRecord| observer(r);
+            run_simulation(config, policy_kind, &mut modulated, Some(&mut forward))
+        }
+        None => run_simulation(config, policy_kind, &mut modulated, None),
+    }
 }
 
 /// The engine proper, over whatever (possibly wrapped) source
-/// `simulate_workload` settled on.
-fn run_simulation(
+/// `run_maybe_modulated` settled on.
+fn run_simulation<'t>(
     config: &SimConfig,
     policy_kind: PolicyKind,
-    workload: &mut dyn Workload,
+    workload: &'t mut dyn Workload,
+    observer: Option<&'t mut PlacementObserver<'t>>,
 ) -> SimReport {
     config.validate().expect("invalid simulation configuration");
     l2s_util::invariant!(!workload.is_empty(), "cannot simulate an empty workload");
@@ -343,6 +424,9 @@ fn run_simulation(
         down_since: vec![SimTime::ZERO; config.nodes],
         down_count: 0,
         pass_base_s: 0.0,
+        retry_delay: SimDuration::from_secs_f64(config.retry_delay_s),
+        observer,
+        observed_seq: 0,
     };
 
     if warmup {
@@ -514,10 +598,24 @@ impl<'t> Engine<'t> {
             let Some(file) = self.next_workload_file() else {
                 return;
             };
-            let initial = self.policy.arrival_node();
+            let Some(initial) = self.policy.arrival_node() else {
+                // No node can accept the connection (every candidate is
+                // down): the request is consumed and counted failed —
+                // it must not silently resurrect node 0.
+                self.reject_arrival();
+                continue;
+            };
             let conn = self.draw_connection_len() - 1;
             self.launch_request(now, initial, conn, false, file);
         }
+    }
+
+    /// Counts a request whose connection attempt found no live node: it
+    /// is consumed from the workload and recorded as failed without ever
+    /// entering the router.
+    fn reject_arrival(&mut self) {
+        self.next_request += 1;
+        self.measure.failed += 1;
     }
 
     /// The node a request-lifecycle event executes on, if any. Events
@@ -580,6 +678,17 @@ impl<'t> Engine<'t> {
                 self.charge_messages(now);
                 self.measure.decided += 1;
                 self.measure.control_msgs += u64::from(assignment.control_msgs);
+                if let Some(observer) = self.observer.as_deref_mut() {
+                    observer(PlacementRecord {
+                        seq: self.observed_seq,
+                        file,
+                        initial,
+                        service: assignment.service,
+                        forwarded: assignment.forwarded,
+                        at: now,
+                    });
+                    self.observed_seq += 1;
+                }
                 self.arena.route_mut(id).set_service(assignment.service);
                 self.arena.timing_mut(id).decided = now;
                 {
@@ -676,9 +785,18 @@ impl<'t> Engine<'t> {
             }
             Ev::ClientArrival => {
                 if let Some(file) = self.next_workload_file() {
-                    let initial = self.policy.arrival_node();
-                    let conn = self.draw_connection_len() - 1;
-                    self.launch_request(now, initial, conn, false, file);
+                    match self.policy.arrival_node() {
+                        Some(initial) => {
+                            let conn = self.draw_connection_len() - 1;
+                            self.launch_request(now, initial, conn, false, file);
+                        }
+                        None => {
+                            // Connection refused everywhere: the request
+                            // fails at the client, but the arrival
+                            // process keeps ticking.
+                            self.reject_arrival();
+                        }
+                    }
                     self.schedule_next_arrival();
                 }
             }
@@ -778,7 +896,27 @@ impl<'t> Engine<'t> {
             Ev::Retry(id) => {
                 // The client's retry is a fresh connection: it enters
                 // through the router and may land on any live node.
-                let initial = self.policy.arrival_node();
+                let Some(initial) = self.policy.arrival_node() else {
+                    // Still nowhere to connect. The policy accounting was
+                    // already settled by `fail_request` before this retry
+                    // was scheduled, so no abort hooks here: either burn
+                    // another retry and keep waiting, or give up.
+                    let retries_left = self.arena.flow(id).retries_left;
+                    if retries_left > 0 {
+                        self.arena.flow_mut(id).retries_left -= 1;
+                        self.measure.retried += 1;
+                        self.queue.schedule_after(self.retry_delay, Ev::Retry(id));
+                    } else {
+                        self.measure.failed += 1;
+                        invariant!(
+                            self.outstanding > 0,
+                            "request accounting underflow: failure with none outstanding"
+                        );
+                        self.outstanding -= 1;
+                        self.arena.release(id);
+                    }
+                    return;
+                };
                 let epoch = self.node_epoch[initial];
                 {
                     let r = self.arena.route_mut(id);
@@ -835,8 +973,7 @@ impl<'t> Engine<'t> {
                 f.assigned = false;
             }
             self.measure.retried += 1;
-            let delay = SimDuration::from_secs_f64(self.config.retry_delay_s);
-            self.queue.schedule_after(delay, Ev::Retry(id));
+            self.queue.schedule_after(self.retry_delay, Ev::Retry(id));
         } else {
             self.measure.failed += 1;
             invariant!(
@@ -1658,6 +1795,53 @@ mod tests {
             r.phase_rps[1],
             r.phase_rps[0]
         );
+    }
+
+    #[test]
+    fn all_down_cluster_fails_every_request_and_places_none() {
+        // Regression for the silent-zero family: an `unwrap_or(0)` in
+        // the selection path used to route arrivals to node 0 even with
+        // the whole cluster down. With Option-based selection a total
+        // outage must reject everything — no request may reach node 0
+        // (or any node) and every injected request counts as failed.
+        let trace = small_trace(23);
+        let mut cfg = small_config(4);
+        cfg.faults = crate::FaultPlan::scheduled(
+            (0..4)
+                .map(|node| crate::FaultEvent {
+                    at: SimDuration::ZERO,
+                    node,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        );
+        cfg.fault_retries = 3;
+        for kind in [PolicyKind::L2s, PolicyKind::Lard, PolicyKind::Jsq] {
+            let mut placements = Vec::new();
+            let mut observer = |r: PlacementRecord| placements.push(r);
+            let r = simulate_observed(&cfg, kind, &trace, &mut observer);
+            assert_eq!(
+                r.failed,
+                trace.len() as u64,
+                "{}: every injected request must fail during a total outage",
+                kind.name()
+            );
+            assert_eq!(r.completed, 0, "{}: nothing can complete", kind.name());
+            assert!(
+                placements.is_empty(),
+                "{}: {} placements reached nodes of an all-down cluster \
+                 (first: node {:?})",
+                kind.name(),
+                placements.len(),
+                placements.first().map(|p| p.service)
+            );
+            assert_eq!(
+                r.per_node.iter().map(|n| n.completed).sum::<u64>(),
+                0,
+                "{}: per-node counters must agree",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -175,11 +175,13 @@ impl FaultPlan {
     }
 
     /// Checks the plan against a cluster of `nodes` nodes: every event
-    /// in bounds, crashes and recoveries alternating per node, and at
-    /// least one node alive at every instant.
+    /// in bounds, crashes and recoveries alternating per node. A plan
+    /// may take the whole cluster down — policies reject arrivals while
+    /// no node is live and the engine counts those requests as failed
+    /// (total-outage behavior is itself under test; see the engine's
+    /// all-down regression tests).
     pub fn validate(&self, nodes: usize) -> Result<(), String> {
         let mut alive = vec![true; nodes];
-        let mut alive_count = nodes;
         let mut last = SimDuration::ZERO;
         for e in &self.events {
             if e.node >= nodes {
@@ -198,17 +200,12 @@ impl FaultPlan {
                         return Err(format!("node {} crashes while already down", e.node));
                     }
                     alive[e.node] = false;
-                    alive_count -= 1;
-                    if alive_count == 0 {
-                        return Err("fault plan leaves the cluster with no live node".into());
-                    }
                 }
                 FaultKind::Recover => {
                     if alive[e.node] {
                         return Err(format!("node {} recovers while already up", e.node));
                     }
                     alive[e.node] = true;
-                    alive_count += 1;
                 }
             }
         }
@@ -283,7 +280,9 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_killing_every_node() {
+    fn validate_accepts_killing_every_node() {
+        // A total outage is a legal (and tested) scenario: the policies
+        // reject arrivals and the engine counts them as failed.
         let p = FaultPlan::scheduled(vec![
             FaultEvent {
                 at: SimDuration::from_secs_f64(1.0),
@@ -296,7 +295,7 @@ mod tests {
                 kind: FaultKind::Crash,
             },
         ]);
-        assert!(p.validate(2).is_err());
+        p.validate(2).unwrap();
         p.validate(3).unwrap();
     }
 

@@ -31,14 +31,19 @@
 #![forbid(unsafe_code)]
 
 mod arena;
+mod clock;
 mod config;
 mod engine;
 mod faults;
 mod report;
 mod workload;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use config::{ArrivalMode, SimConfig};
-pub use engine::{simulate, simulate_workload};
+pub use engine::{
+    simulate, simulate_observed, simulate_workload, simulate_workload_observed, PlacementObserver,
+    PlacementRecord,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{NodeReport, SimReport};
 pub use workload::{ModulatedWorkload, SynthWorkload, TraceWorkload, Workload};

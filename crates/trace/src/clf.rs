@@ -5,10 +5,17 @@
 //! workspace then treats it identically to a synthetic trace. Following
 //! Section 5.1, incomplete transfers are dropped: only successful `GET`
 //! requests with a known, positive size are kept.
+//!
+//! For *live* ingestion — tailing a log file or stdin — [`ClfStream`]
+//! pulls the same filtered request sequence one line at a time with
+//! memory bounded by the number of *distinct* files, not the log
+//! length, and carries each request's arrival time parsed from the CLF
+//! timestamp (`[dd/Mon/yyyy:hh:mm:ss ±zzzz]`).
 
 use crate::{FileId, FileSet, Trace};
 use l2s_util::cast;
 use std::collections::BTreeMap;
+use std::io::{self, BufRead};
 
 /// Interns URL paths as dense [`FileId`]s in first-seen order.
 ///
@@ -77,6 +84,9 @@ pub struct LogEntry {
     pub status: u16,
     /// Response size in bytes, when reported.
     pub bytes: Option<u64>,
+    /// Request time as seconds since the Unix epoch, when the line
+    /// carries a parseable `[dd/Mon/yyyy:hh:mm:ss ±zzzz]` field.
+    pub timestamp_s: Option<i64>,
 }
 
 /// Parses one Common Log Format line:
@@ -112,12 +122,82 @@ pub fn parse_line(line: &str) -> Option<LogEntry> {
         Some("-") | None => None,
         Some(b) => b.parse::<u64>().ok(),
     };
+    // The date field is the bracketed span nearest the request quote
+    // (ident/authuser are client-supplied and may contain stray '[').
+    let timestamp_s = line[..quote_start].rfind('[').and_then(|i| {
+        let rest = &line[i + 1..quote_start];
+        let end = rest.find(']')?;
+        parse_clf_timestamp(&rest[..end])
+    });
     Some(LogEntry {
         path,
         method,
         status,
         bytes,
+        timestamp_s,
     })
+}
+
+/// Days from 1970-01-01 to `year`-`month`-`day` in the proleptic
+/// Gregorian calendar (Howard Hinnant's `days_from_civil`), keeping the
+/// crate dependency-free.
+fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from(if month > 2 { month - 3 } else { month + 9 });
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Month number (1-12) for a CLF three-letter month name.
+fn month_number(name: &str) -> Option<u32> {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    MONTHS
+        .iter()
+        .position(|&m| m == name)
+        .map(|i| cast::index_u32(i + 1))
+}
+
+/// Seconds east of UTC for a `±HHMM` zone field.
+fn parse_zone(zone: &str) -> Option<i64> {
+    let (sign, digits) = match zone.as_bytes().first()? {
+        b'+' => (1, &zone[1..]),
+        b'-' => (-1, &zone[1..]),
+        _ => return None,
+    };
+    if digits.len() != 4 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let hh: i64 = digits[..2].parse().ok()?;
+    let mm: i64 = digits[2..].parse().ok()?;
+    if hh > 23 || mm > 59 {
+        return None;
+    }
+    Some(sign * (hh * 3600 + mm * 60))
+}
+
+/// Parses a CLF date field body (`dd/Mon/yyyy:hh:mm:ss ±zzzz`, without
+/// the brackets) into seconds since the Unix epoch. Returns `None` for
+/// anything that does not match.
+fn parse_clf_timestamp(s: &str) -> Option<i64> {
+    let (date_time, zone) = s.trim().split_once(' ')?;
+    let mut dmy = date_time.splitn(3, '/');
+    let day: u32 = dmy.next()?.parse().ok()?;
+    let month = month_number(dmy.next()?)?;
+    let mut hms = dmy.next()?.split(':');
+    let year: i64 = hms.next()?.parse().ok()?;
+    let hh: i64 = hms.next()?.parse().ok()?;
+    let mm: i64 = hms.next()?.parse().ok()?;
+    let ss: i64 = hms.next()?.parse().ok()?;
+    if hms.next().is_some() || !(1..=31).contains(&day) || hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+    let offset = parse_zone(zone)?;
+    Some(days_from_civil(year, month, day) * 86_400 + hh * 3600 + mm * 60 + ss - offset)
 }
 
 /// HTTP methods recognized when anchoring the request field's opening
@@ -169,13 +249,9 @@ pub fn parse_log(name: &str, text: &str) -> Trace {
         let Some(entry) = parse_line(line) else {
             continue;
         };
-        if entry.method != "GET" || entry.status != 200 {
+        let Some(bytes) = kept_bytes(&entry) else {
             continue;
-        }
-        let Some(bytes) = entry.bytes else { continue };
-        if bytes == 0 {
-            continue;
-        }
+        };
         let kb = cast::exact_f64(bytes) / 1024.0;
         let id = interner.intern(&entry.path);
         if id.index() == sizes_kb.len() {
@@ -186,6 +262,183 @@ pub fn parse_log(name: &str, text: &str) -> Trace {
         requests.push(id);
     }
     Trace::new(name, FileSet::new(sizes_kb), requests)
+}
+
+/// The Section 5.1 keep-filter shared by [`parse_log`] and
+/// [`ClfStream`]: successful `GET`s with a reported, positive size.
+/// Returns the transfer size in bytes for kept entries.
+fn kept_bytes(entry: &LogEntry) -> Option<u64> {
+    if entry.method != "GET" || entry.status != 200 {
+        return None;
+    }
+    match entry.bytes {
+        Some(b) if b > 0 => Some(b),
+        _ => None,
+    }
+}
+
+/// Ingestion counters for a [`ClfStream`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClfStreamStats {
+    /// Complete lines read, whether or not they were kept.
+    pub lines: u64,
+    /// Lines that passed parsing and the Section 5.1 keep-filter.
+    pub kept: u64,
+    /// Lines dropped: unparseable, non-`GET`, non-200, or sizeless.
+    pub dropped: u64,
+    /// Kept lines whose timestamp ran backwards and was clamped to the
+    /// previous arrival time (log writers interleave buffered workers).
+    pub out_of_order: u64,
+    /// Kept lines with no parseable date field (arrival time reuses the
+    /// previous entry's).
+    pub missing_timestamp: u64,
+    /// Whether the input ended mid-line (a final line with no `\n`,
+    /// typically a log still being written); the fragment is dropped.
+    pub truncated_tail: bool,
+}
+
+/// One kept request pulled from a [`ClfStream`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClfRecord {
+    /// Dense interned file id (index into [`ClfStream::sizes_kb`]).
+    pub file: FileId,
+    /// Largest size reported for this file so far, in KB.
+    pub size_kb: f64,
+    /// Arrival time in seconds since the stream's first kept entry,
+    /// clamped monotone non-decreasing.
+    pub at_s: f64,
+}
+
+/// A streaming CLF reader: pulls one kept request at a time from any
+/// [`BufRead`] source (a log file, stdin, a pipe being tailed).
+///
+/// Memory is bounded by the number of *distinct* files plus one line
+/// buffer — independent of log length — so arbitrarily large logs can
+/// be replayed without loading them ([`ClfStream::state_bytes`] exposes
+/// the resident footprint for tests to pin). Timestamps are parsed from
+/// the CLF date field, rebased to the first kept entry, and clamped
+/// monotone; a truncated final line (log mid-write) is dropped and
+/// flagged rather than half-parsed.
+#[derive(Debug)]
+pub struct ClfStream<R> {
+    reader: R,
+    interner: FileInterner,
+    sizes_kb: Vec<f64>,
+    path_bytes: usize,
+    line: String,
+    base_ts_s: Option<i64>,
+    last_at_s: f64,
+    stats: ClfStreamStats,
+}
+
+impl<R: BufRead> ClfStream<R> {
+    /// A stream over `reader`, consuming it line by line on demand.
+    pub fn new(reader: R) -> Self {
+        ClfStream {
+            reader,
+            interner: FileInterner::new(),
+            sizes_kb: Vec::new(),
+            path_bytes: 0,
+            line: String::new(),
+            base_ts_s: None,
+            last_at_s: 0.0,
+            stats: ClfStreamStats::default(),
+        }
+    }
+
+    /// Pulls the next kept request, or `Ok(None)` at end of input.
+    /// Dropped lines are consumed silently (counted in
+    /// [`ClfStream::stats`]); I/O errors surface as `Err`.
+    pub fn next_record(&mut self) -> io::Result<Option<ClfRecord>> {
+        loop {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if !self.line.ends_with('\n') {
+                // Final line with no terminator: the writer is mid-line
+                // (or the file was cut). Parsing the fragment would
+                // fabricate a request from half a record.
+                self.stats.truncated_tail = true;
+                return Ok(None);
+            }
+            self.stats.lines += 1;
+            let Some(file) = parse_line(&self.line).and_then(|e| {
+                let b = kept_bytes(&e)?;
+                self.note_arrival(e.timestamp_s);
+                Some(self.intern(&e.path, cast::exact_f64(b) / 1024.0))
+            }) else {
+                self.stats.dropped += 1;
+                continue;
+            };
+            self.stats.kept += 1;
+            return Ok(Some(ClfRecord {
+                file,
+                size_kb: self.sizes_kb[file.index()],
+                at_s: self.last_at_s,
+            }));
+        }
+    }
+
+    /// Folds `timestamp_s` into the monotone arrival clock.
+    fn note_arrival(&mut self, timestamp_s: Option<i64>) {
+        match (timestamp_s, self.base_ts_s) {
+            (Some(ts), None) => {
+                self.base_ts_s = Some(ts);
+                self.last_at_s = 0.0;
+            }
+            (Some(ts), Some(base)) => {
+                let at_s = f64::from(cast::small_i32(ts.abs_diff(base)));
+                let at_s = if ts < base { -at_s } else { at_s };
+                if at_s < self.last_at_s {
+                    self.stats.out_of_order += 1;
+                } else {
+                    self.last_at_s = at_s;
+                }
+            }
+            (None, _) => self.stats.missing_timestamp += 1,
+        }
+    }
+
+    /// Interns `path`, growing or max-merging the size table, and
+    /// returns its dense id.
+    fn intern(&mut self, path: &str, kb: f64) -> FileId {
+        let id = self.interner.intern(path);
+        if id.index() == self.sizes_kb.len() {
+            self.sizes_kb.push(kb);
+            self.path_bytes += path.len();
+        } else {
+            self.sizes_kb[id.index()] = self.sizes_kb[id.index()].max(kb);
+        }
+        id
+    }
+
+    /// Largest size seen per file in KB, indexed by dense file id.
+    pub fn sizes_kb(&self) -> &[f64] {
+        &self.sizes_kb
+    }
+
+    /// Number of distinct files seen so far.
+    pub fn distinct_files(&self) -> usize {
+        self.sizes_kb.len()
+    }
+
+    /// Ingestion counters so far.
+    pub fn stats(&self) -> ClfStreamStats {
+        self.stats
+    }
+
+    /// Approximate resident state in bytes: the line buffer plus the
+    /// per-distinct-file tables. Deliberately excludes the reader so
+    /// tests can assert the *stream's* footprint stays O(distinct
+    /// files) on logs far larger than it.
+    pub fn state_bytes(&self) -> usize {
+        self.line.capacity()
+            + self.sizes_kb.capacity() * std::mem::size_of::<f64>()
+            + self.path_bytes
+            + self.interner.len() * std::mem::size_of::<(usize, FileId)>()
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +577,134 @@ h - - [d] "GET /big.iso HTTP/1.0" 200 2048
         let t = parse_log("empty", "");
         assert!(t.is_empty());
         assert_eq!(t.files().len(), 0);
+    }
+
+    #[test]
+    fn timestamp_parses_with_zone_offset() {
+        // 01/Jan/2000:10:00:00 UTC = 946 720 800.
+        let e =
+            parse_line(r#"h - - [01/Jan/2000:10:00:00 +0000] "GET /x HTTP/1.0" 200 5"#).unwrap();
+        assert_eq!(e.timestamp_s, Some(946_720_800));
+        // Same instant expressed five hours behind UTC.
+        let e =
+            parse_line(r#"h - - [01/Jan/2000:05:00:00 -0500] "GET /x HTTP/1.0" 200 5"#).unwrap();
+        assert_eq!(e.timestamp_s, Some(946_720_800));
+        // An unparseable date field degrades to None, not a reject.
+        let e = parse_line(r#"h - - [d] "GET /x HTTP/1.0" 200 5"#).unwrap();
+        assert_eq!(e.timestamp_s, None);
+    }
+
+    #[test]
+    fn days_from_civil_matches_known_epochs() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        // 2000 is a leap year (divisible by 400).
+        assert_eq!(days_from_civil(2000, 2, 29), 11_016);
+    }
+
+    #[test]
+    fn stream_yields_kept_requests_with_rebased_times() {
+        let mut s = ClfStream::new(SAMPLE.as_bytes());
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            got.push((r.file.index(), r.at_s));
+        }
+        // Same keep-filter as parse_log: index, logo, index.
+        assert_eq!(got, vec![(0, 0.0), (1, 1.0), (0, 2.0)]);
+        let st = s.stats();
+        assert_eq!(st.kept, 3);
+        assert_eq!(st.dropped, 5); // blank first line + 404/POST/dash/304
+        assert_eq!(st.out_of_order, 0);
+        assert!(!st.truncated_tail);
+        assert_eq!(s.distinct_files(), 2);
+        assert!((s.sizes_kb()[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_drops_truncated_final_line() {
+        let log = "h - - [01/Jan/2000:10:00:00 +0000] \"GET /a HTTP/1.0\" 200 5\n\
+                   h - - [01/Jan/2000:10:00:01 +0000] \"GET /b HTTP/1.0\" 200 5\n\
+                   h - - [01/Jan/2000:10:00:02 +0000] \"GET /c HTT";
+        let mut s = ClfStream::new(log.as_bytes());
+        assert!(s.next_record().unwrap().is_some());
+        assert!(s.next_record().unwrap().is_some());
+        assert_eq!(s.next_record().unwrap(), None, "fragment must not parse");
+        assert!(s.stats().truncated_tail);
+        assert_eq!(s.stats().kept, 2);
+        // A trailing newline on the same content is NOT a truncation.
+        let whole = format!("{log}P/1.0\" 200 5\n");
+        let mut s = ClfStream::new(whole.as_bytes());
+        let mut n = 0;
+        while s.next_record().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(!s.stats().truncated_tail);
+    }
+
+    #[test]
+    fn stream_clamps_out_of_order_timestamps() {
+        let log = "h - - [01/Jan/2000:10:00:05 +0000] \"GET /a HTTP/1.0\" 200 5\n\
+                   h - - [01/Jan/2000:10:00:02 +0000] \"GET /b HTTP/1.0\" 200 5\n\
+                   h - - [01/Jan/2000:10:00:09 +0000] \"GET /c HTTP/1.0\" 200 5\n";
+        let mut s = ClfStream::new(log.as_bytes());
+        let mut at = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            at.push(r.at_s);
+        }
+        // The backwards step clamps to the previous arrival; later
+        // entries resume from the true clock.
+        assert_eq!(at, vec![0.0, 0.0, 4.0]);
+        assert_eq!(s.stats().out_of_order, 1);
+    }
+
+    #[test]
+    fn stream_state_is_bounded_by_distinct_files_not_log_length() {
+        // A synthetic reader serving millions of requests over a small
+        // file population, without the log ever existing in memory.
+        struct Synth {
+            next: u64,
+            total: u64,
+            buf: Vec<u8>,
+        }
+        impl io::Read for Synth {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.buf.is_empty() {
+                    if self.next == self.total {
+                        return Ok(0);
+                    }
+                    let f = self.next % 64;
+                    let line = format!(
+                        "h - - [01/Jan/2000:10:00:00 +0000] \"GET /f{f}.html HTTP/1.0\" 200 2048\n"
+                    );
+                    self.buf = line.into_bytes();
+                    self.next += 1;
+                }
+                let n = out.len().min(self.buf.len());
+                out[..n].copy_from_slice(&self.buf[..n]);
+                self.buf.drain(..n);
+                Ok(n)
+            }
+        }
+        let total = 2_000_000u64;
+        let reader = io::BufReader::new(Synth {
+            next: 0,
+            total,
+            buf: Vec::new(),
+        });
+        let mut s = ClfStream::new(reader);
+        let mut kept = 0u64;
+        while s.next_record().unwrap().is_some() {
+            kept += 1;
+        }
+        assert_eq!(kept, total);
+        assert_eq!(s.distinct_files(), 64);
+        // ~2M log lines (~150 MB of text) must leave only O(64 files)
+        // of resident stream state.
+        assert!(
+            s.state_bytes() < 16 * 1024,
+            "stream state grew with log length: {} bytes",
+            s.state_bytes()
+        );
     }
 }

@@ -28,7 +28,7 @@ mod stats;
 mod synth;
 mod types;
 
-pub use clf::FileInterner;
+pub use clf::{ClfRecord, ClfStream, ClfStreamStats, FileInterner};
 pub use stats::TraceStats;
 pub use synth::{RequestStream, TraceSpec};
 pub use types::{FileId, FileSet, Trace};

@@ -44,20 +44,22 @@ mod args {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument {tok}"));
             };
-            let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
-                _ => String::new(),
-            };
+            // A following token that isn't itself an option is this
+            // option's value; a bare flag stores the empty string.
+            let value = it.next_if(|v| !v.starts_with("--")).unwrap_or_default();
             options.insert(key.to_string(), value);
         }
         Ok(Parsed { command, options })
     }
 
     impl Parsed {
-        /// Fetches an option parsed as `T`, with a default.
+        /// Fetches an option parsed as `T`, with a default. A bare
+        /// `--key` (no value) is reported as missing, naming the flag,
+        /// instead of surfacing as `invalid value ""`.
         pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
             match self.options.get(key) {
                 None => Ok(default),
+                Some(raw) if raw.is_empty() => Err(format!("missing value for --{key}")),
                 Some(raw) => raw
                     .parse()
                     .map_err(|_| format!("invalid value {raw:?} for --{key}")),
@@ -117,6 +119,22 @@ mod args {
         #[test]
         fn rejects_stray_positionals() {
             assert!(parse(argv("simulate extra")).is_err());
+        }
+
+        #[test]
+        fn bare_typed_option_reports_missing_value() {
+            // Regression: `--nodes` with no value used to surface as
+            // `invalid value "" for --nodes`, hiding what went wrong.
+            let p = parse(argv("model --nodes")).unwrap();
+            let err = p.get::<usize>("nodes", 1).unwrap_err();
+            assert!(err.contains("missing value for --nodes"), "{err}");
+        }
+
+        #[test]
+        fn bare_flag_followed_by_an_option_stays_a_flag() {
+            let p = parse(argv("simulate --dfs --nodes 4")).unwrap();
+            assert!(p.flag("dfs"));
+            assert_eq!(p.get::<usize>("nodes", 1).unwrap(), 4);
         }
     }
 }
@@ -181,7 +199,9 @@ fn cmd_model(p: &args::Parsed) -> Result<(), String> {
     println!("forwarded (Q)    : {:.3}", derived.forward_fraction);
     println!("throughput bound : {bound:.0} requests/s");
     if let Some(solution) = model.solve_derived(&derived, bound * 0.95) {
-        let bottleneck = solution.bottleneck().expect("solver emits stations");
+        let bottleneck = solution
+            .bottleneck()
+            .ok_or("model solution has no stations to report a bottleneck from")?;
         println!(
             "at 95% load      : {:.2} ms mean response, bottleneck = {} ({:.0}% busy)",
             solution.response_s * 1e3,

@@ -91,6 +91,17 @@ fn unknown_policy_is_a_clean_error() {
 }
 
 #[test]
+fn bare_option_names_the_offending_flag() {
+    // Regression: a trailing `--nodes` with no value used to be stored
+    // as the empty string and reported as `invalid value ""`.
+    let out = clusterlab(&["model", "--nodes"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("missing value for --nodes"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
 fn help_prints_usage() {
     let out = clusterlab(&["help"]);
     assert!(out.status.success());

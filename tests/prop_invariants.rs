@@ -109,7 +109,7 @@ proptest! {
                 let (node, f) = in_flight.swap_remove(0);
                 policy.complete(now, node, f.into());
             } else {
-                let initial = policy.arrival_node();
+                let initial = policy.arrival_node().unwrap();
                 let a = policy.assign(now, initial, file.into());
                 prop_assert!(a.service < n);
                 in_flight.push((a.service, file));
